@@ -1,0 +1,115 @@
+package lyra_test
+
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (§7), wrapping internal/experiments at the Small
+// (1/8-cluster, 4-day) scale so a full `go test -bench=.` pass finishes in
+// minutes. Each benchmark regenerates the corresponding artifact end to
+// end — trace synthesis, simulation (or prototype run), statistics — and
+// reports the experiment wall time per iteration. Use cmd/lyra-bench -full
+// for the paper-scale numbers recorded in EXPERIMENTS.md.
+
+import (
+	"io"
+	"testing"
+
+	"lyra"
+	"lyra/internal/experiments"
+)
+
+// benchExperiment runs one registered experiment per iteration and keeps
+// the printed output flowing to io.Discard so formatting is included in the
+// measured cost.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	e, ok := experiments.Lookup(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	p := experiments.Small()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tab := range e.Run(p) {
+			tab.Fprint(io.Discard)
+		}
+	}
+}
+
+// Motivation (§2).
+
+func BenchmarkFig1(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)   { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// Design worked examples (§5).
+
+func BenchmarkTable2_3(b *testing.B)    { benchExperiment(b, "table23") }
+func BenchmarkTable4_Fig6(b *testing.B) { benchExperiment(b, "table4") }
+
+// Main simulation results (§7.2).
+
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+
+// Capacity-loaning deep dive (§7.3).
+
+func BenchmarkTable7(b *testing.B)         { benchExperiment(b, "table7") }
+func BenchmarkFig9(b *testing.B)           { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)          { benchExperiment(b, "fig10") }
+func BenchmarkReclaimOptimal(b *testing.B) { benchExperiment(b, "reclaimopt") }
+func BenchmarkFig13(b *testing.B)          { benchExperiment(b, "fig13") }
+
+// Job-scheduling deep dive (§7.4).
+
+func BenchmarkTable8(b *testing.B)   { benchExperiment(b, "table8") }
+func BenchmarkTable9(b *testing.B)   { benchExperiment(b, "table9") }
+func BenchmarkFig14_15(b *testing.B) { benchExperiment(b, "fig1415") }
+func BenchmarkFig16(b *testing.B)    { benchExperiment(b, "fig16") }
+
+// Testbed prototype (§7.5).
+
+func BenchmarkTable10(b *testing.B) { benchExperiment(b, "table10") }
+func BenchmarkFig17(b *testing.B)   { benchExperiment(b, "fig17") }
+
+// Ablations beyond the paper's own comparisons (DESIGN.md §4).
+
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablation") }
+
+// Micro-benchmarks of the scheduling kernels, independent of the
+// experiment harness: these are the hot paths a deployment would care
+// about (the paper reports the MCKP solving in <=0.02 s and the reclaiming
+// heuristic in 1-3 ms at production scale).
+
+func BenchmarkKernelSchedulingEpoch(b *testing.B) {
+	// One full Lyra run at a deliberately tiny scale, dominated by
+	// scheduling-epoch work.
+	tcfg := lyra.DefaultTraceConfig(1)
+	tcfg.Days = 1
+	tcfg.TrainingGPUs = 128
+	tr := lyra.GenerateTrace(tcfg)
+	cfg := lyra.DefaultConfig()
+	cfg.Cluster = lyra.ClusterConfig{TrainingServers: 16, InferenceServers: 16}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lyra.Run(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelTraceGeneration(b *testing.B) {
+	cfg := lyra.DefaultTraceConfig(1)
+	cfg.Days = 4
+	cfg.TrainingGPUs = 448
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lyra.GenerateTrace(cfg)
+	}
+}

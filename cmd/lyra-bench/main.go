@@ -1,0 +1,64 @@
+// Command lyra-bench regenerates the tables and figures of Lyra's
+// evaluation section. By default it runs at a 1/8 scale that finishes in
+// minutes; -full runs at the paper's production scale (443 training + 520
+// inference servers, 15-day trace), which takes considerably longer.
+//
+// Usage:
+//
+//	lyra-bench -list
+//	lyra-bench -exp table5
+//	lyra-bench -exp all -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lyra/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment name (see -list) or 'all'")
+		full = flag.Bool("full", false, "run at the paper's production scale")
+		list = flag.Bool("list", false, "list available experiments")
+		seed = flag.Int64("seed", 1, "random seed for trace synthesis and tie-breaking")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-12s %s\n", e.Name, e.What)
+		}
+		return
+	}
+
+	params := experiments.Small()
+	if *full {
+		params = experiments.Full()
+	}
+	params.Seed = *seed
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		for _, t := range e.Run(params) {
+			t.Fprint(os.Stdout)
+		}
+		fmt.Fprintf(os.Stderr, "[%s completed in %s]\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.Registry() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,100 @@
+// Command lyra-sim runs a single cluster simulation: one scheme over one
+// synthesized (or CSV-loaded) trace, printing the summary statistics the
+// paper's tables report.
+//
+// Usage examples:
+//
+//	lyra-sim -scheme lyra -days 4 -training-servers 56 -inference-servers 64
+//	lyra-sim -scheme baseline -days 15 -training-servers 443 -inference-servers 520
+//	lyra-sim -scheme lyra -elastic=false -reclaim scf
+//	lyra-sim -trace trace.csv -scheme pollux -loaning=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lyra"
+	"lyra/internal/trace"
+)
+
+func main() {
+	var (
+		scheme    = flag.String("scheme", "lyra", "scheduler: lyra, fifo, gandiva, afs, pollux")
+		reclaim   = flag.String("reclaim", "lyra", "reclaim policy: lyra, random, scf, optimal")
+		loaning   = flag.Bool("loaning", true, "enable capacity loaning")
+		elastic   = flag.Bool("elastic", true, "enable elastic scaling (lyra scheduler)")
+		tuned     = flag.Bool("tuned", false, "attach the hyperparameter-tuning job agent")
+		scenario  = flag.String("scenario", "basic", "scenario: baseline, basic, advanced, heterogeneous, ideal")
+		days      = flag.Int("days", 4, "trace length in days")
+		trainSrv  = flag.Int("training-servers", 56, "8-GPU training servers")
+		infSrv    = flag.Int("inference-servers", 64, "8-GPU inference servers")
+		load      = flag.Float64("load", 0.83, "offered load factor")
+		seed      = flag.Int64("seed", 1, "random seed")
+		traceFile = flag.String("trace", "", "read the trace from this CSV instead of synthesizing")
+		loss      = flag.Float64("scaling-loss", 0, "per-worker throughput loss (imperfect scaling)")
+		proactive = flag.Bool("proactive", false, "LSTM-forecast-driven (proactive) reclaiming")
+		agnostic  = flag.Bool("info-agnostic", false, "least-attained-service order instead of SJF (no runtime estimates)")
+	)
+	flag.Parse()
+
+	var tr *lyra.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		cfg := lyra.DefaultTraceConfig(*seed)
+		cfg.Days = *days
+		cfg.TrainingGPUs = *trainSrv * 8
+		cfg.LoadFactor = *load
+		tr = lyra.GenerateTrace(cfg)
+	}
+
+	kind := lyra.ScenarioKind(*scenario)
+	lyra.ApplyScenario(tr, kind, *seed+100)
+
+	cfg := lyra.Config{
+		Cluster:          lyra.ClusterConfig{TrainingServers: *trainSrv, InferenceServers: *infSrv},
+		Scheduler:        lyra.SchedulerKind(*scheme),
+		Elastic:          *elastic,
+		Loaning:          *loaning,
+		Reclaim:          lyra.ReclaimKind(*reclaim),
+		Tuned:            *tuned,
+		ProactiveReclaim: *proactive,
+		InfoAgnostic:     *agnostic,
+		Seed:             *seed,
+	}
+	cfg = lyra.Scenario(kind, cfg)
+	cfg.Scaling.PerWorkerLoss = *loss
+	if *tuned || cfg.Scheduler == lyra.SchedPollux {
+		cfg.Scaling.TunedGain = 0.08
+	}
+
+	rep, err := lyra.Run(cfg, tr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("jobs: %d submitted, %d completed\n", rep.Total, rep.Completed)
+	fmt.Printf("queuing  mean=%.0fs median=%.0fs p95=%.0fs p99=%.0fs\n",
+		rep.Queue.Mean, rep.Queue.P50, rep.Queue.P95, rep.Queue.P99)
+	fmt.Printf("JCT      mean=%.0fs median=%.0fs p95=%.0fs p99=%.0fs\n",
+		rep.JCT.Mean, rep.JCT.P50, rep.JCT.P95, rep.JCT.P99)
+	fmt.Printf("usage    training=%.2f overall=%.2f on-loan=%.2f\n",
+		rep.TrainUsage, rep.OverallUsage, rep.OnLoanUsage)
+	fmt.Printf("dynamics preemptions=%d (%.2f%%) scaling-ops=%d collateral=%.2f%% flex-satisfied=%.1f%%\n",
+		rep.Preemptions, 100*rep.PreemptionRatio, rep.ScalingOps,
+		100*rep.CollateralDamage, 100*rep.FlexSatisfiedShare)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lyra-sim:", err)
+	os.Exit(1)
+}

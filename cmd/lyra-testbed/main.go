@@ -1,0 +1,90 @@
+// Command lyra-testbed runs the prototype runtime end-to-end: the 64-GPU
+// testbed cluster of §7.5, goroutine-backed worker containers with launch
+// latency, per-job elastic controllers, the whitelist handover between the
+// two schedulers, and the production scheduling code driving it all at an
+// accelerated clock.
+//
+//	lyra-testbed -scheme lyra
+//	lyra-testbed -scheme fifo -speedup 8000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"lyra/internal/cluster"
+	"lyra/internal/inference"
+	"lyra/internal/job"
+	"lyra/internal/orchestrator"
+	"lyra/internal/reclaim"
+	"lyra/internal/sched"
+	"lyra/internal/sim"
+	"lyra/internal/testbed"
+	"lyra/internal/trace"
+)
+
+func main() {
+	var (
+		scheme  = flag.String("scheme", "lyra", "scheduler: lyra, fifo, gandiva, afs, pollux")
+		policy  = flag.String("reclaim", "lyra", "reclaim policy: lyra, random, scf, none")
+		speedup = flag.Float64("speedup", 4000, "simulated seconds per wall second")
+		seed    = flag.Int64("seed", 1, "random seed")
+		jobs    = flag.Int("jobs", 180, "number of jobs in the scaled trace")
+	)
+	flag.Parse()
+
+	var s sim.Scheduler
+	switch *scheme {
+	case "lyra":
+		s = sched.NewLyra()
+	case "fifo":
+		s = &sched.FIFO{}
+	case "gandiva":
+		s = &sched.Gandiva{}
+	case "afs":
+		s = &sched.AFS{}
+	case "pollux":
+		s = sched.NewPollux(*seed + 5)
+	default:
+		fmt.Fprintf(os.Stderr, "lyra-testbed: unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	var rp reclaim.Policy
+	switch *policy {
+	case "lyra":
+		rp = reclaim.Lyra{}
+	case "scf":
+		rp = reclaim.SCF{}
+	case "random":
+		rp = reclaim.Random{Rng: rand.New(rand.NewSource(*seed + 31))}
+	case "none":
+	default:
+		fmt.Fprintf(os.Stderr, "lyra-testbed: unknown reclaim policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	tr := trace.GenerateTestbed(*seed, *jobs)
+
+	tbCfg := testbed.Config{Cluster: cluster.TestbedConfig(), Speedup: *speedup, Seed: *seed}
+	var orchBuilder func(less func(a, b *job.Job) bool, inf *inference.Scheduler) *orchestrator.Orchestrator
+	if rp != nil {
+		orchBuilder = func(less func(a, b *job.Job) bool, inf *inference.Scheduler) *orchestrator.Orchestrator {
+			return orchestrator.New(inf, rp, less)
+		}
+	}
+	tb := testbed.New(tbCfg, tr, s, orchBuilder)
+	res := tb.Run(tr.Horizon)
+
+	fmt.Printf("jobs: %d submitted, %d completed\n", res.Total, res.Completed)
+	fmt.Printf("queuing  mean=%.0fs median=%.0fs p95=%.0fs\n", res.Queue.Mean, res.Queue.P50, res.Queue.P95)
+	fmt.Printf("JCT      mean=%.0fs median=%.0fs p95=%.0fs\n", res.JCT.Mean, res.JCT.P50, res.JCT.P95)
+	fmt.Printf("dynamics preemptions=%d (%.1f%%) scaling-ops=%d collateral=%.1f%%\n",
+		res.Preemptions, 100*res.PreemptionRatio, res.ScalingOps, 100*res.CollateralDamage)
+	fmt.Printf("runtime  containers launched=%d killed=%d; reclaim ops=%d\n",
+		res.ContainersLaunched, res.ContainersKilled, res.ReclaimOps)
+	lyraWL, infWL := tb.Whitelists()
+	fmt.Printf("whitelists at exit: lyra=%d servers, inference=%d servers\n", lyraWL.Len(), infWL.Len())
+}

@@ -1,0 +1,54 @@
+// Command tracegen synthesizes a production-like training job trace and
+// writes it as CSV (see internal/trace for the calibration and format).
+//
+//	tracegen -days 15 -training-gpus 3544 -seed 1 -o trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lyra/internal/trace"
+)
+
+func main() {
+	var (
+		days   = flag.Int("days", 15, "trace length in days")
+		gpus   = flag.Int("training-gpus", 3544, "training-cluster GPUs the load is calibrated against")
+		load   = flag.Float64("load", 0.83, "offered load factor")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("o", "", "output file (default stdout)")
+		stats  = flag.Bool("stats", false, "print trace statistics to stderr")
+		maxJob = flag.Int("max-job-gpus", 0, "cap on per-job GPU demand (0 = none)")
+	)
+	flag.Parse()
+
+	cfg := trace.Default(*seed)
+	cfg.Days = *days
+	cfg.TrainingGPUs = *gpus
+	cfg.LoadFactor = *load
+	cfg.MaxJobGPUs = *maxJob
+	tr := trace.Generate(cfg)
+
+	if *stats {
+		s := tr.ComputeStats()
+		fmt.Fprintf(os.Stderr, "jobs=%d offered=%.2f fungible=%.2f elastic=%.2f elastic-work-share=%.2f max-demand=%d\n",
+			s.NumJobs, s.OfferedLoad, s.FracFungible, s.FracElastic, s.ElasticWorkShare, s.MaxGPUDemand)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

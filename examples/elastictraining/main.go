@@ -1,0 +1,83 @@
+// Elastic scheduling deep dive: reproduces the paper's §5 worked examples
+// on the public API — why classic SJF breaks with elastic jobs (Tables
+// 2-4), how the flexible demand becomes a multiple-choice knapsack (Figure
+// 6), and how the elastic schedulers compare on a real workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lyra"
+	"lyra/internal/alloc"
+	"lyra/internal/job"
+)
+
+func main() {
+	workedExamples()
+	schedulerComparison()
+}
+
+func workedExamples() {
+	// Table 2's jobs: A completes in 50 s with its max 6 workers, B in
+	// 20 s with its max 6; both need at least 2 workers.
+	a := job.New(1, 0, job.Generic, 1, 2, 6, 50)
+	a.Elastic = true
+	b := job.New(2, 0, job.Generic, 1, 2, 6, 20)
+	b.Elastic = true
+
+	fmt.Println("Table 2/3: running time is inversely proportional to workers:")
+	for _, w := range []int{2, 4, 6} {
+		fmt.Printf("  job A with %d workers runs %5.1f s; job B runs %5.1f s\n",
+			w, a.RuntimeAt(w, job.Linear), b.RuntimeAt(w, job.Linear))
+	}
+
+	// Figure 6: the flexible demand as knapsack items.
+	a4 := job.New(1, 0, job.Generic, 2, 2, 3, 100) // Table 4's job A, 2-GPU workers
+	a4.Elastic = true
+	fmt.Println("\nFigure 6: JCT-reduction values of extra workers (the MCKP items):")
+	fmt.Printf("  job A +1 worker (2 GPUs): %.0f s reduction\n", alloc.JCTReduction(a4, 1, job.Linear))
+	for k := 1; k <= 4; k++ {
+		fmt.Printf("  job B +%d worker(s) (%d GPU): %.0f s reduction\n",
+			k, k, alloc.JCTReduction(b, k, job.Linear))
+	}
+
+	// Phase 2 solves the MCKP: with 4 spare GPUs the best move is A+1
+	// (value 50) plus B+2 (value 30).
+	got := alloc.Phase2([]*job.Job{a4, b}, 4, job.Linear)
+	fmt.Println("\nPhase-2 MCKP decision with 4 spare GPUs:")
+	for _, e := range got {
+		fmt.Printf("  job %d gets %d extra worker(s)\n", e.ID, e.Extra)
+	}
+}
+
+func schedulerComparison() {
+	traceCfg := lyra.DefaultTraceConfig(3)
+	traceCfg.Days = 2
+	traceCfg.TrainingGPUs = 32 * 8
+	workload := lyra.GenerateTrace(traceCfg)
+	// Make every job elastic so the schedulers' elasticity handling is
+	// what differs (the 100% point of Figures 14-15).
+	lyra.SetElasticFraction(workload, 1.0, 99)
+	clusterCfg := lyra.ClusterConfig{TrainingServers: 32, InferenceServers: 1}
+
+	fmt.Printf("\nElastic schedulers on an all-elastic %d-job workload (no loaning):\n", len(workload.Jobs))
+	fmt.Printf("%-10s %12s %12s %12s\n", "scheme", "q_mean(s)", "jct_mean(s)", "scaling_ops")
+	for _, kind := range []lyra.SchedulerKind{lyra.SchedFIFO, lyra.SchedGandiva, lyra.SchedAFS, lyra.SchedPollux, lyra.SchedLyra} {
+		cfg := lyra.DefaultConfig()
+		cfg.Cluster = clusterCfg
+		cfg.Scheduler = kind
+		cfg.Loaning = false
+		if kind == lyra.SchedPollux {
+			cfg.Scaling.TunedGain = 0.08
+		}
+		if kind == lyra.SchedFIFO {
+			cfg.Elastic = false
+		}
+		rep, err := lyra.Run(cfg, workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.0f %12.0f %12d\n", kind, rep.Queue.Mean, rep.JCT.Mean, rep.ScalingOps)
+	}
+}

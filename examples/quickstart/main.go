@@ -1,0 +1,52 @@
+// Quickstart: synthesize a small production-like trace, replay it under
+// the FIFO baseline and under Lyra (capacity loaning + elastic scaling),
+// and print the comparison the paper's headline numbers are about.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lyra"
+)
+
+func main() {
+	// A 2-day workload calibrated against a 32-server (256-GPU) training
+	// cluster, with a 32-server inference cluster available for loaning.
+	traceCfg := lyra.DefaultTraceConfig(42)
+	traceCfg.Days = 2
+	traceCfg.TrainingGPUs = 32 * 8
+	workload := lyra.GenerateTrace(traceCfg)
+	fmt.Printf("workload: %d jobs over %d days\n\n", len(workload.Jobs), traceCfg.Days)
+
+	cluster := lyra.ClusterConfig{TrainingServers: 32, InferenceServers: 32}
+
+	baseline := lyra.BaselineConfig()
+	baseline.Cluster = cluster
+	baseRep, err := lyra.Run(baseline, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	full := lyra.DefaultConfig() // SJF+MCKP scheduling, loaning, Lyra reclaiming
+	full.Cluster = cluster
+	lyraRep, err := lyra.Run(full, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %12s %12s\n", "", "Baseline", "Lyra")
+	row := func(name string, b, l float64, unit string) {
+		fmt.Printf("%-22s %11.0f%s %11.0f%s\n", name, b, unit, l, unit)
+	}
+	row("mean queuing time", baseRep.Queue.Mean, lyraRep.Queue.Mean, "s")
+	row("p95 queuing time", baseRep.Queue.P95, lyraRep.Queue.P95, "s")
+	row("mean JCT", baseRep.JCT.Mean, lyraRep.JCT.Mean, "s")
+	row("p95 JCT", baseRep.JCT.P95, lyraRep.JCT.P95, "s")
+	fmt.Printf("%-22s %11.2f  %11.2f\n", "training-cluster usage", baseRep.TrainUsage, lyraRep.TrainUsage)
+	fmt.Printf("%-22s %11.2f  %11.2f\n", "combined usage", baseRep.OverallUsage, lyraRep.OverallUsage)
+	fmt.Printf("\nLyra reductions: %.2fx queuing, %.2fx JCT; %d jobs ran on loaned servers\n",
+		baseRep.Queue.Mean/lyraRep.Queue.Mean,
+		baseRep.JCT.Mean/lyraRep.JCT.Mean,
+		lyraRep.OnLoanQueue.N)
+}

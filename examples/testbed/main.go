@@ -1,0 +1,47 @@
+// Testbed example: drive the prototype runtime with a handful of jobs and
+// watch the moving parts — containers launching with latency, an elastic
+// job's controller coordinating worker joins and departures, the
+// orchestrator loaning and reclaiming servers through the whitelist API.
+package main
+
+import (
+	"fmt"
+
+	"lyra/internal/cluster"
+	"lyra/internal/inference"
+	"lyra/internal/job"
+	"lyra/internal/orchestrator"
+	"lyra/internal/reclaim"
+	"lyra/internal/sched"
+	"lyra/internal/testbed"
+	"lyra/internal/trace"
+)
+
+func main() {
+	workload := trace.GenerateTestbed(11, 40)
+	fmt.Printf("testbed workload: %d jobs over an 8-hour window (accelerated)\n", len(workload.Jobs))
+
+	cfg := testbed.Config{
+		Cluster: cluster.TestbedConfig(), // 4x V100 + 4x T4 servers, 64 GPUs
+		Speedup: 6000,
+		Seed:    11,
+	}
+	scheduler := sched.NewLyra()
+	tb := testbed.New(cfg, workload, scheduler,
+		func(less func(a, b *job.Job) bool, inf *inference.Scheduler) *orchestrator.Orchestrator {
+			return orchestrator.New(inf, reclaim.Lyra{}, less)
+		})
+
+	res := tb.Run(workload.Horizon)
+
+	fmt.Printf("\ncompleted %d/%d jobs\n", res.Completed, res.Total)
+	fmt.Printf("queuing: mean=%.0fs p95=%.0fs   JCT: mean=%.0fs p95=%.0fs\n",
+		res.Queue.Mean, res.Queue.P95, res.JCT.Mean, res.JCT.P95)
+	fmt.Printf("containers: %d launched, %d killed (scale-ins and reclaims)\n",
+		res.ContainersLaunched, res.ContainersKilled)
+	fmt.Printf("elastic scaling operations: %d; worker joins: %d\n", res.ScalingOps, res.WorkerJoins)
+	fmt.Printf("orchestrator: %d reclaim operations, %d preemptions (%.1f%%)\n",
+		res.ReclaimOps, res.Preemptions, 100*res.PreemptionRatio)
+	lyraWL, infWL := tb.Whitelists()
+	fmt.Printf("final whitelists: lyra controls %d servers, inference %d\n", lyraWL.Len(), infWL.Len())
+}

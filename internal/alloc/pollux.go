@@ -1,0 +1,229 @@
+package alloc
+
+import (
+	"math/rand"
+	"sort"
+
+	"lyra/internal/cluster"
+	"lyra/internal/job"
+)
+
+// PolluxConfig sizes the goodput-maximizing genetic search modeled after
+// Pollux (§7.1). The paper finds the preset 100 iterations insufficient at
+// 3,500-GPU scale and runs 250 to keep scheduling overhead acceptable.
+type PolluxConfig struct {
+	Iterations int // default 250
+	Population int // default 24
+	Seed       int64
+	// EfficiencyDecay is the per-extra-worker statistical-efficiency loss
+	// in the goodput model (Pollux's batch-size/efficiency trade-off).
+	EfficiencyDecay float64 // default 0.06
+	// MaxCandidates caps how many jobs one search considers, keeping the
+	// per-epoch cost bounded at production scale.
+	MaxCandidates int // default 300
+}
+
+// DefaultPolluxConfig returns the evaluation configuration.
+func DefaultPolluxConfig(seed int64) PolluxConfig {
+	return PolluxConfig{Iterations: 250, Population: 24, Seed: seed, EfficiencyDecay: 0.06, MaxCandidates: 300}
+}
+
+func (c PolluxConfig) withDefaults() PolluxConfig {
+	if c.Iterations == 0 {
+		c.Iterations = 250
+	}
+	if c.Population == 0 {
+		c.Population = 24
+	}
+	if c.EfficiencyDecay == 0 {
+		c.EfficiencyDecay = 0.06
+	}
+	if c.MaxCandidates == 0 {
+		c.MaxCandidates = 300
+	}
+	return c
+}
+
+// PolluxDecision is the allocation for one job: zero workers means the job
+// is not scheduled this round (Pollux does not explicitly launch as many
+// jobs as possible, which is why its queuing times trail Lyra's, §7.4).
+type PolluxDecision struct {
+	ID      int
+	Workers int // total workers (0, or in [MinWorkers, MaxWorkers])
+}
+
+// goodput models Pollux's normalized goodput (speedup): the job's
+// throughput x statistical-efficiency product relative to running at base
+// demand. Each worker beyond the base contributes with geometrically
+// decaying efficiency. An unscheduled job contributes zero, so the search
+// still has an incentive to start jobs — but unlike Lyra it does not
+// explicitly launch as many as possible (§7.4).
+func goodput(j *job.Job, workers int, decay float64, sm job.ScalingModel) float64 {
+	if workers <= 0 {
+		return 0
+	}
+	thr := j.NominalThroughput(workers, cluster.V100, sm)
+	base := j.NominalThroughput(j.MinWorkers, cluster.V100, sm)
+	if base <= 0 {
+		return 0
+	}
+	eff := 1.0
+	for w := j.MinWorkers; w < workers; w++ {
+		eff *= 1 - decay
+	}
+	return thr * eff / base
+}
+
+// Pollux searches for the allocation vector maximizing total goodput under
+// the GPU capacity, via a mutation-based genetic algorithm with incremental
+// fitness evaluation. candidates are pending or running jobs; running jobs
+// may be resized within their range but are never dropped to zero
+// (our adaptation is non-preemptive, matching the rest of the evaluation).
+func Pollux(candidates []*job.Job, running map[int]bool, capacityGPUs int, cfg PolluxConfig, sm job.ScalingModel) []PolluxDecision {
+	cfg = cfg.withDefaults()
+	if len(candidates) == 0 || capacityGPUs <= 0 {
+		return nil
+	}
+	jobs := make([]*job.Job, len(candidates))
+	copy(jobs, candidates)
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+	if len(jobs) > cfg.MaxCandidates {
+		jobs = jobs[:cfg.MaxCandidates]
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type genome struct {
+		workers []int
+		gpus    int
+		fitness float64
+	}
+	eval := func(g *genome) {
+		g.gpus, g.fitness = 0, 0
+		for i, w := range g.workers {
+			g.gpus += w * jobs[i].GPUsPerWorker
+			g.fitness += goodput(jobs[i], w, cfg.EfficiencyDecay, sm)
+		}
+	}
+	feasible := func(g *genome) bool { return g.gpus <= capacityGPUs }
+	minOf := func(i int) int {
+		if running[jobs[i].ID] {
+			return jobs[i].MinWorkers
+		}
+		return 0
+	}
+	var shrinkable []int
+	shrink := func(g *genome, i int) {
+		// Shrink within range, or drop a pending job entirely.
+		var next int
+		if g.workers[i] > jobs[i].MinWorkers {
+			next = g.workers[i] - 1
+		} else {
+			next = minOf(i)
+		}
+		g.gpus -= (g.workers[i] - next) * jobs[i].GPUsPerWorker
+		g.fitness += goodput(jobs[i], next, cfg.EfficiencyDecay, sm) -
+			goodput(jobs[i], g.workers[i], cfg.EfficiencyDecay, sm)
+		g.workers[i] = next
+	}
+	repair := func(g *genome, rng *rand.Rand) {
+		for g.gpus > capacityGPUs {
+			shrinkable = shrinkable[:0]
+			for i := range jobs {
+				if g.workers[i] > minOf(i) {
+					shrinkable = append(shrinkable, i)
+				}
+			}
+			if len(shrinkable) == 0 {
+				return
+			}
+			// Shrink a random victim repeatedly until feasible or it
+			// bottoms out, then re-scan.
+			i := shrinkable[rng.Intn(len(shrinkable))]
+			for g.gpus > capacityGPUs && g.workers[i] > minOf(i) {
+				shrink(g, i)
+			}
+		}
+	}
+
+	// Seed the population: genome 0 packs pending jobs greedily at base
+	// demand in candidate order (a launch-friendly starting point the
+	// search refines), genome 1 keeps everything at its floor, the rest
+	// are random.
+	pop := make([]*genome, cfg.Population)
+	for p := range pop {
+		g := &genome{workers: make([]int, len(jobs))}
+		budget := capacityGPUs
+		for i, j := range jobs {
+			switch {
+			case p == 0:
+				w := minOf(i)
+				if w == 0 && j.BaseGPUs() <= budget {
+					w = j.MinWorkers
+				}
+				budget -= w * j.GPUsPerWorker
+				g.workers[i] = w
+			case p == 1 || rng.Float64() < 0.5:
+				g.workers[i] = minOf(i)
+			default:
+				g.workers[i] = j.MinWorkers + rng.Intn(j.FlexRange()+1)
+			}
+		}
+		eval(g)
+		repair(g, rng)
+		pop[p] = g
+	}
+
+	best := pop[0]
+	for _, g := range pop[1:] {
+		if g.fitness > best.fitness {
+			best = g
+		}
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		// Tournament: mutate a copy of a good genome, replace a bad one.
+		a, b := pop[rng.Intn(len(pop))], pop[rng.Intn(len(pop))]
+		parent, victim := a, b
+		if b.fitness > a.fitness {
+			parent, victim = b, a
+		}
+		child := &genome{workers: append([]int(nil), parent.workers...), gpus: parent.gpus, fitness: parent.fitness}
+		for m := 0; m < 1+rng.Intn(3); m++ {
+			i := rng.Intn(len(jobs))
+			j := jobs[i]
+			lo := minOf(i)
+			var next int
+			if rng.Float64() < 0.3 && lo == 0 {
+				// Toggle scheduling of a pending job.
+				if child.workers[i] == 0 {
+					next = j.MinWorkers
+				} else {
+					next = 0
+				}
+			} else {
+				next = j.MinWorkers + rng.Intn(j.FlexRange()+1)
+			}
+			child.gpus += (next - child.workers[i]) * j.GPUsPerWorker
+			child.fitness += goodput(j, next, cfg.EfficiencyDecay, sm) -
+				goodput(j, child.workers[i], cfg.EfficiencyDecay, sm)
+			child.workers[i] = next
+		}
+		repair(child, rng)
+		if !feasible(child) {
+			continue
+		}
+		*victim = *child
+		if child.fitness > best.fitness {
+			best = victim
+		}
+	}
+
+	out := make([]PolluxDecision, 0, len(jobs))
+	for i, w := range best.workers {
+		lo := minOf(i)
+		if w < lo {
+			w = lo
+		}
+		out = append(out, PolluxDecision{ID: jobs[i].ID, Workers: w})
+	}
+	return out
+}

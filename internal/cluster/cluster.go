@@ -1,0 +1,434 @@
+// Package cluster models the GPU clusters Lyra schedules over: 8-GPU
+// servers of heterogeneous GPU types, partitioned into a training pool, an
+// inference pool, and an on-loan pool (inference servers temporarily under
+// the training scheduler's control). It provides the whitelist bookkeeping
+// the paper's orchestrator manipulates (§6, "Interface for capacity
+// loaning") and the free-GPU accounting the job scheduler allocates from.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GPUType identifies a GPU model. Speeds are normalized to V100 = 1.0,
+// matching the paper's observation that ~3 loaned T4 servers equal one
+// training server in computational capability (§7.5).
+type GPUType uint8
+
+// Supported GPU types.
+const (
+	V100 GPUType = iota // training-cluster GPU (32 GB)
+	T4                  // inference-cluster GPU (16 GB)
+	A100                // optional high-end training GPU (40 GB)
+	numGPUTypes
+)
+
+// Speed returns the relative training throughput of one GPU of this type,
+// normalized so that V100 = 1.0.
+func (g GPUType) Speed() float64 {
+	switch g {
+	case V100:
+		return 1.0
+	case T4:
+		return 0.35
+	case A100:
+		return 1.6
+	}
+	return 0
+}
+
+// MemGB returns the GPU memory in gigabytes, used to decide whether a
+// fungible job must shrink its local batch size when moved to a smaller GPU.
+func (g GPUType) MemGB() int {
+	switch g {
+	case V100:
+		return 32
+	case T4:
+		return 16
+	case A100:
+		return 40
+	}
+	return 0
+}
+
+func (g GPUType) String() string {
+	switch g {
+	case V100:
+		return "V100"
+	case T4:
+		return "T4"
+	case A100:
+		return "A100"
+	}
+	return fmt.Sprintf("GPUType(%d)", uint8(g))
+}
+
+// Pool identifies which scheduler currently controls a server.
+type Pool uint8
+
+// Server pools. Training and OnLoan servers are on the training scheduler's
+// whitelist; Inference servers are controlled by the inference scheduler.
+const (
+	PoolTraining Pool = iota
+	PoolOnLoan
+	PoolInference
+	numPools
+)
+
+func (p Pool) String() string {
+	switch p {
+	case PoolTraining:
+		return "training"
+	case PoolOnLoan:
+		return "on-loan"
+	case PoolInference:
+		return "inference"
+	}
+	return fmt.Sprintf("Pool(%d)", uint8(p))
+}
+
+// ServersPerGPUCount is the default server size in both production clusters
+// described by the paper (443 8-GPU training servers, 520 8-GPU inference
+// servers).
+const DefaultGPUsPerServer = 8
+
+// Server is one physical machine. The basic unit of capacity loaning is a
+// whole server (§3), so a server is always wholly in one pool.
+type Server struct {
+	ID       int
+	GPU      GPUType
+	NumGPUs  int
+	Pool     Pool
+	free     int
+	alloc    map[int]int // job ID -> GPUs allocated on this server
+	flexible map[int]int // job ID -> GPUs belonging to flexible (elastic surplus) workers
+}
+
+// NewServer returns an empty server with all GPUs free.
+func NewServer(id int, gpu GPUType, numGPUs int, pool Pool) *Server {
+	return &Server{
+		ID:       id,
+		GPU:      gpu,
+		NumGPUs:  numGPUs,
+		Pool:     pool,
+		free:     numGPUs,
+		alloc:    make(map[int]int),
+		flexible: make(map[int]int),
+	}
+}
+
+// Free returns the number of unallocated GPUs.
+func (s *Server) Free() int { return s.free }
+
+// Used returns the number of allocated GPUs.
+func (s *Server) Used() int { return s.NumGPUs - s.free }
+
+// Jobs returns the IDs of jobs with at least one GPU on this server, in
+// ascending order.
+func (s *Server) Jobs() []int {
+	ids := make([]int, 0, len(s.alloc))
+	for id := range s.alloc {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// JobGPUs returns the number of GPUs job id holds on this server.
+func (s *Server) JobGPUs(id int) int { return s.alloc[id] }
+
+// FlexibleGPUs returns the number of GPUs held by flexible (elastic surplus)
+// workers of job id on this server.
+func (s *Server) FlexibleGPUs(id int) int { return s.flexible[id] }
+
+// TotalFlexible returns the GPUs held by flexible workers of any job.
+func (s *Server) TotalFlexible() int {
+	t := 0
+	for _, g := range s.flexible {
+		t += g
+	}
+	return t
+}
+
+// Allocate assigns gpus GPUs on this server to job id. flexible marks the
+// GPUs as belonging to elastic surplus workers, which the orchestrator may
+// release without preempting the job (§5.3).
+func (s *Server) Allocate(id, gpus int, flexible bool) error {
+	if gpus <= 0 {
+		return fmt.Errorf("cluster: allocate %d GPUs to job %d on server %d", gpus, id, s.ID)
+	}
+	if gpus > s.free {
+		return fmt.Errorf("cluster: server %d has %d free GPUs, job %d wants %d", s.ID, s.free, id, gpus)
+	}
+	s.free -= gpus
+	s.alloc[id] += gpus
+	if flexible {
+		s.flexible[id] += gpus
+	}
+	return nil
+}
+
+// Release frees gpus GPUs held by job id. Flexible GPUs are released first,
+// mirroring Lyra's preference to scale in before preempting.
+func (s *Server) Release(id, gpus int) error {
+	held := s.alloc[id]
+	if gpus > held {
+		return fmt.Errorf("cluster: job %d holds %d GPUs on server %d, released %d", id, held, s.ID, gpus)
+	}
+	s.free += gpus
+	if held == gpus {
+		delete(s.alloc, id)
+		delete(s.flexible, id)
+		return nil
+	}
+	s.alloc[id] = held - gpus
+	if f := s.flexible[id]; f > 0 {
+		nf := f - gpus
+		if nf <= 0 {
+			delete(s.flexible, id)
+		} else {
+			s.flexible[id] = nf
+		}
+	}
+	return nil
+}
+
+// ReleaseJob frees every GPU held by job id and reports how many were held.
+func (s *Server) ReleaseJob(id int) int {
+	held := s.alloc[id]
+	if held == 0 {
+		return 0
+	}
+	s.free += held
+	delete(s.alloc, id)
+	delete(s.flexible, id)
+	return held
+}
+
+// Cluster is the combined training + inference infrastructure. All mutation
+// happens through methods so pool invariants (a server is in exactly one
+// pool; free counts match allocations) cannot be violated from outside.
+type Cluster struct {
+	servers []*Server
+	byPool  [numPools]map[int]*Server
+}
+
+// Config sizes a cluster. Zero values fall back to the paper's production
+// scale: 443 8-GPU V100 training servers and 520 8-GPU T4 inference servers.
+type Config struct {
+	TrainingServers  int
+	InferenceServers int
+	GPUsPerServer    int
+	TrainingGPU      GPUType
+	InferenceGPU     GPUType
+}
+
+// DefaultConfig is the production-scale configuration from §7.1.
+func DefaultConfig() Config {
+	return Config{
+		TrainingServers:  443,
+		InferenceServers: 520,
+		GPUsPerServer:    DefaultGPUsPerServer,
+		TrainingGPU:      V100,
+		InferenceGPU:     T4,
+	}
+}
+
+// TestbedConfig is the 64-GPU testbed from §7.1: four 8-GPU V100 training
+// servers and four 8-GPU T4 inference servers.
+func TestbedConfig() Config {
+	return Config{
+		TrainingServers:  4,
+		InferenceServers: 4,
+		GPUsPerServer:    DefaultGPUsPerServer,
+		TrainingGPU:      V100,
+		InferenceGPU:     T4,
+	}
+}
+
+// New builds a cluster from cfg. Training servers get IDs [0,
+// TrainingServers); inference servers follow. When both GPU types are left
+// at their zero value (V100), the inference cluster defaults to T4,
+// matching the production deployment of §2.1.
+func New(cfg Config) *Cluster {
+	if cfg.GPUsPerServer == 0 {
+		cfg.GPUsPerServer = DefaultGPUsPerServer
+	}
+	if cfg.TrainingGPU == V100 && cfg.InferenceGPU == V100 {
+		cfg.InferenceGPU = T4
+	}
+	c := &Cluster{}
+	for i := range c.byPool {
+		c.byPool[i] = make(map[int]*Server)
+	}
+	id := 0
+	for i := 0; i < cfg.TrainingServers; i++ {
+		c.addServer(NewServer(id, cfg.TrainingGPU, cfg.GPUsPerServer, PoolTraining))
+		id++
+	}
+	for i := 0; i < cfg.InferenceServers; i++ {
+		c.addServer(NewServer(id, cfg.InferenceGPU, cfg.GPUsPerServer, PoolInference))
+		id++
+	}
+	return c
+}
+
+func (c *Cluster) addServer(s *Server) {
+	c.servers = append(c.servers, s)
+	c.byPool[s.Pool][s.ID] = s
+}
+
+// Server returns the server with the given ID, or nil.
+func (c *Cluster) Server(id int) *Server {
+	if id < 0 || id >= len(c.servers) {
+		return nil
+	}
+	return c.servers[id]
+}
+
+// NumServers returns the total number of servers in all pools.
+func (c *Cluster) NumServers() int { return len(c.servers) }
+
+// Servers returns all servers (shared slice; callers must not mutate).
+func (c *Cluster) Servers() []*Server { return c.servers }
+
+// PoolServers returns the servers currently in pool p, sorted by ID.
+func (c *Cluster) PoolServers(p Pool) []*Server {
+	m := c.byPool[p]
+	out := make([]*Server, 0, len(m))
+	for _, s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// PoolSize returns the number of servers in pool p.
+func (c *Cluster) PoolSize(p Pool) int { return len(c.byPool[p]) }
+
+// Move transfers a server between pools, implementing the whitelist update
+// of §6. Moving a server out of the training scheduler's control
+// (PoolOnLoan -> PoolInference) requires it to be empty: the orchestrator
+// must have preempted or scaled in its jobs first.
+func (c *Cluster) Move(id int, to Pool) error {
+	s := c.Server(id)
+	if s == nil {
+		return fmt.Errorf("cluster: move unknown server %d", id)
+	}
+	if s.Pool == to {
+		return nil
+	}
+	if to == PoolInference && s.Used() > 0 {
+		return fmt.Errorf("cluster: server %d still runs %d GPUs of training work, cannot return", id, s.Used())
+	}
+	delete(c.byPool[s.Pool], id)
+	s.Pool = to
+	c.byPool[to][id] = s
+	return nil
+}
+
+// SchedulableServers returns the servers the training scheduler may place
+// workers on: the training pool plus the on-loan pool, sorted by ID.
+func (c *Cluster) SchedulableServers() []*Server {
+	out := make([]*Server, 0, len(c.byPool[PoolTraining])+len(c.byPool[PoolOnLoan]))
+	for _, s := range c.byPool[PoolTraining] {
+		out = append(out, s)
+	}
+	for _, s := range c.byPool[PoolOnLoan] {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FreeGPUs returns the number of free GPUs in pool p.
+func (c *Cluster) FreeGPUs(p Pool) int {
+	t := 0
+	for _, s := range c.byPool[p] {
+		t += s.Free()
+	}
+	return t
+}
+
+// UsedGPUs returns the number of allocated GPUs in pool p.
+func (c *Cluster) UsedGPUs(p Pool) int {
+	t := 0
+	for _, s := range c.byPool[p] {
+		t += s.Used()
+	}
+	return t
+}
+
+// TotalGPUs returns the number of GPUs in pool p.
+func (c *Cluster) TotalGPUs(p Pool) int {
+	t := 0
+	for _, s := range c.byPool[p] {
+		t += s.NumGPUs
+	}
+	return t
+}
+
+// NormalizedFreeCapacity returns free GPUs in the training scheduler's
+// pools weighted by GPU speed, the normalization §5.2 applies to on-loan
+// inference GPUs when computing resource capacity.
+func (c *Cluster) NormalizedFreeCapacity() float64 {
+	t := 0.0
+	for _, p := range []Pool{PoolTraining, PoolOnLoan} {
+		for _, s := range c.byPool[p] {
+			t += float64(s.Free()) * s.GPU.Speed()
+		}
+	}
+	return t
+}
+
+// Fragmentation counts schedulable servers that are partially allocated
+// (neither empty nor full) — the fragmentation the BFD placement of §5.3
+// tries to minimize.
+func (c *Cluster) Fragmentation() int {
+	n := 0
+	for _, p := range []Pool{PoolTraining, PoolOnLoan} {
+		for _, s := range c.byPool[p] {
+			if u := s.Used(); u > 0 && u < s.NumGPUs {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CheckInvariants verifies internal consistency and returns the first
+// violation found. It is used by tests and the simulator's debug mode.
+func (c *Cluster) CheckInvariants() error {
+	seen := make(map[int]Pool)
+	for p := Pool(0); p < numPools; p++ {
+		for id, s := range c.byPool[p] {
+			if s.Pool != p {
+				return fmt.Errorf("server %d indexed under %v but Pool=%v", id, p, s.Pool)
+			}
+			if prev, dup := seen[id]; dup {
+				return fmt.Errorf("server %d in two pools: %v and %v", id, prev, p)
+			}
+			seen[id] = p
+		}
+	}
+	for _, s := range c.servers {
+		if _, ok := seen[s.ID]; !ok {
+			return fmt.Errorf("server %d missing from pool index", s.ID)
+		}
+		sum := 0
+		for id, g := range s.alloc {
+			if g <= 0 {
+				return fmt.Errorf("server %d: job %d holds %d GPUs", s.ID, id, g)
+			}
+			if f := s.flexible[id]; f > g {
+				return fmt.Errorf("server %d: job %d flexible %d > alloc %d", s.ID, id, f, g)
+			}
+			sum += g
+		}
+		if sum+s.free != s.NumGPUs {
+			return fmt.Errorf("server %d: alloc %d + free %d != %d GPUs", s.ID, sum, s.free, s.NumGPUs)
+		}
+	}
+	return nil
+}

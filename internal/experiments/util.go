@@ -1,0 +1,6 @@
+package experiments
+
+import "math/rand"
+
+// newRng returns a deterministic RNG for instance construction.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,71 @@
+package knapsack
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzZeroOneAgainstBrute cross-checks the DP against exhaustive search on
+// fuzzer-chosen instances.
+func FuzzZeroOneAgainstBrute(f *testing.F) {
+	f.Add(uint16(0x1234), uint8(5), uint8(10))
+	f.Add(uint16(0xffff), uint8(8), uint8(0))
+	f.Fuzz(func(t *testing.T, bits uint16, n, capacity uint8) {
+		items := make([]Item, int(n)%10+1)
+		for i := range items {
+			items[i] = Item{
+				Weight: int(bits>>(uint(i)%12)) % 8,
+				Value:  float64((int(bits) * (i + 3)) % 40),
+			}
+		}
+		capGPUs := int(capacity) % 24
+		dp, sel := ZeroOne(items, capGPUs)
+		brute, _ := ZeroOneBrute(items, capGPUs)
+		if math.Abs(dp-brute) > 1e-9 {
+			t.Fatalf("dp=%v brute=%v items=%v cap=%d", dp, brute, items, capGPUs)
+		}
+		w, v := 0, 0.0
+		for _, idx := range sel {
+			w += items[idx].Weight
+			v += items[idx].Value
+		}
+		if w > capGPUs || math.Abs(v-dp) > 1e-9 {
+			t.Fatalf("selection inconsistent: w=%d v=%v dp=%v", w, v, dp)
+		}
+	})
+}
+
+// FuzzMultiChoiceAgainstBrute cross-checks the MCKP DP.
+func FuzzMultiChoiceAgainstBrute(f *testing.F) {
+	f.Add(uint32(0xdeadbeef), uint8(3), uint8(9))
+	f.Fuzz(func(t *testing.T, bits uint32, ng, capacity uint8) {
+		groups := make([][]Item, int(ng)%4+1)
+		for g := range groups {
+			items := make([]Item, int(bits>>(uint(g)*3))%3+1)
+			for i := range items {
+				items[i] = Item{
+					Weight: int(bits>>(uint(g+i)%20)) % 6,
+					Value:  float64((int(bits) * (g + i + 2)) % 30),
+				}
+			}
+			groups[g] = items
+		}
+		capGPUs := int(capacity) % 14
+		dp, choice := MultiChoice(groups, capGPUs)
+		brute, _ := MultiChoiceBrute(groups, capGPUs)
+		if math.Abs(dp-brute) > 1e-9 {
+			t.Fatalf("dp=%v brute=%v groups=%v cap=%d", dp, brute, groups, capGPUs)
+		}
+		w, v := 0, 0.0
+		for g, idx := range choice {
+			if idx < 0 {
+				continue
+			}
+			w += groups[g][idx].Weight
+			v += groups[g][idx].Value
+		}
+		if w > capGPUs || math.Abs(v-dp) > 1e-9 {
+			t.Fatalf("choice inconsistent: w=%d v=%v dp=%v", w, v, dp)
+		}
+	})
+}

@@ -1,0 +1,188 @@
+// Package knapsack implements the combinatorial kernels Lyra's scheduling
+// reduces to: the 0-1 knapsack (server reclaiming without value coupling),
+// the multiple-choice knapsack (phase-2 elastic allocation, §5.2), and
+// brute-force reference solvers used to verify the DP implementations and
+// to compute the exhaustive-optimal reclaiming baseline (§7.3).
+package knapsack
+
+import "math"
+
+// Item is one knapsack item. Weight must be non-negative; Value may be any
+// finite float.
+type Item struct {
+	Weight int
+	Value  float64
+}
+
+// eps absorbs float rounding when comparing candidate values.
+const eps = 1e-9
+
+// ZeroOne solves the 0-1 knapsack problem by dynamic programming: choose a
+// subset of items with total weight <= capacity maximizing total value.
+// It returns the best value and the chosen item indices in ascending order.
+// Complexity O(n*capacity) time, O(n*capacity) space.
+func ZeroOne(items []Item, capacity int) (float64, []int) {
+	if capacity < 0 {
+		return 0, nil
+	}
+	n := len(items)
+	// dp[i][w] = best value using items[0:i] with weight budget w.
+	dp := make([][]float64, n+1)
+	for i := range dp {
+		dp[i] = make([]float64, capacity+1)
+	}
+	for i := 1; i <= n; i++ {
+		it := items[i-1]
+		for w := 0; w <= capacity; w++ {
+			dp[i][w] = dp[i-1][w]
+			if it.Weight <= w {
+				if v := dp[i-1][w-it.Weight] + it.Value; v > dp[i][w]+eps {
+					dp[i][w] = v
+				}
+			}
+		}
+	}
+	// Recover the selection.
+	var chosen []int
+	w := capacity
+	for i := n; i >= 1; i-- {
+		if dp[i][w] > dp[i-1][w]+eps {
+			chosen = append(chosen, i-1)
+			w -= items[i-1].Weight
+		}
+	}
+	reverse(chosen)
+	return dp[n][capacity], chosen
+}
+
+// ZeroOneBrute solves the 0-1 knapsack by exhaustive enumeration. It is
+// exponential and exists to cross-check ZeroOne in tests. Panics are avoided
+// by capping n at 24 items; larger inputs return (NaN, nil).
+func ZeroOneBrute(items []Item, capacity int) (float64, []int) {
+	n := len(items)
+	if n > 24 {
+		return math.NaN(), nil
+	}
+	best, bestMask := 0.0, 0
+	for mask := 0; mask < 1<<n; mask++ {
+		w, v := 0, 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				w += items[i].Weight
+				v += items[i].Value
+			}
+		}
+		if w <= capacity && v > best+eps {
+			best, bestMask = v, mask
+		}
+	}
+	var chosen []int
+	for i := 0; i < n; i++ {
+		if bestMask&(1<<i) != 0 {
+			chosen = append(chosen, i)
+		}
+	}
+	return best, chosen
+}
+
+// MultiChoice solves the multiple-choice knapsack problem (§5.2): from each
+// group take at most one item, total weight <= capacity, maximize total
+// value. It returns the best value and, per group, the index of the chosen
+// item within the group or -1 if the group contributes nothing.
+//
+// This is exactly the formulation Lyra uses for phase-2 allocation: each
+// elastic job is a group; the item for "+k workers" has weight k*GPUs and
+// value equal to the job's JCT reduction. The DP runs in
+// O(totalItems*capacity) pseudo-polynomial time, which the paper reports as
+// at most 0.02 s for 354 items and 245 GPUs.
+func MultiChoice(groups [][]Item, capacity int) (float64, []int) {
+	choice := make([]int, len(groups))
+	for i := range choice {
+		choice[i] = -1
+	}
+	if capacity < 0 {
+		return 0, choice
+	}
+	// dp[w] after processing g groups; pick[g][w] = item chosen for group
+	// g at budget w (-1 = none).
+	dp := make([]float64, capacity+1)
+	next := make([]float64, capacity+1)
+	pick := make([][]int16, len(groups))
+	for g, items := range groups {
+		pick[g] = make([]int16, capacity+1)
+		for w := 0; w <= capacity; w++ {
+			next[w] = dp[w]
+			pick[g][w] = -1
+			for idx, it := range items {
+				if it.Weight < 0 || it.Weight > w {
+					continue
+				}
+				if v := dp[w-it.Weight] + it.Value; v > next[w]+eps {
+					next[w] = v
+					pick[g][w] = int16(idx)
+				}
+			}
+		}
+		dp, next = next, dp
+	}
+	// Recover choices.
+	w := capacity
+	for g := len(groups) - 1; g >= 0; g-- {
+		idx := pick[g][w]
+		choice[g] = int(idx)
+		if idx >= 0 {
+			w -= groups[g][idx].Weight
+		}
+	}
+	return dp[capacity], choice
+}
+
+// MultiChoiceBrute solves MCKP by exhaustive enumeration for verification.
+// The product of (len(group)+1) over groups must stay below ~2^22; larger
+// inputs return (NaN, nil).
+func MultiChoiceBrute(groups [][]Item, capacity int) (float64, []int) {
+	total := 1
+	for _, g := range groups {
+		total *= len(g) + 1
+		if total > 1<<22 {
+			return math.NaN(), nil
+		}
+	}
+	best := 0.0
+	bestChoice := make([]int, len(groups))
+	for i := range bestChoice {
+		bestChoice[i] = -1
+	}
+	choice := make([]int, len(groups))
+	for i := range choice {
+		choice[i] = -1
+	}
+	var rec func(g int, w int, v float64)
+	rec = func(g, w int, v float64) {
+		if w > capacity {
+			return
+		}
+		if g == len(groups) {
+			if v > best+eps {
+				best = v
+				copy(bestChoice, choice)
+			}
+			return
+		}
+		choice[g] = -1
+		rec(g+1, w, v)
+		for idx, it := range groups[g] {
+			choice[g] = idx
+			rec(g+1, w+it.Weight, v+it.Value)
+		}
+		choice[g] = -1
+	}
+	rec(0, 0, 0)
+	return best, bestChoice
+}
+
+func reverse(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

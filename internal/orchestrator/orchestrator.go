@@ -1,0 +1,210 @@
+// Package orchestrator implements Lyra's resource orchestrator (Figure 4):
+// every epoch it receives the inference scheduler's loan/reclaim target,
+// moves whole servers across the management boundary (the whitelist
+// operation of §6), and executes reclaiming — releasing flexible server
+// groups by scaling elastic jobs in, then preempting jobs on the servers
+// selected by the reclaiming policy (§4).
+package orchestrator
+
+import (
+	"fmt"
+
+	"lyra/internal/cluster"
+	"lyra/internal/job"
+	"lyra/internal/place"
+	"lyra/internal/reclaim"
+	"lyra/internal/sim"
+)
+
+// Orchestrator wires the inference scheduler's instructions to a reclaim
+// policy and executes both directions of capacity movement.
+type Orchestrator struct {
+	Inf    LoanTargeter
+	Policy reclaim.Policy
+	// Less is the job scheduler's queue order, used to re-enqueue
+	// preempted jobs (Figure 4, step 5).
+	Less func(a, b *job.Job) bool
+	// IncludeElasticDemand adds running elastic jobs' unmet flexible
+	// demand to the loan-demand estimate. Enable it only when the job
+	// scheduler actually performs elastic scaling, or the orchestrator
+	// borrows servers nobody will fill.
+	IncludeElasticDemand bool
+	// LoanOnlyDemand marks the Opportunistic scheme (§7.1), where
+	// fungible jobs may run exclusively on inference-cluster servers:
+	// their backlog then cannot be offset by free training capacity when
+	// estimating loan demand.
+	LoanOnlyDemand bool
+}
+
+// New returns an orchestrator. The targeter is usually the reactive
+// inference.Scheduler; wrap it in a Forecaster for proactive reclaiming.
+func New(inf LoanTargeter, policy reclaim.Policy, less func(a, b *job.Job) bool) *Orchestrator {
+	return &Orchestrator{Inf: inf, Policy: policy, Less: less}
+}
+
+// loanBuffer is the slack kept on loan beyond measured demand. Zero keeps
+// the on-loan servers saturated (Figure 9: usage consistently above 92%) at
+// the price of loans lagging a demand spike by one orchestrator epoch.
+const loanBuffer = 0
+
+// Epoch implements sim.Orchestrator. The inference scheduler's target is a
+// *cap* on loaning, not a mandate: Lyra borrows only as many servers as the
+// training side can actually use (pending base demand plus unmet elastic
+// flexible demand, plus a small buffer), which is what keeps the paper's
+// on-loan servers above 92% utilization (Figure 9). Idle on-loan servers
+// beyond demand are returned voluntarily — no preemption — while a cap
+// decrease forces reclaiming through the policy.
+func (o *Orchestrator) Epoch(st *sim.State) {
+	capSrv := o.Inf.TargetOnLoan(int64(st.Now))
+	cur := st.Cluster.PoolSize(cluster.PoolOnLoan)
+	want := o.busyOnLoanServers(st) + o.demandServers(st) + loanBuffer
+	if want > capSrv {
+		want = capSrv
+	}
+	switch {
+	case want > cur:
+		o.loan(st, want-cur)
+	case capSrv < cur:
+		o.reclaim(st, cur-capSrv)
+	case want < cur:
+		o.returnIdle(st, cur-want)
+	}
+}
+
+// busyOnLoanServers counts on-loan servers currently hosting any workers;
+// they are never trimmed voluntarily.
+func (o *Orchestrator) busyOnLoanServers(st *sim.State) int {
+	n := 0
+	for _, s := range st.Cluster.PoolServers(cluster.PoolOnLoan) {
+		if s.Used() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// demandServers estimates how many additional inference servers the
+// training side could fill right now: the pending base demand plus the
+// running elastic jobs' unmet flexible demand, beyond the free schedulable
+// GPUs, converted at the T4 memory-doubling rate (§2.1: local batches
+// split, twice the GPUs per worker).
+func (o *Orchestrator) demandServers(st *sim.State) int {
+	freeT, freeL := st.FreeSchedulableGPUs()
+	demand := 0
+	for _, j := range st.Pending {
+		// Only GPU-type-agnostic work whose workers actually fit an
+		// inference server can land on loaned capacity (§2.1); loaning
+		// for the rest of the backlog would idle the servers.
+		if (j.Fungible || j.Elastic || j.Hetero) && place.FitsOnLoan(j) {
+			demand += j.BaseGPUs()
+			if o.IncludeElasticDemand {
+				demand += j.FlexRange() * j.GPUsPerWorker
+			}
+		}
+	}
+	if o.IncludeElasticDemand {
+		for _, j := range st.Running {
+			if j.Elastic {
+				demand += (j.FlexRange() - j.FlexibleWorkers()) * j.GPUsPerWorker
+			}
+		}
+	}
+	supply := freeT + freeL
+	if o.LoanOnlyDemand {
+		supply = freeL
+	}
+	shortfall := demand - supply
+	if shortfall <= 0 {
+		return 0
+	}
+	perServer := cluster.DefaultGPUsPerServer / 2 // memory doubling on T4
+	return (shortfall + perServer - 1) / perServer
+}
+
+// returnIdle hands back up to n empty on-loan servers — a voluntary trim,
+// so only servers with no workers qualify and nothing is preempted.
+func (o *Orchestrator) returnIdle(st *sim.State, n int) {
+	for _, s := range st.Cluster.PoolServers(cluster.PoolOnLoan) {
+		if n == 0 {
+			return
+		}
+		if s.Used() > 0 {
+			continue
+		}
+		if err := st.Cluster.Move(s.ID, cluster.PoolInference); err != nil {
+			panic(fmt.Sprintf("orchestrator: return idle server %d: %v", s.ID, err))
+		}
+		n--
+	}
+}
+
+// loan moves n inference servers onto the training scheduler's whitelist.
+func (o *Orchestrator) loan(st *sim.State, n int) {
+	for _, s := range st.Cluster.PoolServers(cluster.PoolInference) {
+		if n == 0 {
+			return
+		}
+		if err := st.Cluster.Move(s.ID, cluster.PoolOnLoan); err != nil {
+			panic(fmt.Sprintf("orchestrator: loan server %d: %v", s.ID, err))
+		}
+		n--
+	}
+}
+
+// reclaim vacates n on-loan servers and returns them to the inference
+// cluster, recording preemption and collateral-damage accounting on the
+// state.
+func (o *Orchestrator) reclaim(st *sim.State, n int) {
+	onLoan := st.Cluster.PoolServers(cluster.PoolOnLoan)
+	lookup := func(id int) *job.Job { return st.Running[id] }
+	plan := o.Policy.Plan(onLoan, lookup, n)
+	if len(plan.Servers) == 0 {
+		return
+	}
+	planned := make(map[int]bool, len(plan.Servers))
+	demand := 0
+	for _, sid := range plan.Servers {
+		planned[sid] = true
+		demand += st.Cluster.Server(sid).NumGPUs
+	}
+
+	// Release flexible server groups first: pure scale-in, no preemption.
+	for id, servers := range plan.ScaleIn {
+		j := st.Running[id]
+		if j == nil {
+			continue
+		}
+		for _, sid := range servers {
+			st.RemoveFlexibleOnServer(j, sid)
+		}
+	}
+
+	// Preempt the jobs whose base workers sit on the selected servers. Any
+	// of their GPUs on non-selected servers are the collateral damage of
+	// §7.3.
+	collateral := 0
+	for _, id := range plan.PreemptJobs {
+		j := st.Running[id]
+		if j == nil {
+			continue
+		}
+		for _, w := range j.Workers {
+			if !planned[w.Server] {
+				collateral += w.GPUs
+			}
+		}
+		st.Preempt(j, o.Less)
+	}
+
+	for _, sid := range plan.Servers {
+		if err := st.Cluster.Move(sid, cluster.PoolInference); err != nil {
+			panic(fmt.Sprintf("orchestrator: return server %d: %v", sid, err))
+		}
+	}
+
+	st.ReclaimOps++
+	st.ReclaimedSrv += len(plan.Servers)
+	st.FlexSatisfied += plan.FlexOnly
+	st.DemandGPUs += demand
+	st.VacatedGPUs += demand + collateral
+}

@@ -1,0 +1,73 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGradientCheck verifies the analytic BPTT gradients against central
+// finite differences on a tiny two-layer network.
+func TestGradientCheck(t *testing.T) {
+	cfg := LSTMConfig{
+		Window: 4, Hidden: 3, Layers: 2, LR: 0, Seed: 1,
+		ClipGrad: 1e9, Beta1: 0.9, Beta2: 0.999, AdamEps: 1e-8, InitStdDev: 0.5,
+	}
+	n := NewLSTM(cfg)
+	window := []float64{0.1, 0.5, 0.3, 0.8}
+	const target = 0.4
+
+	loss := func() float64 {
+		y, _ := n.forward(window)
+		d := y - target
+		return d * d
+	}
+
+	// Accumulate analytic gradients exactly as TrainStep does, but without
+	// the Adam update so the weights stay fixed for finite differencing.
+	y, states := n.forward(window)
+	diff := y - target
+	H := cfg.Hidden
+	dLast := make([]float64, H)
+	lastH := states[len(window)-1][len(n.layers)-1].h
+	for k := 0; k < H; k++ {
+		n.wOut.g[k] += 2 * diff * lastH[k]
+		dLast[k] = 2 * diff * n.wOut.w[k]
+	}
+	n.bOut.g[0] += 2 * diff
+	dh := make([][]float64, len(n.layers))
+	dc := make([][]float64, len(n.layers))
+	for i := range dh {
+		dh[i] = make([]float64, H)
+		dc[i] = make([]float64, H)
+	}
+	copy(dh[len(n.layers)-1], dLast)
+	for ts := len(window) - 1; ts >= 0; ts-- {
+		for li := len(n.layers) - 1; li >= 0; li-- {
+			dx, dhPrev, dcPrev := n.layers[li].backward(states[ts][li], dh[li], dc[li])
+			dh[li], dc[li] = dhPrev, dcPrev
+			if li > 0 {
+				for k := range dx {
+					dh[li-1][k] += dx[k]
+				}
+			}
+		}
+	}
+
+	for pi, p := range n.params() {
+		for i := range p.w {
+			const eps = 1e-6
+			old := p.w[i]
+			p.w[i] = old + eps
+			lp := loss()
+			p.w[i] = old - eps
+			lm := loss()
+			p.w[i] = old
+			num := (lp - lm) / (2 * eps)
+			ana := p.g[i]
+			denom := math.Max(1e-6, math.Abs(num)+math.Abs(ana))
+			if rel := math.Abs(num-ana) / denom; rel > 0.01 {
+				t.Fatalf("param %d index %d: numeric %v analytic %v (rel err %v)", pi, i, num, ana, rel)
+			}
+		}
+	}
+}

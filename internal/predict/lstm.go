@@ -1,0 +1,335 @@
+// Package predict implements the two predictors Lyra relies on:
+//
+//   - an LSTM-based inference-resource-usage predictor (§6: window size 10,
+//     two hidden layers, Adam optimizer, MSE loss, predicting the next five
+//     minutes of usage), implemented from scratch on the standard library;
+//   - the job running-time estimator §5.2 assumes, with the configurable
+//     error-injection model used by the sensitivity study in Table 9.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LSTMConfig sizes the usage predictor. The defaults mirror §6.
+type LSTMConfig struct {
+	Window     int     // input sequence length, default 10
+	Hidden     int     // hidden units per layer, default 16
+	Layers     int     // stacked LSTM layers, default 2
+	LR         float64 // Adam learning rate, default 0.003
+	Seed       int64
+	ClipGrad   float64 // gradient clipping threshold, default 1.0
+	Beta1      float64 // Adam beta1, default 0.9
+	Beta2      float64 // Adam beta2, default 0.999
+	AdamEps    float64 // Adam epsilon, default 1e-8
+	InitStdDev float64 // weight init scale, default 0.2
+}
+
+// DefaultLSTMConfig returns the paper's predictor configuration.
+func DefaultLSTMConfig(seed int64) LSTMConfig {
+	return LSTMConfig{
+		Window: 10, Hidden: 16, Layers: 2, LR: 0.003, Seed: seed,
+		ClipGrad: 1.0, Beta1: 0.9, Beta2: 0.999, AdamEps: 1e-8, InitStdDev: 0.2,
+	}
+}
+
+// param is one weight tensor with its gradient and Adam moments.
+type param struct {
+	w, g, m, v []float64
+}
+
+func newParam(n int, rng *rand.Rand, std float64) *param {
+	p := &param{
+		w: make([]float64, n), g: make([]float64, n),
+		m: make([]float64, n), v: make([]float64, n),
+	}
+	for i := range p.w {
+		p.w[i] = rng.NormFloat64() * std
+	}
+	return p
+}
+
+// lstmLayer holds the gate weights of one LSTM layer: for each of the four
+// gates (input, forget, cell, output) a weight matrix over [x, h] and a
+// bias.
+type lstmLayer struct {
+	inSize, hidden int
+	// wx: 4*hidden x inSize, wh: 4*hidden x hidden, b: 4*hidden.
+	wx, wh, b *param
+}
+
+func newLSTMLayer(inSize, hidden int, rng *rand.Rand, std float64) *lstmLayer {
+	l := &lstmLayer{
+		inSize: inSize, hidden: hidden,
+		wx: newParam(4*hidden*inSize, rng, std),
+		wh: newParam(4*hidden*hidden, rng, std),
+		b:  newParam(4*hidden, rng, 0),
+	}
+	// Standard trick: positive forget-gate bias stabilizes early training.
+	for i := hidden; i < 2*hidden; i++ {
+		l.b.w[i] = 1
+	}
+	return l
+}
+
+// layerState caches one timestep's activations for backprop.
+type layerState struct {
+	x, hPrev, cPrev        []float64
+	i, f, g, o, c, h, tanc []float64
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// forward computes one LSTM step.
+func (l *lstmLayer) forward(x, hPrev, cPrev []float64) *layerState {
+	H := l.hidden
+	st := &layerState{
+		x: x, hPrev: hPrev, cPrev: cPrev,
+		i: make([]float64, H), f: make([]float64, H), g: make([]float64, H),
+		o: make([]float64, H), c: make([]float64, H), h: make([]float64, H),
+		tanc: make([]float64, H),
+	}
+	pre := make([]float64, 4*H)
+	for r := 0; r < 4*H; r++ {
+		s := l.b.w[r]
+		rowX := r * l.inSize
+		for k, xv := range x {
+			s += l.wx.w[rowX+k] * xv
+		}
+		rowH := r * H
+		for k, hv := range hPrev {
+			s += l.wh.w[rowH+k] * hv
+		}
+		pre[r] = s
+	}
+	for j := 0; j < H; j++ {
+		st.i[j] = sigmoid(pre[j])
+		st.f[j] = sigmoid(pre[H+j])
+		st.g[j] = math.Tanh(pre[2*H+j])
+		st.o[j] = sigmoid(pre[3*H+j])
+		st.c[j] = st.f[j]*cPrev[j] + st.i[j]*st.g[j]
+		st.tanc[j] = math.Tanh(st.c[j])
+		st.h[j] = st.o[j] * st.tanc[j]
+	}
+	return st
+}
+
+// backward accumulates gradients for one step given dh and dc flowing in
+// from later timesteps/layers; returns dx, dhPrev, dcPrev.
+func (l *lstmLayer) backward(st *layerState, dh, dc []float64) (dx, dhPrev, dcPrev []float64) {
+	H := l.hidden
+	dx = make([]float64, l.inSize)
+	dhPrev = make([]float64, H)
+	dcPrev = make([]float64, H)
+	dPre := make([]float64, 4*H)
+	for j := 0; j < H; j++ {
+		do := dh[j] * st.tanc[j]
+		dcj := dc[j] + dh[j]*st.o[j]*(1-st.tanc[j]*st.tanc[j])
+		di := dcj * st.g[j]
+		df := dcj * st.cPrev[j]
+		dg := dcj * st.i[j]
+		dcPrev[j] = dcj * st.f[j]
+		dPre[j] = di * st.i[j] * (1 - st.i[j])
+		dPre[H+j] = df * st.f[j] * (1 - st.f[j])
+		dPre[2*H+j] = dg * (1 - st.g[j]*st.g[j])
+		dPre[3*H+j] = do * st.o[j] * (1 - st.o[j])
+	}
+	for r := 0; r < 4*H; r++ {
+		d := dPre[r]
+		if d == 0 {
+			continue
+		}
+		rowX := r * l.inSize
+		for k := range st.x {
+			l.wx.g[rowX+k] += d * st.x[k]
+			dx[k] += l.wx.w[rowX+k] * d
+		}
+		rowH := r * H
+		for k := range st.hPrev {
+			l.wh.g[rowH+k] += d * st.hPrev[k]
+			dhPrev[k] += l.wh.w[rowH+k] * d
+		}
+		l.b.g[r] += d
+	}
+	return dx, dhPrev, dcPrev
+}
+
+// LSTM is a stacked-LSTM regressor mapping a window of recent usage samples
+// to the next sample.
+type LSTM struct {
+	cfg    LSTMConfig
+	layers []*lstmLayer
+	wOut   *param // hidden -> 1
+	bOut   *param
+	step   int
+}
+
+// NewLSTM builds an untrained predictor.
+func NewLSTM(cfg LSTMConfig) *LSTM {
+	if cfg.Window <= 0 || cfg.Hidden <= 0 || cfg.Layers <= 0 {
+		panic(fmt.Sprintf("predict: invalid LSTM config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := &LSTM{cfg: cfg}
+	in := 1
+	for i := 0; i < cfg.Layers; i++ {
+		n.layers = append(n.layers, newLSTMLayer(in, cfg.Hidden, rng, cfg.InitStdDev))
+		in = cfg.Hidden
+	}
+	n.wOut = newParam(cfg.Hidden, rng, cfg.InitStdDev)
+	n.bOut = newParam(1, rng, 0)
+	return n
+}
+
+// Predict runs the network over window (length cfg.Window) and returns the
+// next-step estimate.
+func (n *LSTM) Predict(window []float64) float64 {
+	y, _ := n.forward(window)
+	return y
+}
+
+func (n *LSTM) forward(window []float64) (float64, [][]*layerState) {
+	H := n.cfg.Hidden
+	hs := make([][]float64, len(n.layers))
+	cs := make([][]float64, len(n.layers))
+	for i := range hs {
+		hs[i] = make([]float64, H)
+		cs[i] = make([]float64, H)
+	}
+	states := make([][]*layerState, len(window))
+	for t, x := range window {
+		in := []float64{x}
+		states[t] = make([]*layerState, len(n.layers))
+		for li, l := range n.layers {
+			st := l.forward(in, hs[li], cs[li])
+			states[t][li] = st
+			hs[li], cs[li] = st.h, st.c
+			in = st.h
+		}
+	}
+	y := n.bOut.w[0]
+	last := hs[len(n.layers)-1]
+	for k, h := range last {
+		y += n.wOut.w[k] * h
+	}
+	return y, states
+}
+
+// TrainStep performs one BPTT + Adam update on a single (window, target)
+// pair and returns the squared error before the update.
+func (n *LSTM) TrainStep(window []float64, target float64) float64 {
+	if len(window) != n.cfg.Window {
+		panic(fmt.Sprintf("predict: window length %d, want %d", len(window), n.cfg.Window))
+	}
+	y, states := n.forward(window)
+	diff := y - target
+	loss := diff * diff
+
+	// Output layer gradients.
+	H := n.cfg.Hidden
+	dLast := make([]float64, H)
+	lastH := states[len(window)-1][len(n.layers)-1].h
+	for k := 0; k < H; k++ {
+		n.wOut.g[k] += 2 * diff * lastH[k]
+		dLast[k] = 2 * diff * n.wOut.w[k]
+	}
+	n.bOut.g[0] += 2 * diff
+
+	// BPTT through time and layers.
+	dh := make([][]float64, len(n.layers))
+	dc := make([][]float64, len(n.layers))
+	for i := range dh {
+		dh[i] = make([]float64, H)
+		dc[i] = make([]float64, H)
+	}
+	copy(dh[len(n.layers)-1], dLast)
+	for t := len(window) - 1; t >= 0; t-- {
+		for li := len(n.layers) - 1; li >= 0; li-- {
+			dx, dhPrev, dcPrev := n.layers[li].backward(states[t][li], dh[li], dc[li])
+			dh[li], dc[li] = dhPrev, dcPrev
+			if li > 0 {
+				for k := range dx {
+					dh[li-1][k] += dx[k]
+				}
+			}
+		}
+	}
+	n.applyAdam()
+	return loss
+}
+
+// Fit trains on the series with sliding windows for the given epochs and
+// returns the final-epoch mean squared error. Windows are visited in a
+// deterministic shuffled order each epoch; sequential visits would make the
+// per-sample optimizer chase the local regime of the series instead of its
+// overall shape.
+func (n *LSTM) Fit(series []float64, epochs int) float64 {
+	W := n.cfg.Window
+	if len(series) <= W {
+		return math.NaN()
+	}
+	order := make([]int, len(series)-W)
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(n.cfg.Seed + 1))
+	mse := math.NaN()
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		sum := 0.0
+		for _, i := range order {
+			sum += n.TrainStep(series[i:i+W], series[i+W])
+		}
+		mse = sum / float64(len(order))
+	}
+	return mse
+}
+
+// Evaluate returns the MSE of one-step predictions over the series without
+// updating weights.
+func (n *LSTM) Evaluate(series []float64) float64 {
+	W := n.cfg.Window
+	sum, cnt := 0.0, 0
+	for i := 0; i+W < len(series); i++ {
+		d := n.Predict(series[i:i+W]) - series[i+W]
+		sum += d * d
+		cnt++
+	}
+	if cnt == 0 {
+		return math.NaN()
+	}
+	return sum / float64(cnt)
+}
+
+func (n *LSTM) params() []*param {
+	ps := []*param{n.wOut, n.bOut}
+	for _, l := range n.layers {
+		ps = append(ps, l.wx, l.wh, l.b)
+	}
+	return ps
+}
+
+func (n *LSTM) applyAdam() {
+	n.step++
+	c := n.cfg
+	b1t := 1 - math.Pow(c.Beta1, float64(n.step))
+	b2t := 1 - math.Pow(c.Beta2, float64(n.step))
+	for _, p := range n.params() {
+		for i := range p.w {
+			g := p.g[i]
+			if g > c.ClipGrad {
+				g = c.ClipGrad
+			} else if g < -c.ClipGrad {
+				g = -c.ClipGrad
+			}
+			p.m[i] = c.Beta1*p.m[i] + (1-c.Beta1)*g
+			p.v[i] = c.Beta2*p.v[i] + (1-c.Beta2)*g*g
+			mHat := p.m[i] / b1t
+			vHat := p.v[i] / b2t
+			p.w[i] -= c.LR * mHat / (math.Sqrt(vHat) + c.AdamEps)
+			p.g[i] = 0
+		}
+	}
+}

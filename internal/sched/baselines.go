@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"sort"
+
+	"lyra/internal/alloc"
+	"lyra/internal/job"
+	"lyra/internal/place"
+	"lyra/internal/sim"
+)
+
+// FIFO is the Baseline scheduler (§7.1): jobs start in arrival order with
+// their requested (base) demand when resources allow; no capacity loaning,
+// no elastic scaling.
+type FIFO struct {
+	// Opportunistic switches to the Opportunistic comparison scheme,
+	// where fungible jobs queue to the inference cluster (§7.1).
+	Opportunistic bool
+}
+
+// Less implements sim.Scheduler.
+func (f *FIFO) Less(a, b *job.Job) bool { return lessByArrival(a, b) }
+
+// Schedule implements sim.Scheduler.
+func (f *FIFO) Schedule(st *sim.State) {
+	policy := defaultPoolPolicy
+	if f.Opportunistic {
+		policy = opportunisticPoolPolicy
+	}
+	startBase(st, policy, false)
+	startBase(st, policy, true)
+}
+
+// Gandiva models Gandiva's opportunistic elasticity as described in §7.1:
+// jobs are scheduled without runtime knowledge (arrival order); whenever
+// the cluster is under-utilized — resources available but no pending jobs —
+// elastic jobs grow to soak up the slack, and the growth is revoked as soon
+// as new jobs are waiting.
+type Gandiva struct{}
+
+// Less implements sim.Scheduler.
+func (g *Gandiva) Less(a, b *job.Job) bool { return lessByArrival(a, b) }
+
+// Schedule implements sim.Scheduler.
+func (g *Gandiva) Schedule(st *sim.State) {
+	// Opportunistic growth is revoked on demand inside startBase: waiting
+	// base demands reclaim flexible workers directly.
+	startBase(st, defaultPoolPolicy, false)
+	startBase(st, defaultPoolPolicy, true)
+	if len(st.Pending) > 0 {
+		return // not under-utilized: no opportunistic scaling
+	}
+	// Round-robin one worker at a time across elastic jobs.
+	grew := true
+	for grew {
+		grew = false
+		for _, j := range sortedRunning(st) {
+			if !j.Elastic || j.FlexibleWorkers() >= j.FlexRange() {
+				continue
+			}
+			if ws := place.UpTo(st.Cluster, j, 1, scaleOutOpts(st, j, false)); len(ws) > 0 {
+				st.AddWorkers(j, ws)
+				grew = true
+			}
+		}
+	}
+}
+
+// AFS models Elastic Resource Sharing as adapted in §7.1: every job gets
+// its base demand first (in arrival order), then one worker at a time goes
+// to the job with the largest marginal throughput gain per GPU.
+type AFS struct{}
+
+// Less implements sim.Scheduler.
+func (a *AFS) Less(x, y *job.Job) bool { return lessByArrival(x, y) }
+
+// Schedule implements sim.Scheduler.
+func (a *AFS) Schedule(st *sim.State) {
+	startBase(st, defaultPoolPolicy, false)
+	startBase(st, defaultPoolPolicy, true)
+	cands := make([]*job.Job, 0)
+	flexGPUs := 0
+	for _, j := range st.Running {
+		if j.Elastic && j.FlexRange() > 0 {
+			cands = append(cands, j)
+			flexGPUs += j.FlexibleWorkers() * j.GPUsPerWorker
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	freeT, freeL := st.FreeSchedulableGPUs()
+	targets := alloc.AFS(cands, freeT+freeL+flexGPUs, st.Scaling)
+	applyExtraTargets(st, cands, targets, false)
+}
+
+// applyExtraTargets resizes elastic jobs to the given extra-worker targets:
+// scale-ins first (freeing GPUs), then scale-outs, placing what fits.
+func applyExtraTargets(st *sim.State, cands []*job.Job, targets []alloc.Extra, naive bool) {
+	target := make(map[int]int, len(targets))
+	for _, e := range targets {
+		target[e.ID] = e.Extra
+	}
+	for _, j := range cands {
+		if cur := j.FlexibleWorkers(); cur > target[j.ID] {
+			st.RemoveFlexibleWorkers(j, cur-target[j.ID])
+		}
+	}
+	for _, j := range cands {
+		want := target[j.ID] - j.FlexibleWorkers()
+		if want <= 0 {
+			continue
+		}
+		if ws := place.UpTo(st.Cluster, j, want, scaleOutOpts(st, j, naive)); len(ws) > 0 {
+			st.AddWorkers(j, ws)
+		}
+	}
+}
+
+// sortedRunning returns running jobs in ascending ID order for
+// deterministic iteration.
+func sortedRunning(st *sim.State) []*job.Job {
+	out := make([]*job.Job, 0, len(st.Running))
+	for _, j := range st.Running {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}

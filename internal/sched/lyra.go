@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"lyra/internal/alloc"
+	"lyra/internal/job"
+	"lyra/internal/place"
+	"lyra/internal/sim"
+)
+
+// Lyra is the paper's job scheduler (§5): phase 1 starts as many jobs as
+// possible in SJF order (inelastic jobs and elastic bases), phase 2 grows
+// elastic jobs with the remaining capacity by solving a multiple-choice
+// knapsack over JCT reductions, and placement follows best-fit-decreasing
+// with the pool preferences of §5.3.
+type Lyra struct {
+	// Elastic enables phase 2; §7.3's loaning-only rows disable it.
+	Elastic bool
+	// NaivePlacement disables the special treatment of elastic jobs
+	// (grouping flexible demand on on-loan servers) for the Table 6
+	// ablation.
+	NaivePlacement bool
+	// Tuned marks elastic jobs as hyperparameter-tuned on start
+	// (Lyra+TunedJobs, §7.4): the job agent re-tunes batch size and
+	// learning rate whenever the allocation changes, modeled as a
+	// throughput bonus on scaled jobs via ScalingModel.TunedGain.
+	Tuned bool
+	// Opportunistic switches the pool policy to the Opportunistic
+	// comparison scheme (§7.1) — only meaningful with Elastic=false.
+	Opportunistic bool
+	// InfoAgnostic replaces SJF with least-attained-service ordering
+	// (Tiresias-style), needing no running-time estimates — the
+	// information-agnostic scheduling §10 poses as future work. Jobs with
+	// the least GPU-time attained so far go first; fresh jobs therefore
+	// start promptly and long-running preempted jobs with checkpoints
+	// keep their place by attained service.
+	InfoAgnostic bool
+}
+
+// NewLyra returns the full Lyra scheduler (elastic scaling on).
+func NewLyra() *Lyra { return &Lyra{Elastic: true} }
+
+// Less implements sim.Scheduler: SJF over estimated runtime, or
+// least-attained-service when running information-agnostic.
+func (l *Lyra) Less(a, b *job.Job) bool {
+	if l.InfoAgnostic {
+		return lessByAttained(a, b)
+	}
+	return lessByEstimate(a, b)
+}
+
+func (l *Lyra) policy(j *job.Job) poolPolicy {
+	if l.Opportunistic {
+		return opportunisticPoolPolicy(j)
+	}
+	return defaultPoolPolicy(j)
+}
+
+// Schedule implements sim.Scheduler.
+func (l *Lyra) Schedule(st *sim.State) {
+	started := startBase(st, l.policy, false)
+	started = append(started, startBase(st, l.policy, true)...)
+	if l.Tuned {
+		for _, j := range started {
+			if j.Elastic {
+				j.Tuned = true
+			}
+		}
+	}
+	if l.Elastic {
+		l.phase2(st)
+	}
+}
+
+// phase2 resizes elastic jobs: the available capacity is the idle GPUs plus
+// every GPU currently held by flexible workers (§5.2: "idle GPUs and GPUs
+// being used by flexible workers for resizing"), and the MCKP picks the
+// extra-worker allocation maximizing total JCT reduction.
+func (l *Lyra) phase2(st *sim.State) {
+	var cands []*job.Job
+	flexGPUs := 0
+	for _, j := range st.Running {
+		if j.Elastic && j.FlexRange() > 0 {
+			cands = append(cands, j)
+			flexGPUs += j.FlexibleWorkers() * j.GPUsPerWorker
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	freeT, freeL := st.FreeSchedulableGPUs()
+	capacity := freeT + freeL + flexGPUs
+	targets := alloc.Phase2(cands, capacity, st.Scaling)
+	target := make(map[int]int, len(targets))
+	for _, e := range targets {
+		target[e.ID] = e.Extra
+	}
+	// Scale in first to free GPUs for the scale-outs.
+	for _, j := range cands {
+		if cur := j.FlexibleWorkers(); cur > target[j.ID] {
+			st.RemoveFlexibleWorkers(j, cur-target[j.ID])
+		}
+	}
+	for _, j := range cands {
+		want := target[j.ID] - j.FlexibleWorkers()
+		if want <= 0 {
+			continue
+		}
+		if ws := place.UpTo(st.Cluster, j, want, scaleOutOpts(st, j, l.NaivePlacement)); len(ws) > 0 {
+			st.AddWorkers(j, ws)
+		}
+	}
+}

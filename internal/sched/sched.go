@@ -1,0 +1,250 @@
+// Package sched implements the job schedulers compared in the evaluation:
+// Lyra's two-phase scheduler (§5), the FIFO Baseline, Gandiva-style
+// opportunistic scaling, AFS-style greedy marginal-gain allocation, a
+// Pollux-style goodput-optimizing scheduler, and the Opportunistic
+// capacity-sharing scheme (§7.1). All of them drive the simulator through
+// sim.State and share the phase-1 machinery below: pick pending jobs under
+// a queue order, count capacity, and gang-place base demands in
+// best-fit-decreasing order.
+package sched
+
+import (
+	"lyra/internal/cluster"
+	"lyra/internal/job"
+	"lyra/internal/place"
+	"lyra/internal/sim"
+)
+
+// poolPolicy says where a job's workers may go and which pool is preferred.
+type poolPolicy struct {
+	allowTraining bool
+	allowOnLoan   bool
+	prefer        cluster.Pool
+}
+
+// defaultPoolPolicy encodes §5.3: inelastic jobs prefer training servers;
+// elastic jobs prefer on-loan servers; fungible jobs may use either pool;
+// heterogeneous jobs may mix, base preferring training; everything else is
+// pinned to the training pool.
+func defaultPoolPolicy(j *job.Job) poolPolicy {
+	loanable := place.FitsOnLoan(j)
+	switch {
+	case j.Hetero:
+		return poolPolicy{allowTraining: true, allowOnLoan: loanable, prefer: cluster.PoolTraining}
+	case j.Elastic && loanable:
+		return poolPolicy{allowTraining: true, allowOnLoan: true, prefer: cluster.PoolOnLoan}
+	case j.Fungible && loanable:
+		return poolPolicy{allowTraining: true, allowOnLoan: true, prefer: cluster.PoolTraining}
+	default:
+		return poolPolicy{allowTraining: true, prefer: cluster.PoolTraining}
+	}
+}
+
+// opportunisticMaxRuntime bounds which fungible jobs are queued to the
+// inference cluster under the Opportunistic scheme: a job longer than the
+// typical low-traffic window can never finish there — every traffic rise
+// preempts it and (without checkpointing) restarts it from scratch — so in
+// practice only short jobs are offloaded opportunistically.
+const opportunisticMaxRuntime = 4 * 3600
+
+// opportunisticPoolPolicy encodes the Opportunistic scheme (§7.1): short
+// fungible jobs are queued to the inference cluster only; everything else
+// stays on the training cluster.
+func opportunisticPoolPolicy(j *job.Job) poolPolicy {
+	if j.Fungible && place.FitsOnLoan(j) && j.EstimatedRuntime <= opportunisticMaxRuntime {
+		return poolPolicy{allowOnLoan: true, prefer: cluster.PoolOnLoan}
+	}
+	return poolPolicy{allowTraining: true, prefer: cluster.PoolTraining}
+}
+
+func (pp poolPolicy) options(j *job.Job, flexible bool) place.Options {
+	return place.Options{
+		PreferPool:    pp.prefer,
+		AllowOther:    pp.allowTraining && pp.allowOnLoan,
+		SingleGPUType: !j.Hetero,
+		Flexible:      flexible,
+	}
+}
+
+// startBase selects pending jobs in queue order whose base demand fits the
+// counted capacity, then gang-places them in best-fit-decreasing order
+// (§5.3) and starts them. The counted capacity includes GPUs held by
+// flexible workers — §5.2: available resources are "idle GPUs and GPUs
+// being used by flexible workers for resizing" — and placement scales
+// elastic jobs in on demand to make room for base demands, which always
+// take priority over flexible ones.
+//
+// When heteroPass is false only non-heterogeneous jobs are considered; the
+// caller runs a second pass for heterogeneous jobs after everything else
+// (§6: they get the lowest priority).
+func startBase(st *sim.State, policy func(*job.Job) poolPolicy, heteroPass bool) []*job.Job {
+	availT, availL := st.FreeSchedulableGPUs()
+	availT += flexibleGPUs(st, cluster.PoolTraining)
+	availL += flexibleGPUs(st, cluster.PoolOnLoan)
+	var chosen []*job.Job
+	for _, j := range st.Pending {
+		if j.Hetero != heteroPass {
+			continue
+		}
+		if availT <= 0 && availL <= 0 {
+			break
+		}
+		pp := policy(j)
+		d := j.BaseGPUs()
+		switch {
+		case j.Hetero && pp.allowTraining && pp.allowOnLoan && d <= availT+availL:
+			take := d
+			if take > availT {
+				availL -= take - availT
+				take = availT
+			}
+			availT -= take
+		case pp.allowOnLoan && pp.prefer == cluster.PoolOnLoan && d <= availL:
+			availL -= d
+		case pp.allowTraining && d <= availT:
+			availT -= d
+		case pp.allowOnLoan && d <= availL:
+			availL -= d
+		default:
+			continue
+		}
+		chosen = append(chosen, j)
+	}
+	place.SortByDemand(chosen)
+	var started []*job.Job
+	for _, j := range chosen {
+		pp := policy(j)
+		ws, ok := place.Gang(st.Cluster, j, j.MinWorkers, pp.options(j, false))
+		if !ok {
+			// Make room by scaling elastic jobs in, then retry once.
+			if reclaimFlexible(st, j, pp) > 0 {
+				ws, ok = place.Gang(st.Cluster, j, j.MinWorkers, pp.options(j, false))
+			}
+		}
+		if !ok {
+			continue // fragmentation or type constraints; retry next epoch
+		}
+		st.Start(j, ws)
+		started = append(started, j)
+	}
+	st.CompactPending()
+	return started
+}
+
+// flexibleGPUs counts GPUs held by flexible workers in a pool.
+func flexibleGPUs(st *sim.State, pool cluster.Pool) int {
+	total := 0
+	for _, s := range st.Cluster.PoolServers(pool) {
+		total += s.TotalFlexible()
+	}
+	return total
+}
+
+// reclaimFlexible scales elastic jobs in until roughly j's base demand
+// worth of flexible GPUs has been released in j's eligible pools, returning
+// the GPUs freed.
+func reclaimFlexible(st *sim.State, j *job.Job, pp poolPolicy) int {
+	want := j.BaseGPUs()
+	freed := 0
+	for _, pool := range []cluster.Pool{pp.prefer, otherPool(pp.prefer)} {
+		if pool == cluster.PoolTraining && !pp.allowTraining {
+			continue
+		}
+		if pool == cluster.PoolOnLoan && !pp.allowOnLoan {
+			continue
+		}
+		for _, s := range st.Cluster.PoolServers(pool) {
+			if freed >= want {
+				return freed
+			}
+			if s.TotalFlexible() == 0 {
+				continue
+			}
+			for _, id := range s.Jobs() {
+				if freed >= want {
+					return freed
+				}
+				if s.FlexibleGPUs(id) == 0 {
+					continue
+				}
+				victim := st.Running[id]
+				if victim == nil {
+					continue
+				}
+				removed := st.RemoveFlexibleOnServer(victim, s.ID)
+				freed += removed * victim.GPUsPerWorker
+			}
+		}
+	}
+	return freed
+}
+
+func otherPool(p cluster.Pool) cluster.Pool {
+	if p == cluster.PoolTraining {
+		return cluster.PoolOnLoan
+	}
+	return cluster.PoolTraining
+}
+
+// lessByArrival is the FIFO queue order.
+func lessByArrival(a, b *job.Job) bool {
+	if a.Arrival != b.Arrival {
+		return a.Arrival < b.Arrival
+	}
+	return a.ID < b.ID
+}
+
+// lessByEstimate is the SJF queue order over estimated running times
+// (§5.2), falling back to arrival order on ties.
+func lessByEstimate(a, b *job.Job) bool {
+	if a.EstimatedRuntime != b.EstimatedRuntime {
+		return a.EstimatedRuntime < b.EstimatedRuntime
+	}
+	return lessByArrival(a, b)
+}
+
+// lessByAttained is the least-attained-service order used by the
+// information-agnostic Lyra variant: jobs that have consumed the least
+// GPU-time so far go first, with arrival order breaking ties.
+func lessByAttained(a, b *job.Job) bool {
+	aa, ab := a.Work-a.Remaining, b.Work-b.Remaining
+	if aa != ab {
+		return aa < ab
+	}
+	return lessByArrival(a, b)
+}
+
+// scaleOutOpts builds the placement options for adding flexible workers to
+// a running job: same GPU type as its existing workers (unless
+// heterogeneous — then flexible workers go to inference servers whenever
+// possible, §6), and, unless naive placement is requested (Table 6), on a
+// server group disjoint from the base workers (§5.3). The separation only
+// concerns on-loan servers — its purpose is letting the orchestrator
+// release the flexible group without preemption during reclaiming, which
+// never touches training servers — so base servers in the training pool
+// are not excluded.
+func scaleOutOpts(st *sim.State, j *job.Job, naive bool) place.Options {
+	opt := place.Options{Flexible: true, AllowOther: true}
+	if !j.Hetero {
+		opt.SingleGPUType = true
+		if len(j.Workers) > 0 {
+			gpu := j.Workers[0].GPU
+			opt.FixedGPU = &gpu
+		}
+	}
+	if naive {
+		opt.PreferPool = cluster.PoolTraining
+		return opt
+	}
+	opt.PreferPool = cluster.PoolOnLoan
+	exclude := make(map[int]struct{})
+	for sid := range place.ServerSetOf(j, false) {
+		if st.Cluster.Server(sid).Pool == cluster.PoolOnLoan {
+			exclude[sid] = struct{}{}
+		}
+	}
+	if len(exclude) > 0 {
+		opt.Exclude = exclude
+	}
+	return opt
+}

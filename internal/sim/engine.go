@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"lyra/internal/cluster"
+	"lyra/internal/job"
+	"lyra/internal/metrics"
+)
+
+// Config parameterizes a simulation run. Zero values use the paper's
+// defaults.
+type Config struct {
+	// SchedInterval is the job scheduler epoch in seconds (default 60).
+	// §3: the job scheduler runs at a much smaller interval than the
+	// orchestrator.
+	SchedInterval int64
+	// OrchInterval is the resource orchestrator epoch (default 300,
+	// §7.1: "Lyra's resource orchestrator runs every five minutes").
+	OrchInterval int64
+	// MetricsInterval is the usage sampling period (default 300, matching
+	// the 5-minute monitoring of Figures 1 and 9).
+	MetricsInterval int64
+	// PreemptOverhead is the fixed preemption overhead in seconds added
+	// whenever a job is preempted (default 63, the testbed-measured value
+	// adopted by the simulation in §7.2).
+	PreemptOverhead float64
+	// Scaling is the throughput model (Linear by default).
+	Scaling job.ScalingModel
+	// MaxTime hard-caps simulated time; 0 means 4x the trace horizon.
+	MaxTime float64
+	// InferenceUtil reports the inference cluster's own utilization at
+	// time t for combined-usage accounting; nil means no inference
+	// cluster in the usage metrics.
+	InferenceUtil func(t int64) float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SchedInterval == 0 {
+		c.SchedInterval = 60
+	}
+	if c.OrchInterval == 0 {
+		c.OrchInterval = 300
+	}
+	if c.MetricsInterval == 0 {
+		c.MetricsInterval = 300
+	}
+	if c.PreemptOverhead == 0 {
+		c.PreemptOverhead = 63
+	}
+	if c.Scaling == (job.ScalingModel{}) {
+		c.Scaling = job.Linear
+	}
+	return c
+}
+
+// event kinds, in tie-break priority order at equal timestamps: arrivals
+// land first, completions free resources, the orchestrator moves servers,
+// then the scheduler runs with a current view, then metrics sample.
+type eventKind uint8
+
+const (
+	evArrival eventKind = iota
+	evFinish
+	evOrch
+	evSched
+	evMetrics
+)
+
+type event struct {
+	t       float64
+	kind    eventKind
+	jobID   int
+	version int
+	seq     int64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine drives one simulation.
+type Engine struct {
+	cfg     Config
+	st      *State
+	sched   Scheduler
+	orch    Orchestrator
+	jobs    []*job.Job
+	byID    map[int]*job.Job
+	horizon int64
+
+	events  eventHeap
+	seq     int64
+	version map[int]int
+
+	completed int
+	ranOnLoan map[int]bool
+
+	trainUsage   *metrics.TimeSeries
+	overallUsage *metrics.TimeSeries
+	onLoanUsage  *metrics.TimeSeries
+
+	hourlyArrived []int
+	hourlyQueued  []int
+}
+
+// New builds an engine replaying jobs (sorted by arrival) on c under the
+// given scheduler and optional orchestrator (nil disables capacity
+// loaning). horizon is the trace length in seconds.
+func New(c *cluster.Cluster, jobs []*job.Job, horizon int64, sched Scheduler, orch Orchestrator, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:       cfg,
+		st:        newState(c, cfg.Scaling, cfg.PreemptOverhead),
+		sched:     sched,
+		orch:      orch,
+		jobs:      jobs,
+		byID:      make(map[int]*job.Job, len(jobs)),
+		horizon:   horizon,
+		version:   make(map[int]int),
+		ranOnLoan: make(map[int]bool),
+	}
+	for _, j := range jobs {
+		e.byID[j.ID] = j
+	}
+	e.trainUsage = metrics.NewTimeSeries(0, cfg.MetricsInterval)
+	e.overallUsage = metrics.NewTimeSeries(0, cfg.MetricsInterval)
+	e.onLoanUsage = metrics.NewTimeSeries(0, cfg.MetricsInterval)
+	hours := int(horizon/3600) + 1
+	e.hourlyArrived = make([]int, hours)
+	e.hourlyQueued = make([]int, hours)
+	return e
+}
+
+func (e *Engine) push(t float64, kind eventKind, jobID, version int) {
+	e.seq++
+	heap.Push(&e.events, event{t: t, kind: kind, jobID: jobID, version: version, seq: e.seq})
+}
+
+// refresh recomputes the completion event of a job after any throughput
+// change and records on-loan residency.
+func (e *Engine) refresh(j *job.Job) {
+	e.version[j.ID]++
+	if j.State != job.Running {
+		return
+	}
+	for _, w := range j.Workers {
+		if e.st.Cluster.Server(w.Server).Pool == cluster.PoolOnLoan {
+			e.ranOnLoan[j.ID] = true
+			break
+		}
+	}
+	rt, ok := j.RemainingRuntime(e.st.Scaling)
+	if !ok {
+		panic(fmt.Sprintf("sim: running job %d has no throughput", j.ID))
+	}
+	e.push(e.st.Now+rt, evFinish, j.ID, e.version[j.ID])
+}
+
+func (e *Engine) drain() {
+	for _, j := range e.st.drainChanged() {
+		e.refresh(j)
+	}
+}
+
+// Run executes the simulation to completion (all jobs done) or the MaxTime
+// cap, and returns the collected results. The default cap leaves room for
+// the drain phase: a job arriving at the end of the horizon may run for
+// days (the trace generator's runtime clamp) on top of its queuing delay.
+func (e *Engine) Run() *Result {
+	maxTime := e.cfg.MaxTime
+	if maxTime == 0 {
+		maxTime = 4*float64(e.horizon) + 7*86400
+	}
+	for _, j := range e.jobs {
+		e.push(float64(j.Arrival), evArrival, j.ID, 0)
+	}
+	e.push(0, evSched, 0, 0)
+	if e.orch != nil {
+		e.push(0, evOrch, 0, 0)
+	}
+	e.push(0, evMetrics, 0, 0)
+	heap.Init(&e.events)
+
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.t > maxTime {
+			break
+		}
+		e.st.Now = ev.t
+		switch ev.kind {
+		case evArrival:
+			j := e.byID[ev.jobID]
+			hour := int(j.Arrival / 3600)
+			if hour < len(e.hourlyArrived) {
+				e.hourlyArrived[hour]++
+			}
+			e.st.enqueue(j, e.sched.Less)
+		case evFinish:
+			j := e.byID[ev.jobID]
+			if j.State != job.Running || ev.version != e.version[j.ID] {
+				break // stale event from a superseded allocation
+			}
+			e.st.advance(j)
+			if j.Remaining > 1e-6 || j.OverheadLeft > 1e-9 {
+				// Numerical safety: reschedule at the recomputed time.
+				e.st.markChanged(j)
+				e.drain()
+				break
+			}
+			e.st.finish(j)
+			e.completed++
+			e.st.drainChanged() // no new finish event needed
+		case evOrch:
+			e.orch.Epoch(e.st)
+			e.drain()
+			if e.completed < len(e.jobs) {
+				e.push(e.st.Now+float64(e.cfg.OrchInterval), evOrch, 0, 0)
+			}
+		case evSched:
+			e.sched.Schedule(e.st)
+			e.noteFirstTry()
+			e.drain()
+			if e.completed < len(e.jobs) {
+				e.push(e.st.Now+float64(e.cfg.SchedInterval), evSched, 0, 0)
+			}
+		case evMetrics:
+			// Usage is sampled over the trace window only; the drain
+			// phase after the last arrival would otherwise dilute the
+			// means the paper reports over the measurement period.
+			e.sample()
+			if next := e.st.Now + float64(e.cfg.MetricsInterval); next < float64(e.horizon) && next < maxTime {
+				e.push(next, evMetrics, 0, 0)
+			}
+		}
+	}
+	return e.result()
+}
+
+// noteFirstTry counts jobs that failed to get resources on their first
+// scheduling attempt (Figure 2's definition of a queuing job).
+func (e *Engine) noteFirstTry() {
+	for _, j := range e.st.Pending {
+		if j.Preemptions > 0 || j.Started {
+			continue
+		}
+		// First epoch strictly after arrival has passed without a start.
+		if e.st.Now-float64(j.Arrival) >= float64(e.cfg.SchedInterval) {
+			continue // already counted at an earlier epoch
+		}
+		hour := int(j.Arrival / 3600)
+		if hour < len(e.hourlyQueued) {
+			e.hourlyQueued[hour]++
+		}
+	}
+}
+
+func (e *Engine) sample() {
+	c := e.st.Cluster
+	usedTrain := c.UsedGPUs(cluster.PoolTraining)
+	totTrain := c.TotalGPUs(cluster.PoolTraining)
+	usedLoan := c.UsedGPUs(cluster.PoolOnLoan)
+	totLoan := c.TotalGPUs(cluster.PoolOnLoan)
+	if totTrain > 0 {
+		e.trainUsage.Append(float64(usedTrain) / float64(totTrain))
+	}
+	if totLoan > 0 {
+		e.onLoanUsage.Append(float64(usedLoan) / float64(totLoan))
+	} else {
+		e.onLoanUsage.Append(math.NaN())
+	}
+	// The inference workload always runs on the servers remaining in the
+	// inference pool; its busy GPU count follows the utilization series
+	// over the full inference-cluster size, capped by what is not on loan.
+	totInf := c.TotalGPUs(cluster.PoolInference) + totLoan
+	if e.cfg.InferenceUtil != nil && totInf > 0 {
+		infBusy := e.cfg.InferenceUtil(int64(e.st.Now)) * float64(totInf)
+		if maxBusy := float64(totInf - totLoan); infBusy > maxBusy {
+			infBusy = maxBusy
+		}
+		overall := (float64(usedTrain+usedLoan) + infBusy) / float64(totTrain+totInf)
+		e.overallUsage.Append(overall)
+	} else {
+		e.overallUsage.Append(float64(usedTrain+usedLoan) / float64(totTrain+totInf))
+	}
+}

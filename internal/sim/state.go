@@ -1,0 +1,265 @@
+// Package sim is the discrete-event cluster simulator used for Lyra's
+// large-scale evaluation (§7.1). It replays a job trace against a modeled
+// cluster, delegating decisions to a pluggable Scheduler (job-level
+// allocation and placement, §5) and Orchestrator (capacity loaning and
+// reclaiming, §4), and records the metrics the paper reports: queuing time,
+// JCT, GPU usage series, preemption counts and collateral damage.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"lyra/internal/cluster"
+	"lyra/internal/job"
+)
+
+// Scheduler decides job allocation and placement. Schedule is invoked every
+// scheduling epoch and mutates the state through its methods (Start,
+// AddWorkers, RemoveFlexible...). Less defines the queue priority order the
+// engine maintains for Pending (e.g. arrival time for FIFO, estimated
+// runtime for SJF).
+type Scheduler interface {
+	Less(a, b *job.Job) bool
+	Schedule(st *State)
+}
+
+// Orchestrator executes capacity loaning: each orchestrator epoch it may
+// move servers between the inference and on-loan pools and preempt or scale
+// in jobs via the state.
+type Orchestrator interface {
+	Epoch(st *State)
+}
+
+// State is the scheduler-visible simulation state. All job/cluster mutation
+// must go through its methods so that work progress is advanced before an
+// allocation changes and so the engine learns which completion events to
+// refresh.
+type State struct {
+	Now     float64
+	Cluster *cluster.Cluster
+	Scaling job.ScalingModel
+
+	// Pending is the job queue, kept sorted by the scheduler's Less. Jobs
+	// are inserted by the engine on arrival and re-queued preemption, and
+	// removed by CompactPending after scheduling.
+	Pending []*job.Job
+	// Running indexes running jobs by ID.
+	Running map[int]*job.Job
+
+	lastUpdate      map[int]float64
+	changed         map[int]*job.Job
+	preemptOverhead float64
+
+	// Counters surfaced in results.
+	Preemptions   int
+	ScalingOps    int
+	ReclaimOps    int
+	ReclaimedSrv  int
+	VacatedGPUs   int // total GPUs vacated by reclaiming (incl. collateral)
+	DemandGPUs    int // total GPUs demanded by reclaiming
+	FlexSatisfied int // reclaim demand satisfied by flexible-only release, in servers
+}
+
+func newState(c *cluster.Cluster, scaling job.ScalingModel, preemptOverhead float64) *State {
+	return &State{
+		Cluster:         c,
+		Scaling:         scaling,
+		Running:         make(map[int]*job.Job),
+		lastUpdate:      make(map[int]float64),
+		changed:         make(map[int]*job.Job),
+		preemptOverhead: preemptOverhead,
+	}
+}
+
+// advance retires work on j up to Now. Restart overhead is consumed before
+// training progresses.
+func (st *State) advance(j *job.Job) {
+	last, ok := st.lastUpdate[j.ID]
+	if !ok {
+		st.lastUpdate[j.ID] = st.Now
+		return
+	}
+	dt := st.Now - last
+	st.lastUpdate[j.ID] = st.Now
+	if dt <= 0 || j.State != job.Running {
+		return
+	}
+	if j.OverheadLeft > 0 {
+		if dt <= j.OverheadLeft {
+			j.OverheadLeft -= dt
+			return
+		}
+		dt -= j.OverheadLeft
+		j.OverheadLeft = 0
+	}
+	j.Advance(dt, st.Scaling)
+}
+
+func (st *State) markChanged(j *job.Job) { st.changed[j.ID] = j }
+
+// enqueue inserts j into Pending at its priority position.
+func (st *State) enqueue(j *job.Job, less func(a, b *job.Job) bool) {
+	i := sort.Search(len(st.Pending), func(k int) bool { return less(j, st.Pending[k]) })
+	st.Pending = append(st.Pending, nil)
+	copy(st.Pending[i+1:], st.Pending[i:])
+	st.Pending[i] = j
+}
+
+// Start transitions a pending job to running with the given placed workers.
+// The worker GPUs must already be allocated on the cluster by the placement
+// code; Start records them on the job and accounts queuing time.
+func (st *State) Start(j *job.Job, workers []job.Worker) {
+	if j.State != job.Pending {
+		panic(fmt.Sprintf("sim: Start on %v job %d", j.State, j.ID))
+	}
+	now := int64(st.Now)
+	j.QueueTime += now - j.LastEnqueue
+	if !j.Started {
+		j.Started = true
+		j.StartTime = now
+	}
+	j.State = job.Running
+	j.Workers = append(j.Workers[:0], workers...)
+	st.Running[j.ID] = j
+	st.lastUpdate[j.ID] = st.Now
+	st.markChanged(j)
+}
+
+// AddWorkers scales a running job out by the given placed workers (already
+// allocated on the cluster).
+func (st *State) AddWorkers(j *job.Job, workers []job.Worker) {
+	if j.State != job.Running {
+		panic(fmt.Sprintf("sim: AddWorkers on %v job %d", j.State, j.ID))
+	}
+	st.advance(j)
+	j.Workers = append(j.Workers, workers...)
+	st.ScalingOps++
+	st.markChanged(j)
+}
+
+// RemoveFlexibleOnServer scales j in by removing all its flexible workers
+// placed on server sid, releasing their GPUs. It returns the number of
+// workers removed.
+func (st *State) RemoveFlexibleOnServer(j *job.Job, sid int) int {
+	return st.removeFlexible(j, func(w job.Worker) bool { return w.Server == sid })
+}
+
+// RemoveFlexibleWorkers scales j in by up to n flexible workers anywhere,
+// releasing their GPUs, and returns the number removed. Workers on the
+// least-loaded servers are removed first to reduce fragmentation.
+func (st *State) RemoveFlexibleWorkers(j *job.Job, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	removed := 0
+	return st.removeFlexible(j, func(w job.Worker) bool {
+		if removed >= n {
+			return false
+		}
+		removed++
+		return true
+	})
+}
+
+func (st *State) removeFlexible(j *job.Job, sel func(job.Worker) bool) int {
+	if j.State != job.Running {
+		return 0
+	}
+	st.advance(j)
+	kept := j.Workers[:0]
+	removed := 0
+	for _, w := range j.Workers {
+		if w.Flexible && sel(w) {
+			if err := st.Cluster.Server(w.Server).Release(j.ID, w.GPUs); err != nil {
+				panic(fmt.Sprintf("sim: scale-in release: %v", err))
+			}
+			removed++
+			continue
+		}
+		kept = append(kept, w)
+	}
+	j.Workers = kept
+	if removed > 0 {
+		st.ScalingOps++
+		st.markChanged(j)
+	}
+	return removed
+}
+
+// Preempt stops a running job, releases all its GPUs, and re-queues it. A
+// job without checkpointing loses all progress (§4); either way the restart
+// pays the measured preemption overhead (§7.5: 63 s average).
+func (st *State) Preempt(j *job.Job, less func(a, b *job.Job) bool) {
+	if j.State != job.Running {
+		panic(fmt.Sprintf("sim: Preempt on %v job %d", j.State, j.ID))
+	}
+	st.advance(j)
+	for _, w := range j.Workers {
+		st.Cluster.Server(w.Server).ReleaseJob(j.ID)
+	}
+	j.Workers = j.Workers[:0]
+	if !j.Checkpoint {
+		j.ResetProgress()
+	}
+	j.OverheadLeft = st.preemptOverhead
+	j.State = job.Pending
+	j.LastEnqueue = int64(st.Now)
+	j.Preemptions++
+	st.Preemptions++
+	delete(st.Running, j.ID)
+	st.enqueue(j, less)
+	st.markChanged(j)
+}
+
+// finish completes a running job.
+func (st *State) finish(j *job.Job) {
+	st.advance(j)
+	for _, w := range j.Workers {
+		st.Cluster.Server(w.Server).ReleaseJob(j.ID)
+	}
+	j.Workers = j.Workers[:0]
+	j.State = job.Completed
+	j.FinishTime = int64(st.Now)
+	delete(st.Running, j.ID)
+	st.markChanged(j)
+}
+
+// CompactPending removes jobs that are no longer pending from the queue,
+// preserving order. Schedulers call it after starting jobs.
+func (st *State) CompactPending() {
+	kept := st.Pending[:0]
+	for _, j := range st.Pending {
+		if j.State == job.Pending {
+			kept = append(kept, j)
+		}
+	}
+	for i := len(kept); i < len(st.Pending); i++ {
+		st.Pending[i] = nil
+	}
+	st.Pending = kept
+}
+
+// FreeSchedulableGPUs returns free GPU counts on training and on-loan
+// servers.
+func (st *State) FreeSchedulableGPUs() (training, onLoan int) {
+	return st.Cluster.FreeGPUs(cluster.PoolTraining), st.Cluster.FreeGPUs(cluster.PoolOnLoan)
+}
+
+// drainChanged returns and clears the set of jobs whose throughput or
+// lifecycle changed since the last drain; the engine refreshes their
+// completion events.
+func (st *State) drainChanged() []*job.Job {
+	if len(st.changed) == 0 {
+		return nil
+	}
+	out := make([]*job.Job, 0, len(st.changed))
+	for _, j := range st.changed {
+		out = append(out, j)
+	}
+	for id := range st.changed {
+		delete(st.changed, id)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}

@@ -1,0 +1,25 @@
+package sim
+
+import (
+	"lyra/internal/cluster"
+	"lyra/internal/job"
+)
+
+// NewStateForTest constructs a bare State, letting scheduler packages unit
+// test their Schedule methods without running the full engine.
+func NewStateForTest(c *cluster.Cluster, sm job.ScalingModel, preemptOverhead float64) *State {
+	return newState(c, sm, preemptOverhead)
+}
+
+// EnqueueForTest inserts a job into the pending queue at the position
+// dictated by less, exactly as the engine does on arrival.
+func EnqueueForTest(st *State, j *job.Job, less func(a, b *job.Job) bool) {
+	st.enqueue(j, less)
+}
+
+// FinishForTest completes a running job, releasing its cluster resources —
+// the hook external substrates (the testbed runtime) use when their own
+// progress accounting declares a job done.
+func FinishForTest(st *State, j *job.Job) {
+	st.finish(j)
+}

@@ -1,0 +1,63 @@
+// Package testbed is the prototype runtime behind the paper's testbed
+// experiments (§7.5). Where the simulator models everything analytically,
+// the testbed runs the system "for real", scaled down: an accelerated
+// wall clock, a YARN-lite resource manager whose containers are goroutines
+// with launch latency, a controller per elastic job coordinating worker
+// join and departure (§6), and the whitelist API the orchestrator uses to
+// move servers between the two schedulers' control.
+//
+// The same scheduling code (internal/sched, internal/orchestrator) drives
+// the testbed and the simulator; only the execution substrate differs. The
+// paper uses four 8-GPU V100 servers plus four 8-GPU T4 servers and a
+// scaled-down 180-job trace; RunScenario reproduces that setup.
+package testbed
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is an accelerated virtual clock: Speedup simulated seconds pass per
+// wall-clock second. It lets the testbed replay hours of workload in
+// seconds of real time while containers and controllers still run as real
+// goroutines.
+type Clock struct {
+	mu      sync.Mutex
+	start   time.Time
+	speedup float64
+}
+
+// NewClock starts a clock running at the given speedup (simulated seconds
+// per wall second). Speedup <= 0 defaults to 1000.
+func NewClock(speedup float64) *Clock {
+	if speedup <= 0 {
+		speedup = 1000
+	}
+	return &Clock{start: time.Now(), speedup: speedup}
+}
+
+// Now returns the current simulated time in seconds.
+func (c *Clock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Since(c.start).Seconds() * c.speedup
+}
+
+// Sleep blocks for the given simulated duration.
+func (c *Clock) Sleep(simSeconds float64) {
+	if simSeconds <= 0 {
+		return
+	}
+	c.mu.Lock()
+	d := time.Duration(simSeconds / c.speedup * float64(time.Second))
+	c.mu.Unlock()
+	time.Sleep(d)
+}
+
+// After returns a channel that fires after the simulated duration.
+func (c *Clock) After(simSeconds float64) <-chan time.Time {
+	c.mu.Lock()
+	d := time.Duration(simSeconds / c.speedup * float64(time.Second))
+	c.mu.Unlock()
+	return time.After(d)
+}

@@ -1,0 +1,160 @@
+package testbed
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+)
+
+// The prototype's resource-manager API is also exposed over net/rpc so
+// node managers and the scheduler can run as separate processes, the way
+// the production deployment sits on YARN (§6). The in-process testbed uses
+// ResourceManager directly; RMService/RMClient carry the same operations
+// across a TCP connection.
+
+// LaunchArgs asks the resource manager to start one container.
+type LaunchArgs struct {
+	JobID    int
+	Server   int
+	GPUs     int
+	Flexible bool
+}
+
+// ContainerInfo is the wire representation of a container.
+type ContainerInfo struct {
+	ID       int
+	JobID    int
+	Server   int
+	GPUs     int
+	Flexible bool
+	State    ContainerState
+}
+
+// RMService exposes a ResourceManager over net/rpc.
+type RMService struct {
+	rm *ResourceManager
+}
+
+// Launch starts a container and returns its info.
+func (s *RMService) Launch(args LaunchArgs, reply *ContainerInfo) error {
+	c := s.rm.Launch(args.JobID, args.Server, args.GPUs, args.Flexible)
+	*reply = ContainerInfo{
+		ID: c.ID, JobID: c.JobID, Server: c.Server, GPUs: c.GPUs,
+		Flexible: c.Flexible, State: c.State(),
+	}
+	return nil
+}
+
+// Kill terminates a container.
+func (s *RMService) Kill(id int, _ *struct{}) error { return s.rm.Kill(id) }
+
+// Release completes a container normally.
+func (s *RMService) Release(id int, _ *struct{}) error { return s.rm.Release(id) }
+
+// JobContainers lists the live containers of a job.
+func (s *RMService) JobContainers(jobID int, reply *[]ContainerInfo) error {
+	for _, c := range s.rm.JobContainers(jobID) {
+		*reply = append(*reply, ContainerInfo{
+			ID: c.ID, JobID: c.JobID, Server: c.Server, GPUs: c.GPUs,
+			Flexible: c.Flexible, State: c.State(),
+		})
+	}
+	return nil
+}
+
+// Live reports the number of live containers.
+func (s *RMService) Live(_ struct{}, reply *int) error {
+	*reply = s.rm.Live()
+	return nil
+}
+
+// RMServer is a listening RPC endpoint around a ResourceManager.
+type RMServer struct {
+	listener net.Listener
+	mu       sync.Mutex
+	closed   bool
+}
+
+// ServeRM starts serving rm on a TCP listener bound to addr (use
+// "127.0.0.1:0" for an ephemeral port) and returns the server. Connections
+// are served until Close.
+func ServeRM(rm *ResourceManager, addr string) (*RMServer, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("RM", &RMService{rm: rm}); err != nil {
+		return nil, fmt.Errorf("testbed: register RM service: %w", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: listen: %w", err)
+	}
+	out := &RMServer{listener: ln}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return out, nil
+}
+
+// Addr returns the server's listen address.
+func (s *RMServer) Addr() string { return s.listener.Addr().String() }
+
+// Close stops accepting connections.
+func (s *RMServer) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.listener.Close()
+}
+
+// RMClient is the remote counterpart of ResourceManager.
+type RMClient struct {
+	c *rpc.Client
+}
+
+// DialRM connects to an RMServer.
+func DialRM(addr string) (*RMClient, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: dial RM: %w", err)
+	}
+	return &RMClient{c: c}, nil
+}
+
+// Close tears down the connection.
+func (c *RMClient) Close() error { return c.c.Close() }
+
+// Launch starts a container remotely.
+func (c *RMClient) Launch(jobID, server, gpus int, flexible bool) (ContainerInfo, error) {
+	var info ContainerInfo
+	err := c.c.Call("RM.Launch", LaunchArgs{JobID: jobID, Server: server, GPUs: gpus, Flexible: flexible}, &info)
+	return info, err
+}
+
+// Kill terminates a container remotely.
+func (c *RMClient) Kill(id int) error { return c.c.Call("RM.Kill", id, &struct{}{}) }
+
+// Release completes a container remotely.
+func (c *RMClient) Release(id int) error { return c.c.Call("RM.Release", id, &struct{}{}) }
+
+// JobContainers lists a job's live containers remotely.
+func (c *RMClient) JobContainers(jobID int) ([]ContainerInfo, error) {
+	var out []ContainerInfo
+	err := c.c.Call("RM.JobContainers", jobID, &out)
+	return out, err
+}
+
+// Live reports the number of live containers remotely.
+func (c *RMClient) Live() (int, error) {
+	var n int
+	err := c.c.Call("RM.Live", struct{}{}, &n)
+	return n, err
+}

@@ -1,0 +1,176 @@
+package testbed
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func newRPCPair(t *testing.T) (*ResourceManager, *RMClient, func()) {
+	t.Helper()
+	rm := NewResourceManager(NewClock(50000), 2)
+	srv, err := ServeRM(rm, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := DialRM(srv.Addr())
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	return rm, client, func() {
+		client.Close()
+		srv.Close()
+	}
+}
+
+func TestRPCLaunchKillRoundTrip(t *testing.T) {
+	rm, client, done := newRPCPair(t)
+	defer done()
+
+	info, err := client.Launch(7, 3, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.JobID != 7 || info.Server != 3 || info.GPUs != 4 || !info.Flexible {
+		t.Errorf("launch info = %+v", info)
+	}
+	if rm.Live() != 1 {
+		t.Errorf("server-side live = %d", rm.Live())
+	}
+	n, err := client.Live()
+	if err != nil || n != 1 {
+		t.Errorf("remote live = %d err=%v", n, err)
+	}
+	if err := client.Kill(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if rm.Live() != 0 {
+		t.Error("kill did not reach the server")
+	}
+	if err := client.Kill(info.ID); err == nil {
+		t.Error("double kill should return the server's error")
+	}
+}
+
+func TestRPCJobContainers(t *testing.T) {
+	_, client, done := newRPCPair(t)
+	defer done()
+	for i := 0; i < 3; i++ {
+		if _, err := client.Launch(1, i, 2, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Launch(2, 0, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	list, err := client.JobContainers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Errorf("job 1 containers = %d, want 3", len(list))
+	}
+}
+
+func TestRPCRelease(t *testing.T) {
+	rm, client, done := newRPCPair(t)
+	defer done()
+	info, err := client.Launch(1, 0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Release(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	launched, killed := rm.Stats()
+	if launched != 1 || killed != 0 {
+		t.Errorf("stats after release = %d/%d", launched, killed)
+	}
+}
+
+func TestRPCConcurrentClients(t *testing.T) {
+	rm, _, done := newRPCPair(t)
+	defer done()
+	srv, err := ServeRM(rm, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := DialRM(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for k := 0; k < 10; k++ {
+				info, err := c.Launch(id, k%4, 1, false)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Kill(info.ID); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if rm.Live() != 0 {
+		t.Errorf("live containers after concurrent churn = %d", rm.Live())
+	}
+}
+
+func TestRPCContainerBecomesRunningServerSide(t *testing.T) {
+	rm, client, done := newRPCPair(t)
+	defer done()
+	info, err := client.Launch(1, 0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		list, err := client.JobContainers(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(list) == 1 && list[0].State == ContainerRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("container %d never reported running over RPC", info.ID)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	_ = rm
+}
+
+func TestServeRMCloseIdempotent(t *testing.T) {
+	rm := NewResourceManager(NewClock(1000), 1)
+	srv, err := ServeRM(rm, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second close errored: %v", err)
+	}
+	if _, err := DialRM(srv.Addr()); err == nil {
+		t.Error("dialing a closed server should fail")
+	}
+}

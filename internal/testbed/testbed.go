@@ -1,0 +1,357 @@
+package testbed
+
+import (
+	"fmt"
+	"sync"
+
+	"lyra/internal/cluster"
+	"lyra/internal/inference"
+	"lyra/internal/job"
+	"lyra/internal/metrics"
+	"lyra/internal/orchestrator"
+	"lyra/internal/sim"
+	"lyra/internal/trace"
+)
+
+// Config parameterizes a testbed run. Intervals are simulated seconds.
+type Config struct {
+	Cluster cluster.Config
+	// Speedup is simulated seconds per wall second (default 2000).
+	Speedup float64
+	// SchedInterval and OrchInterval default to 10 s and 60 s — the same
+	// ratio as production (the scheduler runs much more often, §3) at a
+	// scale where a few-hour trace finishes in seconds of wall time.
+	SchedInterval float64
+	OrchInterval  float64
+	// LaunchDelay is the container start latency (default 5 s).
+	LaunchDelay float64
+	// PreemptOverhead is the restart cost for preempted jobs (default
+	// 63 s, the value the paper measures on this testbed and feeds back
+	// into the simulator).
+	PreemptOverhead float64
+	// Headroom of the inference cluster (default 0.02).
+	Headroom float64
+	// Scaling is the throughput model.
+	Scaling job.ScalingModel
+	// MaxSimTime caps the run (simulated seconds); 0 means 4x the trace
+	// horizon.
+	MaxSimTime float64
+	// UtilCompress squeezes the diurnal inference-utilization curve in
+	// time so that a half-day testbed run still exercises several
+	// loan/reclaim cycles (default 4: one "day" of traffic passes every
+	// six hours). The paper's testbed scales the inference trace down to
+	// the testbed capacity the same way.
+	UtilCompress int
+	Seed         int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Speedup == 0 {
+		c.Speedup = 2000
+	}
+	if c.SchedInterval == 0 {
+		c.SchedInterval = 10
+	}
+	if c.OrchInterval == 0 {
+		c.OrchInterval = 60
+	}
+	if c.LaunchDelay == 0 {
+		c.LaunchDelay = 5
+	}
+	if c.PreemptOverhead == 0 {
+		c.PreemptOverhead = 63
+	}
+	if c.Headroom == 0 {
+		c.Headroom = 0.02
+	}
+	if c.Scaling == (job.ScalingModel{}) {
+		c.Scaling = job.Linear
+	}
+	if c.UtilCompress == 0 {
+		c.UtilCompress = 4
+	}
+	return c
+}
+
+// Result is what a testbed run reports (Table 10 / Figure 17 inputs).
+type Result struct {
+	Queue metrics.Summary
+	JCT   metrics.Summary
+
+	Completed        int
+	Total            int
+	Preemptions      int
+	PreemptionRatio  float64
+	ScalingOps       int
+	CollateralDamage float64
+	LoanOps          int
+	ReclaimOps       int
+
+	ContainersLaunched int64
+	ContainersKilled   int64
+	WorkerJoins        int
+	WorkerExits        int
+}
+
+// Testbed wires the prototype together. The scheduler and orchestrator are
+// the exact production code paths (internal/sched, internal/orchestrator);
+// the testbed supplies a live substrate instead of the event-driven one.
+type Testbed struct {
+	cfg   Config
+	clock *Clock
+	rm    *ResourceManager
+
+	mu          sync.Mutex
+	st          *sim.State
+	sched       sim.Scheduler
+	orch        *orchestrator.Orchestrator
+	controllers map[int]*Controller
+	byID        map[int]*job.Job
+	pendingSrc  []*job.Job
+	completed   int
+	total       int
+	joins       int
+	exits       int
+
+	lyraWL *Whitelist
+	infWL  *Whitelist
+}
+
+// New builds a testbed over the given trace and scheduler/orchestrator
+// combination. orch may be nil (no capacity loaning).
+func New(cfg Config, tr *trace.Trace, sched sim.Scheduler, reclaimPolicy func(less func(a, b *job.Job) bool, inf *inference.Scheduler) *orchestrator.Orchestrator) *Testbed {
+	cfg = cfg.withDefaults()
+	c := cluster.New(cfg.Cluster)
+	clock := NewClock(cfg.Speedup)
+	tb := &Testbed{
+		cfg:         cfg,
+		clock:       clock,
+		rm:          NewResourceManager(clock, cfg.LaunchDelay),
+		st:          sim.NewStateForTest(c, cfg.Scaling, cfg.PreemptOverhead),
+		sched:       sched,
+		controllers: make(map[int]*Controller),
+		byID:        make(map[int]*job.Job),
+		pendingSrc:  append([]*job.Job(nil), tr.Jobs...),
+		total:       len(tr.Jobs),
+		lyraWL:      NewWhitelist("lyra"),
+		infWL:       NewWhitelist("inference"),
+	}
+	for _, j := range tr.Jobs {
+		tb.byID[j.ID] = j
+	}
+	for _, s := range c.PoolServers(cluster.PoolTraining) {
+		tb.lyraWL.Add(s.ID)
+	}
+	for _, s := range c.PoolServers(cluster.PoolInference) {
+		tb.infWL.Add(s.ID)
+	}
+	if reclaimPolicy != nil {
+		full := inference.GenerateUtilization(
+			inference.DefaultUtilizationConfig(cfg.Seed+13),
+			tr.Horizon*int64(cfg.UtilCompress), 300)
+		util := metrics.NewTimeSeries(0, 300)
+		for i := 0; i < len(full.Values); i += cfg.UtilCompress {
+			util.Append(full.Values[i])
+		}
+		infSched := inference.NewScheduler(util, cfg.Cluster.InferenceServers, cfg.Headroom)
+		tb.orch = reclaimPolicy(sched.Less, infSched)
+	}
+	return tb
+}
+
+// Run drives the testbed to completion (all jobs finished) or the time cap
+// and returns the result.
+func (tb *Testbed) Run(horizon int64) Result {
+	maxSim := tb.cfg.MaxSimTime
+	if maxSim == 0 {
+		maxSim = 4 * float64(horizon)
+	}
+	nextOrch := 0.0
+	for {
+		tb.clock.Sleep(tb.cfg.SchedInterval)
+		now := tb.clock.Now()
+		tb.mu.Lock()
+		tb.st.Now = now
+		tb.admitArrivals(now)
+		tb.tickProgress(now)
+		if tb.orch != nil && now >= nextOrch {
+			tb.orch.Epoch(tb.st)
+			nextOrch = now + tb.cfg.OrchInterval
+			tb.reconcileWhitelists()
+		}
+		tb.sched.Schedule(tb.st)
+		tb.reconcileContainers(now)
+		done := tb.completed >= tb.total
+		tb.mu.Unlock()
+		if done || now > maxSim {
+			break
+		}
+	}
+	return tb.result()
+}
+
+// admitArrivals moves trace jobs whose arrival has passed into the queue.
+func (tb *Testbed) admitArrivals(now float64) {
+	for len(tb.pendingSrc) > 0 && float64(tb.pendingSrc[0].Arrival) <= now {
+		j := tb.pendingSrc[0]
+		tb.pendingSrc = tb.pendingSrc[1:]
+		sim.EnqueueForTest(tb.st, j, tb.sched.Less)
+	}
+}
+
+// tickProgress advances every running job's controller and completes
+// finished jobs.
+func (tb *Testbed) tickProgress(now float64) {
+	var finished []*job.Job
+	for id, ct := range tb.controllers {
+		j := tb.byID[id]
+		if j.State != job.Running {
+			continue
+		}
+		if ct.Tick(now) {
+			finished = append(finished, j)
+		}
+	}
+	for _, j := range finished {
+		for _, c := range tb.rm.JobContainers(j.ID) {
+			if err := tb.rm.Release(c.ID); err != nil {
+				panic(err)
+			}
+		}
+		tb.retireController(j.ID)
+		sim.FinishForTest(tb.st, j)
+		tb.completed++
+	}
+}
+
+// reconcileContainers aligns the resource manager's containers with each
+// running job's scheduler-assigned workers: launch what is missing, kill
+// what was removed, and keep the controller membership current.
+func (tb *Testbed) reconcileContainers(now float64) {
+	for _, j := range tb.st.Running {
+		ct := tb.controllers[j.ID]
+		if ct == nil {
+			ct = NewController(j, tb.cfg.Scaling)
+			ct.ResetTick(now)
+			tb.controllers[j.ID] = ct
+		}
+		// Index live containers by (server, flexible) multiset.
+		type key struct {
+			server   int
+			flexible bool
+		}
+		live := make(map[key][]*Container)
+		for _, c := range tb.rm.JobContainers(j.ID) {
+			k := key{c.Server, c.Flexible}
+			live[k] = append(live[k], c)
+		}
+		// Launch missing workers.
+		for _, w := range j.Workers {
+			k := key{w.Server, w.Flexible}
+			if n := len(live[k]); n > 0 {
+				live[k] = live[k][:n-1]
+				continue
+			}
+			c := tb.rm.Launch(j.ID, w.Server, w.GPUs, w.Flexible)
+			ct.Join(c)
+		}
+		// Kill leftovers (scale-ins and migrations).
+		for _, rest := range live {
+			for _, c := range rest {
+				ct.Depart(c.ID)
+				if err := tb.rm.Kill(c.ID); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	// Jobs no longer running (preempted) lose all containers.
+	for id, ct := range tb.controllers {
+		j := tb.byID[id]
+		if j.State == job.Running {
+			continue
+		}
+		for _, c := range tb.rm.JobContainers(id) {
+			ct.Depart(c.ID)
+			if err := tb.rm.Kill(c.ID); err != nil {
+				panic(err)
+			}
+		}
+		tb.retireController(id)
+	}
+}
+
+// retireController folds a finished controller's join/exit counts into the
+// run totals before dropping it.
+func (tb *Testbed) retireController(id int) {
+	if ct := tb.controllers[id]; ct != nil {
+		a, b := ct.Events()
+		tb.joins += a
+		tb.exits += b
+	}
+	delete(tb.controllers, id)
+}
+
+// reconcileWhitelists mirrors the cluster pools onto the two schedulers'
+// whitelists after an orchestrator epoch, performing the §6 handover for
+// every server that moved.
+func (tb *Testbed) reconcileWhitelists() {
+	for _, s := range tb.st.Cluster.Servers() {
+		underLyra := s.Pool == cluster.PoolTraining || s.Pool == cluster.PoolOnLoan
+		switch {
+		case underLyra && !tb.lyraWL.Has(s.ID):
+			if err := TransferServer(s.ID, tb.infWL, tb.lyraWL); err != nil {
+				panic(fmt.Sprintf("testbed: loan handover: %v", err))
+			}
+		case !underLyra && !tb.infWL.Has(s.ID):
+			if s.Used() > 0 {
+				panic(fmt.Sprintf("testbed: returning busy server %d", s.ID))
+			}
+			if err := TransferServer(s.ID, tb.lyraWL, tb.infWL); err != nil {
+				panic(fmt.Sprintf("testbed: reclaim handover: %v", err))
+			}
+		}
+	}
+}
+
+func (tb *Testbed) result() Result {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	var queues, jcts []float64
+	for _, j := range tb.byID {
+		if j.State == job.Completed {
+			queues = append(queues, float64(j.QueueTime))
+			jcts = append(jcts, float64(j.JCT()))
+		}
+	}
+	joins, exits := tb.joins, tb.exits
+	for _, ct := range tb.controllers {
+		a, b := ct.Events()
+		joins += a
+		exits += b
+	}
+	launched, killed := tb.rm.Stats()
+	res := Result{
+		Queue:              metrics.Summarize(queues),
+		JCT:                metrics.Summarize(jcts),
+		Completed:          tb.completed,
+		Total:              tb.total,
+		Preemptions:        tb.st.Preemptions,
+		ScalingOps:         tb.st.ScalingOps,
+		ReclaimOps:         tb.st.ReclaimOps,
+		ContainersLaunched: launched,
+		ContainersKilled:   killed,
+		WorkerJoins:        joins,
+		WorkerExits:        exits,
+	}
+	if tb.total > 0 {
+		res.PreemptionRatio = float64(tb.st.Preemptions) / float64(tb.total)
+	}
+	if tb.st.DemandGPUs > 0 {
+		res.CollateralDamage = float64(tb.st.VacatedGPUs-tb.st.DemandGPUs) / float64(tb.st.DemandGPUs)
+	}
+	return res
+}
+
+// Whitelists exposes the two whitelists for inspection.
+func (tb *Testbed) Whitelists() (lyra, inf *Whitelist) { return tb.lyraWL, tb.infWL }

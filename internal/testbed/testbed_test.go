@@ -1,0 +1,256 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"lyra/internal/cluster"
+	"lyra/internal/inference"
+	"lyra/internal/job"
+	"lyra/internal/orchestrator"
+	"lyra/internal/reclaim"
+	"lyra/internal/sched"
+	"lyra/internal/trace"
+)
+
+func TestClockAcceleration(t *testing.T) {
+	c := NewClock(10000)
+	start := time.Now()
+	c.Sleep(100) // 100 simulated seconds = 10 ms wall
+	if wall := time.Since(start); wall > 500*time.Millisecond {
+		t.Errorf("accelerated sleep took %v wall time", wall)
+	}
+	if now := c.Now(); now < 100 {
+		t.Errorf("clock reads %v after sleeping 100 sim seconds", now)
+	}
+}
+
+func TestClockDefaultSpeedup(t *testing.T) {
+	c := NewClock(0)
+	if c.speedup != 1000 {
+		t.Errorf("default speedup = %v", c.speedup)
+	}
+}
+
+func TestContainerLifecycle(t *testing.T) {
+	clock := NewClock(10000)
+	rm := NewResourceManager(clock, 5)
+	c := rm.Launch(1, 0, 2, false)
+	if c.State() != ContainerLaunching {
+		t.Errorf("fresh container state = %v", c.State())
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for c.State() != ContainerRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("container never became running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if rm.Live() != 1 {
+		t.Errorf("live containers = %d", rm.Live())
+	}
+	if err := rm.Kill(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != ContainerKilled || rm.Live() != 0 {
+		t.Errorf("after kill: state=%v live=%d", c.State(), rm.Live())
+	}
+	if err := rm.Kill(c.ID); err == nil {
+		t.Error("double kill should fail")
+	}
+	launched, killed := rm.Stats()
+	if launched != 1 || killed != 1 {
+		t.Errorf("stats = %d launched, %d killed", launched, killed)
+	}
+}
+
+func TestResourceManagerJobIndex(t *testing.T) {
+	rm := NewResourceManager(NewClock(10000), 1)
+	a := rm.Launch(1, 0, 2, false)
+	rm.Launch(1, 1, 2, true)
+	rm.Launch(2, 0, 4, false)
+	if got := len(rm.JobContainers(1)); got != 2 {
+		t.Errorf("job 1 containers = %d", got)
+	}
+	if err := rm.Release(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rm.JobContainers(1)); got != 1 {
+		t.Errorf("job 1 containers after release = %d", got)
+	}
+}
+
+func TestWhitelistTransfer(t *testing.T) {
+	a, b := NewWhitelist("a"), NewWhitelist("b")
+	a.Add(1)
+	a.Add(2)
+	if err := TransferServer(1, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Has(1) || !b.Has(1) {
+		t.Error("transfer did not move server")
+	}
+	if err := TransferServer(1, a, b); err == nil {
+		t.Error("transferring an absent server should fail")
+	}
+	if got := a.List(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("a.List() = %v", got)
+	}
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Errorf("lengths = %d, %d", a.Len(), b.Len())
+	}
+}
+
+func TestControllerGangGate(t *testing.T) {
+	j := job.New(1, 0, job.Generic, 2, 2, 4, 100)
+	j.Elastic = true
+	j.State = job.Running
+	j.Workers = []job.Worker{
+		{Server: 0, GPU: cluster.V100, GPUs: 2},
+		{Server: 1, GPU: cluster.V100, GPUs: 2},
+	}
+	ct := NewController(j, job.Linear)
+	// One container running, one still launching: below the base demand,
+	// no progress.
+	c1 := &Container{ID: 1, JobID: 1, Server: 0, GPUs: 2}
+	c1.state = int32(ContainerRunning)
+	c2 := &Container{ID: 2, JobID: 1, Server: 1, GPUs: 2}
+	ct.Join(c1)
+	ct.Join(c2)
+	ct.ResetTick(0)
+	ct.Tick(50)
+	if j.Remaining != j.Work {
+		t.Errorf("progress before the gang was ready: remaining %v of %v", j.Remaining, j.Work)
+	}
+	// Second container comes up: progress accrues at full throughput.
+	c2.state = int32(ContainerRunning)
+	ct.Tick(100)
+	want := j.Work - 4*50 // 4 GPUs x 50 s
+	if j.Remaining != want {
+		t.Errorf("remaining = %v, want %v", j.Remaining, want)
+	}
+}
+
+func TestControllerOverheadConsumedFirst(t *testing.T) {
+	j := job.New(1, 0, job.Generic, 2, 1, 1, 100)
+	j.State = job.Running
+	j.OverheadLeft = 30
+	j.Workers = []job.Worker{{Server: 0, GPU: cluster.V100, GPUs: 2}}
+	ct := NewController(j, job.Linear)
+	c := &Container{ID: 1, JobID: 1, Server: 0, GPUs: 2}
+	c.state = int32(ContainerRunning)
+	ct.Join(c)
+	ct.ResetTick(0)
+	ct.Tick(20)
+	if j.Remaining != j.Work || j.OverheadLeft != 10 {
+		t.Errorf("overhead accounting: remaining=%v overhead=%v", j.Remaining, j.OverheadLeft)
+	}
+	ct.Tick(50) // 10 s of remaining overhead, then 20 s of work at 2 GPUs
+	if j.OverheadLeft != 0 || j.Remaining != j.Work-40 {
+		t.Errorf("after overhead: remaining=%v overhead=%v", j.Remaining, j.OverheadLeft)
+	}
+}
+
+func TestControllerEvents(t *testing.T) {
+	j := job.New(1, 0, job.Generic, 1, 1, 2, 10)
+	ct := NewController(j, job.Linear)
+	c := &Container{ID: 1}
+	ct.Join(c)
+	ct.Depart(1)
+	ct.Depart(1) // double departure is a no-op
+	joins, exits := ct.Events()
+	if joins != 1 || exits != 1 {
+		t.Errorf("events = %d joins, %d exits", joins, exits)
+	}
+}
+
+// TestEndToEndFIFO runs the full testbed with the FIFO scheduler on a small
+// workload: every job must complete, and the cluster must be clean.
+func TestEndToEndFIFO(t *testing.T) {
+	tr := trace.GenerateTestbed(3, 25)
+	cfg := Config{Cluster: cluster.TestbedConfig(), Speedup: 20000, Seed: 3}
+	tb := New(cfg, tr, &sched.FIFO{}, nil)
+	res := tb.Run(tr.Horizon)
+	if res.Completed != 25 {
+		t.Fatalf("completed %d/25", res.Completed)
+	}
+	if res.JCT.N != 25 || res.JCT.Mean <= 0 {
+		t.Errorf("JCT summary = %+v", res.JCT)
+	}
+	if res.ContainersLaunched == 0 {
+		t.Error("no containers launched")
+	}
+	if err := tb.st.Cluster.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if used := tb.st.Cluster.UsedGPUs(cluster.PoolTraining) + tb.st.Cluster.UsedGPUs(cluster.PoolOnLoan); used != 0 {
+		t.Errorf("%d GPUs still allocated after all jobs completed", used)
+	}
+}
+
+// TestEndToEndLyraWithLoaning runs the full stack — Lyra scheduler,
+// orchestrator, whitelist handovers — and checks the books stay balanced.
+func TestEndToEndLyraWithLoaning(t *testing.T) {
+	tr := trace.GenerateTestbed(5, 30)
+	cfg := Config{Cluster: cluster.TestbedConfig(), Speedup: 20000, Seed: 5}
+	tb := New(cfg, tr, sched.NewLyra(),
+		func(less func(a, b *job.Job) bool, inf *inference.Scheduler) *orchestrator.Orchestrator {
+			return orchestrator.New(inf, reclaim.Lyra{}, less)
+		})
+	res := tb.Run(tr.Horizon)
+	if res.Completed != 30 {
+		t.Fatalf("completed %d/30", res.Completed)
+	}
+	lyraWL, infWL := tb.Whitelists()
+	if lyraWL.Len()+infWL.Len() != 8 {
+		t.Errorf("whitelists cover %d servers, want 8", lyraWL.Len()+infWL.Len())
+	}
+	for _, id := range lyraWL.List() {
+		if infWL.Has(id) {
+			t.Errorf("server %d on both whitelists", id)
+		}
+	}
+	// Whitelists mirror the pools.
+	for _, s := range tb.st.Cluster.Servers() {
+		underLyra := s.Pool == cluster.PoolTraining || s.Pool == cluster.PoolOnLoan
+		if underLyra != lyraWL.Has(s.ID) {
+			t.Errorf("server %d pool %v vs whitelist mismatch", s.ID, s.Pool)
+		}
+	}
+	if res.WorkerJoins == 0 {
+		t.Error("no worker joins recorded by controllers")
+	}
+	if err := tb.st.Cluster.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGenerateTestbedWorkload checks the §7.5 workload shape.
+func TestGenerateTestbedWorkload(t *testing.T) {
+	tr := trace.GenerateTestbed(1, 180)
+	if len(tr.Jobs) != 180 {
+		t.Fatalf("jobs = %d", len(tr.Jobs))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	elastic := 0
+	for _, j := range tr.Jobs {
+		if j.Elastic {
+			elastic++
+		}
+		if j.MaxGPUs() > 16 {
+			t.Errorf("job %d demands %d GPUs, cap is 16 (half the cluster)", j.ID, j.MaxGPUs())
+		}
+		rt := j.MinRuntime(job.Linear)
+		if rt < 120-1e-9 || rt > 7200+1e-9 {
+			t.Errorf("job %d runtime %v outside [2 min, 2 h]", j.ID, rt)
+		}
+		if j.Arrival < 0 || j.Arrival >= 8*3600 {
+			t.Errorf("job %d arrives at %d outside the 8-hour window", j.ID, j.Arrival)
+		}
+	}
+	if elastic < 8 || elastic > 12 {
+		t.Errorf("elastic jobs = %d, want ~10 (§7.5)", elastic)
+	}
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"lyra/internal/job"
+)
+
+func TestSampleSurgesShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	surges := sampleSurges(rng, 30)
+	if len(surges) == 0 {
+		t.Fatal("30 days should produce surges at 70% per day")
+	}
+	for _, s := range surges {
+		if s.end <= s.start {
+			t.Fatalf("degenerate surge %+v", s)
+		}
+		lenH := (s.end - s.start) / 3600
+		if lenH < surgeMinHours || lenH > surgeMaxHours {
+			t.Fatalf("surge length %dh outside [%d,%d]", lenH, surgeMinHours, surgeMaxHours)
+		}
+		if s.mult < surgeMinMult || s.mult > surgeMaxMult {
+			t.Fatalf("surge multiplier %v outside [%v,%v]", s.mult, surgeMinMult, surgeMaxMult)
+		}
+		if s.start/86400 != (s.end-1)/86400 {
+			t.Fatalf("surge %+v crosses a day boundary", s)
+		}
+	}
+}
+
+func TestSurgeMultOutsideWindows(t *testing.T) {
+	surges := []surge{{start: 3600, end: 7200, mult: 2}}
+	if surgeMult(surges, 0) != 1 || surgeMult(surges, 7200) != 1 {
+		t.Error("outside a surge the multiplier must be 1")
+	}
+	if surgeMult(surges, 3600) != 2 || surgeMult(surges, 7199) != 2 {
+		t.Error("inside the surge the multiplier must apply")
+	}
+}
+
+func TestBatchSweepsProduceSiblings(t *testing.T) {
+	tr := Generate(Default(12))
+	// Count arrival timestamps shared by at least batchMinJobs jobs with
+	// identical demand — the hyperparameter-sweep batches.
+	type key struct {
+		at   int64
+		gpus int
+	}
+	counts := make(map[key]int)
+	for _, j := range tr.Jobs {
+		counts[key{j.Arrival, j.MaxGPUs()}]++
+	}
+	batches := 0
+	for _, n := range counts {
+		if n >= batchMinJobs {
+			batches++
+		}
+	}
+	if batches == 0 {
+		t.Error("no sweep batches found in a full trace")
+	}
+}
+
+func TestBatchSiblingsAreIndependentJobs(t *testing.T) {
+	tr := Generate(Default(12))
+	byArrival := make(map[int64][]*job.Job)
+	for _, j := range tr.Jobs {
+		byArrival[j.Arrival] = append(byArrival[j.Arrival], j)
+	}
+	for _, group := range byArrival {
+		if len(group) < 2 {
+			continue
+		}
+		for i := 1; i < len(group); i++ {
+			if group[i] == group[0] {
+				t.Fatal("batch siblings share a Job pointer")
+			}
+			if group[i].ID == group[0].ID {
+				t.Fatal("batch siblings share an ID")
+			}
+		}
+	}
+}
+
+func TestClampedLognormalMeanAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += sampleLognormal(rng, inelasticDurMedian, inelasticDurSigma)
+	}
+	empirical := sum / n
+	analytic := clampedLognormalMean(inelasticDurMedian, inelasticDurSigma)
+	if rel := (empirical - analytic) / analytic; rel > 0.05 || rel < -0.05 {
+		t.Errorf("clamped mean: empirical %v vs analytic %v (%.1f%% off)", empirical, analytic, 100*rel)
+	}
+}
+
+func TestFungibleJobsAreSmall(t *testing.T) {
+	tr := Generate(Default(8))
+	for _, j := range tr.Jobs {
+		if j.Fungible && !j.Elastic && j.MaxGPUs() > fungibleMaxGPUs {
+			t.Fatalf("fungible job %d demands %d GPUs (cap %d)", j.ID, j.MaxGPUs(), fungibleMaxGPUs)
+		}
+	}
+}
+
+func TestGenerateTestbedDeterministic(t *testing.T) {
+	a := GenerateTestbed(4, 50)
+	b := GenerateTestbed(4, 50)
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].Arrival != b.Jobs[i].Arrival || a.Jobs[i].Work != b.Jobs[i].Work {
+			t.Fatalf("job %d differs under the same seed", i)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"lyra/internal/job"
+)
+
+// Testbed workload parameters (§7.5): 180 jobs, ~10 of them elastic,
+// submitted over 8 hours, training times from 2 minutes to 2 hours, and no
+// job demanding more than half the 32-GPU training cluster.
+const (
+	testbedWindow     = 8 * 3600
+	testbedHorizon    = 12 * 3600
+	testbedDurMedian  = 900.0
+	testbedDurSigma   = 1.0
+	testbedMinDur     = 120.0
+	testbedMaxDur     = 7200.0
+	testbedElasticN   = 10
+	testbedMaxJobGPUs = 16
+)
+
+var (
+	testbedGPUs  = []int{1, 2, 4, 8, 16}
+	testbedProbs = []float64{0.30, 0.25, 0.20, 0.15, 0.10}
+)
+
+// GenerateTestbed produces the scaled-down workload of §7.5: n jobs (the
+// paper uses 180) over an 8-hour submission window with 2-minute to 2-hour
+// runtimes, roughly testbedElasticN of them elastic. Deterministic in seed.
+func GenerateTestbed(seed int64, n int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{Horizon: testbedHorizon, Config: Config{Seed: seed, MaxJobGPUs: testbedMaxJobGPUs}}
+	elasticEvery := n / testbedElasticN
+	if elasticEvery == 0 {
+		elasticEvery = 1
+	}
+	for id := 0; id < n; id++ {
+		arrival := int64(rng.Float64() * testbedWindow)
+		dur := testbedDurMedian * math.Exp(rng.NormFloat64()*testbedDurSigma)
+		if dur < testbedMinDur {
+			dur = testbedMinDur
+		}
+		if dur > testbedMaxDur {
+			dur = testbedMaxDur
+		}
+		var j *job.Job
+		if id%elasticEvery == elasticEvery/2 {
+			// Elastic job: 2-GPU workers, base 2, max 4-6 workers.
+			maxW := 4 + rng.Intn(3)
+			j = job.New(id, arrival, elasticModels[rng.Intn(len(elasticModels))], 2, 2, maxW, dur)
+			j.Elastic = true
+		} else {
+			gpus := sampleCategorical(rng, testbedGPUs, testbedProbs)
+			gpw, workers := gpus, 1
+			if gpus > 8 {
+				gpw, workers = 8, gpus/8
+			}
+			j = job.New(id, arrival, job.Generic, gpw, workers, workers, dur)
+		}
+		if j.MaxGPUs() <= fungibleMaxGPUs {
+			j.Fungible = rng.Float64() < 0.21/smallJobFraction
+		}
+		tr.Jobs = append(tr.Jobs, j)
+	}
+	sort.Slice(tr.Jobs, func(i, k int) bool {
+		if tr.Jobs[i].Arrival != tr.Jobs[k].Arrival {
+			return tr.Jobs[i].Arrival < tr.Jobs[k].Arrival
+		}
+		return tr.Jobs[i].ID < tr.Jobs[k].ID
+	})
+	for i, j := range tr.Jobs {
+		j.ID = i
+		j.LastEnqueue = j.Arrival
+	}
+	return tr
+}

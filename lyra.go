@@ -1,0 +1,298 @@
+// Package lyra is a from-scratch reproduction of "Lyra: Elastic Scheduling
+// for Deep Learning Clusters" (EuroSys '23). It schedules deep-learning
+// training jobs over a training cluster that can borrow idle inference
+// servers (capacity loaning, §4) and grow/shrink elastic jobs to soak up
+// the transient capacity (elastic scaling, §5).
+//
+// The package is organized as the paper's system is:
+//
+//   - this root package: configuration, scheme registry, and the Run entry
+//     point that replays a trace through the discrete-event simulator;
+//   - internal/sched, internal/alloc, internal/place, internal/reclaim,
+//     internal/orchestrator: Lyra's scheduler and every compared scheme;
+//   - internal/sim: the discrete-event cluster simulator;
+//   - internal/trace, internal/inference, internal/predict: the synthetic
+//     substrates standing in for the paper's production traces and LSTM
+//     usage predictor;
+//   - internal/testbed: a YARN-lite prototype runtime for the testbed-style
+//     experiments (§7.5);
+//   - internal/experiments: regeneration of every table and figure.
+//
+// A minimal run:
+//
+//	tr := lyra.GenerateTrace(lyra.TraceConfig{Seed: 1, Days: 2, TrainingGPUs: 256, LoadFactor: 0.9})
+//	rep, err := lyra.Run(lyra.Scenario(lyra.Basic, lyra.DefaultConfig()), tr)
+package lyra
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lyra/internal/cluster"
+	"lyra/internal/inference"
+	"lyra/internal/job"
+	"lyra/internal/metrics"
+	"lyra/internal/orchestrator"
+	"lyra/internal/predict"
+	"lyra/internal/reclaim"
+	"lyra/internal/sched"
+	"lyra/internal/sim"
+	"lyra/internal/trace"
+)
+
+// Re-exported configuration types, so that typical users never import the
+// internal packages directly.
+type (
+	// ClusterConfig sizes the training and inference clusters.
+	ClusterConfig = cluster.Config
+	// TraceConfig parameterizes synthetic trace generation.
+	TraceConfig = trace.Config
+	// Trace is a job submission trace.
+	Trace = trace.Trace
+	// ScalingModel is the job throughput model.
+	ScalingModel = job.ScalingModel
+	// Summary is the statistics bundle reported per metric.
+	Summary = metrics.Summary
+)
+
+// GenerateTrace synthesizes a production-like trace (see internal/trace).
+func GenerateTrace(cfg TraceConfig) *Trace { return trace.Generate(cfg) }
+
+// DefaultTraceConfig is the paper-scale 15-day trace configuration.
+func DefaultTraceConfig(seed int64) TraceConfig { return trace.Default(seed) }
+
+// SchedulerKind selects the job scheduler.
+type SchedulerKind string
+
+// Available job schedulers (§7.1, "Schemes compared").
+const (
+	SchedFIFO    SchedulerKind = "fifo"    // Baseline
+	SchedLyra    SchedulerKind = "lyra"    // two-phase SJF + MCKP (§5)
+	SchedGandiva SchedulerKind = "gandiva" // opportunistic scaling
+	SchedAFS     SchedulerKind = "afs"     // greedy marginal-gain
+	SchedPollux  SchedulerKind = "pollux"  // goodput GA
+)
+
+// ReclaimKind selects the server reclaiming policy (§4, §7.3).
+type ReclaimKind string
+
+// Available reclaiming policies.
+const (
+	ReclaimLyra    ReclaimKind = "lyra"
+	ReclaimRandom  ReclaimKind = "random"
+	ReclaimSCF     ReclaimKind = "scf"
+	ReclaimOptimal ReclaimKind = "optimal"
+)
+
+// Config assembles one simulated scheme.
+type Config struct {
+	Cluster   ClusterConfig
+	Scheduler SchedulerKind
+
+	// Elastic enables elastic scaling (phase 2) for the Lyra scheduler.
+	Elastic bool
+	// Loaning enables capacity loaning via the orchestrator.
+	Loaning bool
+	// Reclaim picks the reclaiming policy when Loaning is on.
+	Reclaim ReclaimKind
+	// Opportunistic switches to the Opportunistic comparison scheme:
+	// fungible jobs queue to the inference cluster only (§7.1).
+	Opportunistic bool
+	// Tuned attaches the hyperparameter-tuning job agent to elastic jobs
+	// (Lyra+TunedJobs, §7.4).
+	Tuned bool
+	// NaivePlacement disables the elastic placement grouping (Table 6).
+	NaivePlacement bool
+	// ProactiveReclaim drives loan targets from the LSTM usage predictor
+	// (§6): reclaiming starts before a predicted traffic rise instead of
+	// reacting to it, trimming trailing-edge preemptions.
+	ProactiveReclaim bool
+	// InfoAgnostic replaces the SJF queue order with least-attained-
+	// service (the information-agnostic scheduling the paper leaves as
+	// future work in §10): no running-time estimates are consulted.
+	InfoAgnostic bool
+
+	// Scaling is the throughput model; zero value means linear scaling
+	// with a 0.7 heterogeneous penalty (the paper's default operating
+	// point).
+	Scaling ScalingModel
+
+	// FracWrongEstimate and MaxEstimateError inject running-time
+	// prediction error (Table 9).
+	FracWrongEstimate float64
+	MaxEstimateError  float64
+
+	// Headroom is the never-loaned fraction of the inference cluster
+	// (default 0.02, §7.1).
+	Headroom float64
+
+	// SchedInterval, OrchInterval and PreemptOverhead override the
+	// simulator defaults (60 s, 300 s, 63 s).
+	SchedInterval   int64
+	OrchInterval    int64
+	PreemptOverhead float64
+
+	Seed int64
+}
+
+// DefaultConfig returns the full Lyra system at production scale: SJF+MCKP
+// scheduling, elastic scaling, capacity loaning with the knapsack-based
+// reclaiming heuristic.
+func DefaultConfig() Config {
+	return Config{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: SchedLyra,
+		Elastic:   true,
+		Loaning:   true,
+		Reclaim:   ReclaimLyra,
+		Scaling:   ScalingModel{HeteroPenalty: 0.7, PerWorkerLoss: 0},
+		Headroom:  0.02,
+	}
+}
+
+// BaselineConfig returns the paper's Baseline: FIFO, no loaning, no elastic
+// scaling.
+func BaselineConfig() Config {
+	return Config{
+		Cluster:   cluster.DefaultConfig(),
+		Scheduler: SchedFIFO,
+		Scaling:   ScalingModel{HeteroPenalty: 0.7},
+		Headroom:  0.02,
+	}
+}
+
+// Report is the per-run result bundle in the units the paper reports.
+type Report struct {
+	Queue Summary // queuing time, seconds
+	JCT   Summary // job completion time, seconds
+
+	// OnLoanQueue and OnLoanJCT cover only jobs that ran on on-loan
+	// servers (Table 7).
+	OnLoanQueue Summary
+	OnLoanJCT   Summary
+
+	TrainUsage   float64 // mean training-cluster GPU usage
+	OverallUsage float64 // mean combined usage
+	OnLoanUsage  float64 // mean on-loan server usage (Figure 9)
+
+	Preemptions        int
+	PreemptionRatio    float64
+	ScalingOps         int
+	CollateralDamage   float64
+	FlexSatisfiedShare float64
+
+	Completed int
+	Total     int
+
+	// Raw exposes the underlying simulator result for the experiments
+	// harness (usage time series, hourly queued ratios...).
+	Raw *sim.Result
+}
+
+// Run replays tr under cfg and returns the report. The input trace is
+// cloned, so the same trace can be reused across schemes.
+func Run(cfg Config, tr *Trace) (*Report, error) {
+	tr = tr.Clone()
+	if cfg.Scaling == (ScalingModel{}) {
+		cfg.Scaling = ScalingModel{HeteroPenalty: 0.7}
+	}
+	if cfg.Scaling.HeteroPenalty == 0 {
+		cfg.Scaling.HeteroPenalty = 1
+	}
+	if cfg.Headroom == 0 {
+		cfg.Headroom = 0.02
+	}
+	est := predict.WithError(cfg.FracWrongEstimate, cfg.MaxEstimateError, cfg.Seed+77)
+	est.Annotate(tr.Jobs)
+
+	c := cluster.New(cfg.Cluster)
+	s, err := buildScheduler(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	util := inference.GenerateUtilization(inference.DefaultUtilizationConfig(cfg.Seed+13), tr.Horizon, 300)
+	infSched := inference.NewScheduler(util, cfg.Cluster.InferenceServers, cfg.Headroom)
+
+	var orch sim.Orchestrator
+	if cfg.Loaning {
+		policy, err := buildReclaim(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var targeter orchestrator.LoanTargeter = infSched
+		if cfg.ProactiveReclaim {
+			targeter = orchestrator.NewForecaster(infSched, cfg.Seed+19)
+		}
+		o := orchestrator.New(targeter, policy, s.Less)
+		o.IncludeElasticDemand = cfg.Elastic && cfg.Scheduler != SchedFIFO
+		o.LoanOnlyDemand = cfg.Opportunistic
+		orch = o
+	}
+
+	simCfg := sim.Config{
+		SchedInterval:   cfg.SchedInterval,
+		OrchInterval:    cfg.OrchInterval,
+		PreemptOverhead: cfg.PreemptOverhead,
+		Scaling:         cfg.Scaling,
+		InferenceUtil:   func(t int64) float64 { return infSched.UtilizationAt(t) },
+	}
+	res := sim.New(c, tr.Jobs, tr.Horizon, s, orch, simCfg).Run()
+	return buildReport(res, tr), nil
+}
+
+func buildScheduler(cfg Config) (sim.Scheduler, error) {
+	switch cfg.Scheduler {
+	case SchedFIFO:
+		return &sched.FIFO{Opportunistic: cfg.Opportunistic}, nil
+	case SchedLyra, "":
+		return &sched.Lyra{
+			Elastic:        cfg.Elastic,
+			NaivePlacement: cfg.NaivePlacement,
+			Tuned:          cfg.Tuned,
+			Opportunistic:  cfg.Opportunistic,
+			InfoAgnostic:   cfg.InfoAgnostic,
+		}, nil
+	case SchedGandiva:
+		return &sched.Gandiva{}, nil
+	case SchedAFS:
+		return &sched.AFS{}, nil
+	case SchedPollux:
+		return sched.NewPollux(cfg.Seed + 5), nil
+	}
+	return nil, fmt.Errorf("lyra: unknown scheduler %q", cfg.Scheduler)
+}
+
+func buildReclaim(cfg Config) (reclaim.Policy, error) {
+	switch cfg.Reclaim {
+	case ReclaimLyra, "":
+		return reclaim.Lyra{}, nil
+	case ReclaimRandom:
+		return reclaim.Random{Rng: rand.New(rand.NewSource(cfg.Seed + 31))}, nil
+	case ReclaimSCF:
+		return reclaim.SCF{}, nil
+	case ReclaimOptimal:
+		return reclaim.Optimal{}, nil
+	}
+	return nil, fmt.Errorf("lyra: unknown reclaim policy %q", cfg.Reclaim)
+}
+
+func buildReport(res *sim.Result, tr *Trace) *Report {
+	return &Report{
+		Queue:              res.QueuingSummary(),
+		JCT:                res.JCTSummary(),
+		OnLoanQueue:        res.OnLoanQueuingSummary(),
+		OnLoanJCT:          res.OnLoanJCTSummary(),
+		TrainUsage:         res.MeanTrainUsage(),
+		OverallUsage:       res.MeanOverallUsage(),
+		OnLoanUsage:        res.MeanOnLoanUsage(),
+		Preemptions:        res.Preemptions,
+		PreemptionRatio:    res.PreemptionRatio,
+		ScalingOps:         res.ScalingOps,
+		CollateralDamage:   res.CollateralDamage,
+		FlexSatisfiedShare: res.FlexSatisfiedShare,
+		Completed:          res.Completed,
+		Total:              len(tr.Jobs),
+		Raw:                res,
+	}
+}

@@ -1,0 +1,122 @@
+package lyra
+
+import (
+	"math/rand"
+)
+
+// ScenarioKind selects one of the evaluation scenarios of §7.1, which
+// differ in how many jobs support elastic scaling and heterogeneous
+// training.
+type ScenarioKind string
+
+// Evaluation scenarios.
+const (
+	// Baseline: FIFO, no loaning, no elastic scaling (Table 5 row 1).
+	Baseline ScenarioKind = "baseline"
+	// Basic: 21% fungible jobs for loaning, ~5% elastic jobs for scaling,
+	// no heterogeneous training. The default scenario (row 2).
+	Basic ScenarioKind = "basic"
+	// Advanced: Basic plus 10% of jobs capable of heterogeneous training
+	// at 70% of ideal performance (row 3).
+	Advanced ScenarioKind = "advanced"
+	// Heterogeneous: no fungible load; only the 10% heterogeneous jobs
+	// cross the cluster boundary (row 4).
+	Heterogeneous ScenarioKind = "heterogeneous"
+	// Ideal: every job supports scaling and heterogeneous training with
+	// ideal performance; jobs without a scaling range get base = requested
+	// demand and max = twice that (row 5).
+	Ideal ScenarioKind = "ideal"
+)
+
+// Scenario adapts cfg to the named scenario. It controls scheduler flags
+// and the scaling model; ApplyScenario must be called on the trace with the
+// same scenario to set the per-job capability flags.
+func Scenario(kind ScenarioKind, cfg Config) Config {
+	switch kind {
+	case Baseline:
+		cfg.Scheduler = SchedFIFO
+		cfg.Elastic = false
+		cfg.Loaning = false
+	case Basic:
+		cfg.Scaling.HeteroPenalty = 0.7 // irrelevant: no hetero jobs
+	case Advanced, Heterogeneous:
+		cfg.Scaling.HeteroPenalty = 0.7
+	case Ideal:
+		cfg.Scaling.HeteroPenalty = 1.0
+	}
+	return cfg
+}
+
+// ApplyScenario rewrites the per-job capability flags of tr in place for
+// the named scenario, using a deterministic seed for the random selections.
+func ApplyScenario(tr *Trace, kind ScenarioKind, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case Baseline, Basic:
+		// Trace defaults: 21% fungible, ~5% elastic, no hetero.
+		for _, j := range tr.Jobs {
+			j.Hetero = false
+		}
+	case Advanced:
+		// 10% heterogeneous-capable jobs, randomly selected and evenly
+		// distributed across the trace (§7.1).
+		for _, j := range tr.Jobs {
+			j.Hetero = rng.Float64() < 0.10
+		}
+	case Heterogeneous:
+		// Fungible load disabled; 10% heterogeneous only.
+		for _, j := range tr.Jobs {
+			j.Fungible = false
+			j.Hetero = rng.Float64() < 0.10
+		}
+	case Ideal:
+		// Full flexibility: every job is fungible, elastic and
+		// heterogeneous-capable; jobs without a scaling range scale to
+		// twice their requested demand.
+		for _, j := range tr.Jobs {
+			j.Fungible = true
+			j.Hetero = true
+			if !j.Elastic {
+				j.Elastic = true
+				j.MaxWorkers = 2 * j.MinWorkers
+			}
+		}
+	}
+}
+
+// SetHeteroFraction marks the given fraction of jobs heterogeneous-capable
+// (Figure 11's sweep), deterministically in seed.
+func SetHeteroFraction(tr *Trace, frac float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, j := range tr.Jobs {
+		j.Hetero = rng.Float64() < frac
+	}
+}
+
+// SetElasticFraction makes the given fraction of jobs elastic (Figures
+// 14-16): chosen inelastic jobs get a scaling range of twice their
+// requested demand, mirroring the Ideal scenario's rule.
+func SetElasticFraction(tr *Trace, frac float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, j := range tr.Jobs {
+		switch {
+		case rng.Float64() < frac:
+			if !j.Elastic {
+				j.Elastic = true
+				j.MaxWorkers = 2 * j.MinWorkers
+			}
+		case j.Elastic:
+			j.Elastic = false
+			j.MaxWorkers = j.MinWorkers
+		}
+	}
+}
+
+// SetCheckpointFraction enables checkpointing for the given fraction of
+// jobs (Figure 13).
+func SetCheckpointFraction(tr *Trace, frac float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, j := range tr.Jobs {
+		j.Checkpoint = rng.Float64() < frac
+	}
+}
