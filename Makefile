@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all check fmt vet build test race bench fuzz
+
+all: check
+
+# check is the default gate: formatting, vet, build, the full test suite
+# (every package runs with the invariant auditor on), and the race detector
+# over the internal packages.
+check: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# bench runs the audit-overhead and experiment benchmarks (audit off: the
+# numbers quoted in DESIGN.md come from BenchmarkEngineAudit).
+bench:
+	$(GO) test -run NONE -bench BenchmarkEngineAudit -benchtime 10x ./internal/sim/
+
+# fuzz explores random start/scale/preempt/reclaim interleavings beyond the
+# seed corpus that already runs under `make test`.
+fuzz:
+	$(GO) test -fuzz FuzzChaosInterleavings -fuzztime 60s ./internal/sim/

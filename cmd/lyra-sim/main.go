@@ -36,6 +36,7 @@ func main() {
 		loss      = flag.Float64("scaling-loss", 0, "per-worker throughput loss (imperfect scaling)")
 		proactive = flag.Bool("proactive", false, "LSTM-forecast-driven (proactive) reclaiming")
 		agnostic  = flag.Bool("info-agnostic", false, "least-attained-service order instead of SJF (no runtime estimates)")
+		audit     = flag.Bool("audit", false, "run the invariant auditor after every event (results are identical, runs slower)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,7 @@ func main() {
 		Tuned:            *tuned,
 		ProactiveReclaim: *proactive,
 		InfoAgnostic:     *agnostic,
+		Audit:            *audit,
 		Seed:             *seed,
 	}
 	cfg = lyra.Scenario(kind, cfg)

@@ -33,7 +33,7 @@ func Calibration(p Params) []*Table {
 	infSched := inference.NewScheduler(util, cluster.TestbedConfig().InferenceServers, 0.02)
 	orch := orchestrator.New(infSched, reclaim.Lyra{}, simSched.Less)
 	simRes := sim.New(c, cloneJobs(tr), tr.Horizon, simSched, orch, sim.Config{
-		SchedInterval: 30, OrchInterval: 300,
+		SchedInterval: 30, OrchInterval: 300, Audit: p.Audit,
 	}).Run()
 	simQ := simRes.QueuingSummary()
 	simJ := simRes.JCTSummary()
@@ -46,6 +46,7 @@ func Calibration(p Params) []*Table {
 		SchedInterval: 30,
 		OrchInterval:  300,
 		UtilCompress:  1,
+		Audit:         p.Audit,
 		Seed:          p.Seed,
 	}
 	tb := testbed.New(tbCfg, tr.Clone(), sched.NewLyra(),

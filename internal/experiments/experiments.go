@@ -25,6 +25,11 @@ type Params struct {
 	InferenceServers int
 	LoadFactor       float64
 	Seed             int64
+	// Audit turns on the invariant audit layer for every simulation and
+	// testbed run of the experiment (tests set it; the headline harness
+	// leaves it off so published numbers come from the unchanged hot
+	// path — they are identical either way, see lyra.Config.Audit).
+	Audit bool
 }
 
 // Full returns the paper-scale parameters (§7.1: 443 8-GPU training
@@ -166,6 +171,7 @@ func baselineCfg(p Params) lyra.Config {
 	cfg := lyra.BaselineConfig()
 	cfg.Cluster = p.ClusterConfig()
 	cfg.Seed = p.Seed
+	cfg.Audit = p.Audit
 	return cfg
 }
 
@@ -173,6 +179,7 @@ func lyraCfg(p Params) lyra.Config {
 	cfg := lyra.DefaultConfig()
 	cfg.Cluster = p.ClusterConfig()
 	cfg.Seed = p.Seed
+	cfg.Audit = p.Audit
 	return cfg
 }
 

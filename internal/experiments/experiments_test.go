@@ -10,7 +10,7 @@ import (
 // tiny returns parameters small enough for every experiment to run inside
 // the unit-test budget.
 func tiny() Params {
-	return Params{Days: 1, TrainingServers: 16, InferenceServers: 16, LoadFactor: 0.83, Seed: 1}
+	return Params{Days: 1, TrainingServers: 16, InferenceServers: 16, LoadFactor: 0.83, Seed: 1, Audit: true}
 }
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {

@@ -20,11 +20,12 @@ func testbedTrace(seed int64) *trace.Trace {
 }
 
 // testbedRun executes one scheme on the 64-GPU testbed prototype.
-func testbedRun(seed int64, s sim.Scheduler, policy reclaim.Policy) testbed.Result {
+func testbedRun(p Params, s sim.Scheduler, policy reclaim.Policy) testbed.Result {
 	cfg := testbed.Config{
 		Cluster: cluster.TestbedConfig(),
 		Speedup: 4000,
-		Seed:    seed,
+		Audit:   p.Audit,
+		Seed:    p.Seed,
 	}
 	var orchBuilder func(less func(a, b *job.Job) bool, inf *inference.Scheduler) *orchestrator.Orchestrator
 	if policy != nil {
@@ -32,7 +33,7 @@ func testbedRun(seed int64, s sim.Scheduler, policy reclaim.Policy) testbed.Resu
 			return orchestrator.New(inf, policy, less)
 		}
 	}
-	tr := testbedTrace(seed)
+	tr := testbedTrace(p.Seed)
 	tb := testbed.New(cfg, tr, s, orchBuilder)
 	return tb.Run(tr.Horizon)
 }
@@ -62,23 +63,23 @@ func Table10(p Params) []*Table {
 	newRand := func() reclaim.Policy { return reclaim.Random{Rng: newRng(p.Seed + 31)} }
 
 	t.Rows = append(t.Rows, testbedRow("Baseline(FIFO)",
-		testbedRun(p.Seed, &sched.FIFO{}, nil), false))
+		testbedRun(p, &sched.FIFO{}, nil), false))
 	t.Rows = append(t.Rows, testbedRow("Lyra(full)",
-		testbedRun(p.Seed, sched.NewLyra(), reclaim.Lyra{}), true))
+		testbedRun(p, sched.NewLyra(), reclaim.Lyra{}), true))
 	t.Rows = append(t.Rows, testbedRow("Loan/Random",
-		testbedRun(p.Seed, &sched.Lyra{}, newRand()), true))
+		testbedRun(p, &sched.Lyra{}, newRand()), true))
 	t.Rows = append(t.Rows, testbedRow("Loan/SCF",
-		testbedRun(p.Seed, &sched.Lyra{}, reclaim.SCF{}), true))
+		testbedRun(p, &sched.Lyra{}, reclaim.SCF{}), true))
 	t.Rows = append(t.Rows, testbedRow("Loan/Lyra",
-		testbedRun(p.Seed, &sched.Lyra{}, reclaim.Lyra{}), true))
+		testbedRun(p, &sched.Lyra{}, reclaim.Lyra{}), true))
 	t.Rows = append(t.Rows, testbedRow("Elastic/Gandiva",
-		testbedRun(p.Seed, &sched.Gandiva{}, nil), false))
+		testbedRun(p, &sched.Gandiva{}, nil), false))
 	t.Rows = append(t.Rows, testbedRow("Elastic/AFS",
-		testbedRun(p.Seed, &sched.AFS{}, nil), false))
+		testbedRun(p, &sched.AFS{}, nil), false))
 	t.Rows = append(t.Rows, testbedRow("Elastic/Pollux",
-		testbedRun(p.Seed, sched.NewPollux(p.Seed+5), nil), false))
+		testbedRun(p, sched.NewPollux(p.Seed+5), nil), false))
 	t.Rows = append(t.Rows, testbedRow("Elastic/Lyra",
-		testbedRun(p.Seed, &sched.Lyra{Elastic: true}, nil), false))
+		testbedRun(p, &sched.Lyra{Elastic: true}, nil), false))
 	t.Notes = append(t.Notes,
 		"paper shape: Lyra improves queuing ~1.38x and JCT ~1.22x over Baseline; reclaiming order Lyra < SCF < Random preemptions",
 		"wall-clock: the prototype replays the trace at 4000x real time with goroutine containers")
@@ -106,7 +107,7 @@ func Fig17(p Params) []*Table {
 			{"SCF", reclaim.SCF{}},
 			{"Lyra", reclaim.Lyra{}},
 		} {
-			r := testbedRun(p.Seed, &sched.Lyra{Elastic: elastic}, rc.policy)
+			r := testbedRun(p, &sched.Lyra{Elastic: elastic}, rc.policy)
 			t.Rows = append(t.Rows, []string{label, rc.name, fmtPct(r.PreemptionRatio), fmtPct(r.CollateralDamage)})
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"lyra/internal/cluster"
+	"lyra/internal/invariant"
 	"lyra/internal/job"
 	"lyra/internal/place"
 	"lyra/internal/reclaim"
@@ -34,6 +35,11 @@ type Orchestrator struct {
 	// their backlog then cannot be offset by free training capacity when
 	// estimating loan demand.
 	LoanOnlyDemand bool
+	// Audit, when set, re-runs the invariant suite (internal/invariant)
+	// after every epoch, panicking on a violation — the same net the
+	// simulator's engine casts, available to substrates (unit tests, the
+	// testbed) that drive Epoch directly.
+	Audit *invariant.Auditor
 }
 
 // New returns an orchestrator. The targeter is usually the reactive
@@ -68,6 +74,12 @@ func (o *Orchestrator) Epoch(st *sim.State) {
 		o.reclaim(st, cur-capSrv)
 	case want < cur:
 		o.returnIdle(st, cur-want)
+	}
+	if o.Audit != nil {
+		ctx := fmt.Sprintf("orchestrator:epoch t=%g", st.Now)
+		if err := o.Audit.Audit(st.AuditView(ctx, o.Less)); err != nil {
+			panic(err)
+		}
 	}
 }
 
@@ -104,8 +116,15 @@ func (o *Orchestrator) demandServers(st *sim.State) int {
 	}
 	if o.IncludeElasticDemand {
 		for _, j := range st.Running {
-			if j.Elastic {
-				demand += (j.FlexRange() - j.FlexibleWorkers()) * j.GPUsPerWorker
+			if !j.Elastic {
+				continue
+			}
+			// Clamp each job's unmet flexible demand at zero: a job
+			// holding more flexible workers than its range (over-
+			// provisioned by an earlier epoch or a permissive scheduler)
+			// must not subtract from the other jobs' loan demand.
+			if unmet := j.FlexRange() - j.FlexibleWorkers(); unmet > 0 {
+				demand += unmet * j.GPUsPerWorker
 			}
 		}
 	}

@@ -255,7 +255,7 @@ func TestOrchestratorEndToEndDiurnal(t *testing.T) {
 	}
 	s := testSched{}
 	o := New(infSched, reclaim.Lyra{}, s.Less)
-	res := sim.New(c, jobs, 86400, s, o, sim.Config{}).Run()
+	res := sim.New(c, jobs, 86400, s, o, sim.Config{Audit: true}).Run()
 	if res.Completed != 60 {
 		t.Fatalf("completed %d/60", res.Completed)
 	}

@@ -80,7 +80,9 @@ func (a *AFS) Schedule(st *sim.State) {
 	startBase(st, defaultPoolPolicy, true)
 	cands := make([]*job.Job, 0)
 	flexGPUs := 0
-	for _, j := range st.Running {
+	// ID order, not map order: candidate order decides who wins marginal-
+	// gain ties, which must not vary run to run.
+	for _, j := range sortedRunning(st) {
 		if j.Elastic && j.FlexRange() > 0 {
 			cands = append(cands, j)
 			flexGPUs += j.FlexibleWorkers() * j.GPUsPerWorker

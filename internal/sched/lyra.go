@@ -78,7 +78,10 @@ func (l *Lyra) Schedule(st *sim.State) {
 func (l *Lyra) phase2(st *sim.State) {
 	var cands []*job.Job
 	flexGPUs := 0
-	for _, j := range st.Running {
+	// Iterate in ID order: the candidate order is the MCKP group order,
+	// and map order would make tie-breaks (and thus results) vary run to
+	// run.
+	for _, j := range sortedRunning(st) {
 		if j.Elastic && j.FlexRange() > 0 {
 			cands = append(cands, j)
 			flexGPUs += j.FlexibleWorkers() * j.GPUsPerWorker

@@ -36,7 +36,9 @@ func (p *Pollux) Schedule(st *sim.State) {
 	running := make(map[int]bool)
 	var cands []*job.Job
 	heldGPUs := 0 // all GPUs held by resizable running jobs: the GA re-decides their whole allocation
-	for _, j := range st.Running {
+	// ID order, not map order: cands seeds the GA's search population, so
+	// its order must not vary run to run.
+	for _, j := range sortedRunning(st) {
 		if j.Elastic && j.FlexRange() > 0 {
 			running[j.ID] = true
 			cands = append(cands, j)

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"fmt"
+
+	"lyra/internal/invariant"
+	"lyra/internal/job"
+)
+
+// AuditView packages the scheduler-visible state for the invariant auditor
+// (internal/invariant). The engine, the orchestrator and the testbed all
+// audit through this same view, so one rule set covers every substrate.
+func (st *State) AuditView(ctx string, less func(a, b *job.Job) bool) invariant.View {
+	return invariant.View{
+		Context: ctx,
+		Now:     st.Now,
+		Cluster: st.Cluster,
+		Pending: st.Pending,
+		Running: st.Running,
+		Less:    less,
+	}
+}
+
+// auditAfter runs the full invariant suite after one applied event and
+// panics with the structured expected-vs-actual report on a violation: the
+// simulation state is corrupt and no result derived from it can be
+// trusted, so failing loudly at the offending event is the only safe
+// behavior.
+func (e *Engine) auditAfter(ev event) {
+	ctx := fmt.Sprintf("sim:%v t=%g job=%d", ev.kind, e.st.Now, ev.jobID)
+	if err := e.audit.Audit(e.st.AuditView(ctx, e.sched.Less)); err != nil {
+		panic(err)
+	}
+}
+
+// BookkeepingSizes reports the sizes of the engine's and state's internal
+// per-job maps — test hooks for asserting that completed jobs do not
+// accumulate dead entries over long traces.
+func (e *Engine) BookkeepingSizes() (lastUpdate, versions int) {
+	return len(e.st.lastUpdate), len(e.version)
+}

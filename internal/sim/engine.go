@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"lyra/internal/cluster"
+	"lyra/internal/invariant"
 	"lyra/internal/job"
 	"lyra/internal/metrics"
 )
@@ -35,6 +36,15 @@ type Config struct {
 	// time t for combined-usage accounting; nil means no inference
 	// cluster in the usage metrics.
 	InferenceUtil func(t int64) float64
+	// Audit enables the invariant audit layer (internal/invariant): after
+	// every processed event the full conservation/legality suite is
+	// checked over the state, and the engine panics with a structured
+	// expected-vs-actual report on the first violation. Tests run with
+	// Audit on; it is off by default so benchmarks and the headline
+	// experiment harness keep the unchanged hot path (the audit-off cost
+	// is a single nil check per event — see DESIGN.md for the measured
+	// overhead of each mode).
+	Audit bool
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +78,22 @@ const (
 	evSched
 	evMetrics
 )
+
+func (k eventKind) String() string {
+	switch k {
+	case evArrival:
+		return "arrival"
+	case evFinish:
+		return "finish"
+	case evOrch:
+		return "orch"
+	case evSched:
+		return "sched"
+	case evMetrics:
+		return "metrics"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
 
 type event struct {
 	t       float64
@@ -109,6 +135,7 @@ type Engine struct {
 
 	completed int
 	ranOnLoan map[int]bool
+	audit     *invariant.Auditor
 
 	trainUsage   *metrics.TimeSeries
 	overallUsage *metrics.TimeSeries
@@ -136,6 +163,9 @@ func New(c *cluster.Cluster, jobs []*job.Job, horizon int64, sched Scheduler, or
 	}
 	for _, j := range jobs {
 		e.byID[j.ID] = j
+	}
+	if cfg.Audit {
+		e.audit = invariant.New()
 	}
 	e.trainUsage = metrics.NewTimeSeries(0, cfg.MetricsInterval)
 	e.overallUsage = metrics.NewTimeSeries(0, cfg.MetricsInterval)
@@ -225,6 +255,9 @@ func (e *Engine) Run() *Result {
 			e.st.finish(j)
 			e.completed++
 			e.st.drainChanged() // no new finish event needed
+			// The job can never run again: drop its stale-event version
+			// counter so long traces don't accumulate dead entries.
+			delete(e.version, j.ID)
 		case evOrch:
 			e.orch.Epoch(e.st)
 			e.drain()
@@ -246,6 +279,9 @@ func (e *Engine) Run() *Result {
 			if next := e.st.Now + float64(e.cfg.MetricsInterval); next < float64(e.horizon) && next < maxTime {
 				e.push(next, evMetrics, 0, 0)
 			}
+		}
+		if e.audit != nil {
+			e.auditAfter(ev)
 		}
 	}
 	return e.result()

@@ -66,7 +66,7 @@ func TestEngineOrchestratorPathAndCollateral(t *testing.T) {
 	c := smallCluster(0, 2)
 	j := job.New(0, 0, job.Generic, 2, 1, 1, 5000)
 	j.Fungible = true
-	e := New(c, []*job.Job{j}, 3600, loanSched{}, &loanOrch{}, Config{})
+	e := New(c, []*job.Job{j}, 3600, loanSched{}, &loanOrch{}, Config{Audit: true})
 	res := e.Run()
 	if res.Completed != 1 {
 		t.Fatalf("completed %d/1 (preempted job should restart after re-loan... it cannot here)", res.Completed)
@@ -85,7 +85,7 @@ func TestEngineOrchestratorPathAndCollateral(t *testing.T) {
 func TestEngineInferenceUtilInOverallUsage(t *testing.T) {
 	c := smallCluster(1, 1)
 	j := job.New(0, 0, job.Generic, 8, 1, 1, 3600)
-	cfg := Config{InferenceUtil: func(int64) float64 { return 0.5 }}
+	cfg := Config{InferenceUtil: func(int64) float64 { return 0.5 }, Audit: true}
 	res := New(c, []*job.Job{j}, 3600, fifoSched{}, nil, cfg).Run()
 	// Training: 8/8 busy. Inference: 0.5*8 = 4 busy. Overall = 12/16.
 	if got := res.MeanOverallUsage(); math.Abs(got-0.75) > 1e-9 {
@@ -99,7 +99,7 @@ func TestEngineInferenceUtilInOverallUsage(t *testing.T) {
 func TestEngineMaxTimeCutsRunawayJobs(t *testing.T) {
 	c := smallCluster(1, 0)
 	long := job.New(0, 0, job.Generic, 8, 1, 1, 1e7) // ~116 days
-	res := New(c, []*job.Job{long}, 3600, fifoSched{}, nil, Config{MaxTime: 7200}).Run()
+	res := New(c, []*job.Job{long}, 3600, fifoSched{}, nil, Config{MaxTime: 7200, Audit: true}).Run()
 	if res.Completed != 0 {
 		t.Error("job beyond MaxTime should not complete")
 	}
@@ -114,7 +114,7 @@ func TestEngineMaxTimeCutsRunawayJobs(t *testing.T) {
 func TestOnLoanUsageNaNWhenNothingLoaned(t *testing.T) {
 	c := smallCluster(1, 0)
 	j := job.New(0, 0, job.Generic, 1, 1, 1, 600)
-	res := New(c, []*job.Job{j}, 3600, fifoSched{}, nil, Config{}).Run()
+	res := New(c, []*job.Job{j}, 3600, fifoSched{}, nil, Config{Audit: true}).Run()
 	if res.MeanOnLoanUsage() != 0 {
 		t.Errorf("on-loan usage with no loans = %v, want 0", res.MeanOnLoanUsage())
 	}

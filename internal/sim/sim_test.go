@@ -36,7 +36,7 @@ func smallCluster(training, inf int) *cluster.Cluster {
 func TestSingleJobLifecycle(t *testing.T) {
 	c := smallCluster(1, 0)
 	j := job.New(0, 100, job.Generic, 4, 1, 1, 500)
-	e := New(c, []*job.Job{j}, 86400, fifoSched{}, nil, Config{})
+	e := New(c, []*job.Job{j}, 86400, fifoSched{}, nil, Config{Audit: true})
 	res := e.Run()
 	if res.Completed != 1 || j.State != job.Completed {
 		t.Fatalf("job not completed: %v", j.State)
@@ -63,7 +63,7 @@ func TestQueuingWhenClusterFull(t *testing.T) {
 	c := smallCluster(1, 0)
 	a := job.New(0, 0, job.Generic, 8, 1, 1, 1000)
 	b := job.New(1, 0, job.Generic, 8, 1, 1, 1000)
-	e := New(c, []*job.Job{a, b}, 86400, fifoSched{}, nil, Config{})
+	e := New(c, []*job.Job{a, b}, 86400, fifoSched{}, nil, Config{Audit: true})
 	res := e.Run()
 	if res.Completed != 2 {
 		t.Fatal("jobs incomplete")
@@ -82,7 +82,7 @@ func TestWorkConservationManyJobs(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		jobs = append(jobs, job.New(i, int64(i*137), job.Generic, 1+i%4, 1, 1, float64(200+73*i)))
 	}
-	e := New(c, jobs, 86400, fifoSched{}, nil, Config{})
+	e := New(c, jobs, 86400, fifoSched{}, nil, Config{Audit: true})
 	res := e.Run()
 	if res.Completed != 40 {
 		t.Fatalf("completed %d/40", res.Completed)
@@ -110,7 +110,7 @@ func TestDeterminism(t *testing.T) {
 		for i := 0; i < 25; i++ {
 			jobs = append(jobs, job.New(i, int64(i*311%2000), job.Generic, 1+i%3, 1, 1, float64(150+91*i)))
 		}
-		res := New(c, jobs, 86400, fifoSched{}, nil, Config{}).Run()
+		res := New(c, jobs, 86400, fifoSched{}, nil, Config{Audit: true}).Run()
 		out := make([]int64, 0, len(res.Jobs))
 		for _, j := range res.Jobs {
 			out = append(out, j.FinishTime)
@@ -182,7 +182,7 @@ func TestOverheadDelaysCompletion(t *testing.T) {
 	c := smallCluster(1, 0)
 	j := job.New(0, 0, job.Generic, 8, 1, 1, 300)
 	j.OverheadLeft = 63
-	e := New(c, []*job.Job{j}, 86400, fifoSched{}, nil, Config{})
+	e := New(c, []*job.Job{j}, 86400, fifoSched{}, nil, Config{Audit: true})
 	res := e.Run()
 	if res.Completed != 1 {
 		t.Fatal("incomplete")
@@ -200,7 +200,7 @@ func TestScaleOutAcceleratesJob(t *testing.T) {
 	j.Elastic = true
 
 	s := &scaleOnceSched{}
-	e := New(c, []*job.Job{j}, 86400, s, nil, Config{})
+	e := New(c, []*job.Job{j}, 86400, s, nil, Config{Audit: true})
 	res := e.Run()
 	if res.Completed != 1 {
 		t.Fatal("incomplete")
@@ -280,7 +280,7 @@ func TestHourlyQueuedRatio(t *testing.T) {
 		job.New(1, 600, job.Generic, 8, 1, 1, 100),
 		job.New(2, 4000, job.Generic, 8, 1, 1, 100),
 	}
-	e := New(c, jobs, 6*3600, fifoSched{}, nil, Config{})
+	e := New(c, jobs, 6*3600, fifoSched{}, nil, Config{Audit: true})
 	res := e.Run()
 	if res.Completed != 3 {
 		t.Fatal("incomplete")
@@ -297,7 +297,7 @@ func TestUsageSampledOverTraceWindowOnly(t *testing.T) {
 	c := smallCluster(1, 0)
 	// One job occupying everything for far longer than the horizon.
 	j := job.New(0, 0, job.Generic, 8, 1, 1, 7200)
-	e := New(c, []*job.Job{j}, 3600, fifoSched{}, nil, Config{})
+	e := New(c, []*job.Job{j}, 3600, fifoSched{}, nil, Config{Audit: true})
 	res := e.Run()
 	if res.Completed != 1 {
 		t.Fatal("incomplete")
@@ -317,7 +317,7 @@ func TestStaleFinishEventIgnored(t *testing.T) {
 	j := job.New(0, 0, job.Generic, 2, 1, 4, 400)
 	j.Elastic = true
 	s := &scaleOnceSched{}
-	res := New(c, []*job.Job{j}, 86400, s, nil, Config{}).Run()
+	res := New(c, []*job.Job{j}, 86400, s, nil, Config{Audit: true}).Run()
 	if res.Completed != 1 {
 		t.Fatal("incomplete")
 	}
@@ -335,7 +335,7 @@ func TestRanOnLoanTracking(t *testing.T) {
 	j := job.New(0, 0, job.Generic, 2, 1, 1, 100)
 	j.Fungible = true
 	s := &onLoanSched{}
-	res := New(c, []*job.Job{j}, 86400, s, nil, Config{}).Run()
+	res := New(c, []*job.Job{j}, 86400, s, nil, Config{Audit: true}).Run()
 	if res.Completed != 1 {
 		t.Fatal("incomplete")
 	}

@@ -142,35 +142,58 @@ func (st *State) AddWorkers(j *job.Job, workers []job.Worker) {
 // placed on server sid, releasing their GPUs. It returns the number of
 // workers removed.
 func (st *State) RemoveFlexibleOnServer(j *job.Job, sid int) int {
-	return st.removeFlexible(j, func(w job.Worker) bool { return w.Server == sid })
+	return st.removeFlexible(j, func(i int, w job.Worker) bool { return w.Server == sid })
 }
 
 // RemoveFlexibleWorkers scales j in by up to n flexible workers anywhere,
 // releasing their GPUs, and returns the number removed. Workers on the
-// least-loaded servers are removed first to reduce fragmentation.
+// least-loaded servers are removed first to reduce fragmentation: vacating
+// the lightest server is the removal most likely to empty it, keeping
+// whole servers free for gang placement and voluntary loan returns.
 func (st *State) RemoveFlexibleWorkers(j *job.Job, n int) int {
-	if n <= 0 {
+	if n <= 0 || j.State != job.Running {
 		return 0
 	}
-	removed := 0
-	return st.removeFlexible(j, func(w job.Worker) bool {
-		if removed >= n {
-			return false
+	// Rank candidate flexible workers by ascending hosting-server load
+	// (measured before any removal), breaking ties by server ID then
+	// worker order for determinism.
+	type cand struct {
+		idx, load, srv int
+	}
+	cands := make([]cand, 0, len(j.Workers))
+	for i, w := range j.Workers {
+		if w.Flexible {
+			cands = append(cands, cand{idx: i, load: st.Cluster.Server(w.Server).Used(), srv: w.Server})
 		}
-		removed++
-		return true
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].load != cands[b].load {
+			return cands[a].load < cands[b].load
+		}
+		return cands[a].srv < cands[b].srv
 	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	chosen := make(map[int]bool, n)
+	for _, c := range cands[:n] {
+		chosen[c.idx] = true
+	}
+	return st.removeFlexible(j, func(i int, w job.Worker) bool { return chosen[i] })
 }
 
-func (st *State) removeFlexible(j *job.Job, sel func(job.Worker) bool) int {
+// removeFlexible removes j's flexible workers selected by sel (which sees
+// each worker's index in the pre-removal j.Workers slice) and releases
+// their GPUs.
+func (st *State) removeFlexible(j *job.Job, sel func(int, job.Worker) bool) int {
 	if j.State != job.Running {
 		return 0
 	}
 	st.advance(j)
 	kept := j.Workers[:0]
 	removed := 0
-	for _, w := range j.Workers {
-		if w.Flexible && sel(w) {
+	for i, w := range j.Workers {
+		if w.Flexible && sel(i, w) {
 			if err := st.Cluster.Server(w.Server).Release(j.ID, w.GPUs); err != nil {
 				panic(fmt.Sprintf("sim: scale-in release: %v", err))
 			}
@@ -212,7 +235,9 @@ func (st *State) Preempt(j *job.Job, less func(a, b *job.Job) bool) {
 	st.markChanged(j)
 }
 
-// finish completes a running job.
+// finish completes a running job. Per-job bookkeeping that exists only to
+// advance progress (lastUpdate) is dropped here so multi-week traces do
+// not accumulate dead map entries for completed jobs.
 func (st *State) finish(j *job.Job) {
 	st.advance(j)
 	for _, w := range j.Workers {
@@ -222,6 +247,7 @@ func (st *State) finish(j *job.Job) {
 	j.State = job.Completed
 	j.FinishTime = int64(st.Now)
 	delete(st.Running, j.ID)
+	delete(st.lastUpdate, j.ID)
 	st.markChanged(j)
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"lyra/internal/cluster"
 	"lyra/internal/inference"
+	"lyra/internal/invariant"
 	"lyra/internal/job"
 	"lyra/internal/metrics"
 	"lyra/internal/orchestrator"
@@ -42,7 +43,12 @@ type Config struct {
 	// six hours). The paper's testbed scales the inference trace down to
 	// the testbed capacity the same way.
 	UtilCompress int
-	Seed         int64
+	// Audit enables the invariant audit layer (internal/invariant): after
+	// every scheduler tick the conservation/legality suite is checked
+	// over the shared state, panicking with a structured report on the
+	// first violation. On in all tests, off by default.
+	Audit bool
+	Seed  int64
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +121,8 @@ type Testbed struct {
 
 	lyraWL *Whitelist
 	infWL  *Whitelist
+
+	audit *invariant.Auditor
 }
 
 // New builds a testbed over the given trace and scheduler/orchestrator
@@ -135,6 +143,9 @@ func New(cfg Config, tr *trace.Trace, sched sim.Scheduler, reclaimPolicy func(le
 		total:       len(tr.Jobs),
 		lyraWL:      NewWhitelist("lyra"),
 		infWL:       NewWhitelist("inference"),
+	}
+	if cfg.Audit {
+		tb.audit = invariant.New()
 	}
 	for _, j := range tr.Jobs {
 		tb.byID[j.ID] = j
@@ -181,6 +192,12 @@ func (tb *Testbed) Run(horizon int64) Result {
 		}
 		tb.sched.Schedule(tb.st)
 		tb.reconcileContainers(now)
+		if tb.audit != nil {
+			ctx := fmt.Sprintf("testbed:tick t=%g", now)
+			if err := tb.audit.Audit(tb.st.AuditView(ctx, tb.sched.Less)); err != nil {
+				panic(err)
+			}
+		}
 		done := tb.completed >= tb.total
 		tb.mu.Unlock()
 		if done || now > maxSim {

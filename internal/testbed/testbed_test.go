@@ -168,7 +168,7 @@ func TestControllerEvents(t *testing.T) {
 // workload: every job must complete, and the cluster must be clean.
 func TestEndToEndFIFO(t *testing.T) {
 	tr := trace.GenerateTestbed(3, 25)
-	cfg := Config{Cluster: cluster.TestbedConfig(), Speedup: 20000, Seed: 3}
+	cfg := Config{Cluster: cluster.TestbedConfig(), Speedup: 20000, Audit: true, Seed: 3}
 	tb := New(cfg, tr, &sched.FIFO{}, nil)
 	res := tb.Run(tr.Horizon)
 	if res.Completed != 25 {
@@ -192,7 +192,7 @@ func TestEndToEndFIFO(t *testing.T) {
 // orchestrator, whitelist handovers — and checks the books stay balanced.
 func TestEndToEndLyraWithLoaning(t *testing.T) {
 	tr := trace.GenerateTestbed(5, 30)
-	cfg := Config{Cluster: cluster.TestbedConfig(), Speedup: 20000, Seed: 5}
+	cfg := Config{Cluster: cluster.TestbedConfig(), Speedup: 20000, Audit: true, Seed: 5}
 	tb := New(cfg, tr, sched.NewLyra(),
 		func(less func(a, b *job.Job) bool, inf *inference.Scheduler) *orchestrator.Orchestrator {
 			return orchestrator.New(inf, reclaim.Lyra{}, less)

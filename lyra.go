@@ -132,6 +132,16 @@ type Config struct {
 	OrchInterval    int64
 	PreemptOverhead float64
 
+	// Audit enables the invariant audit layer (internal/invariant): after
+	// every simulator event the full conservation/legality suite —
+	// GPU/worker conservation, lifecycle legality, queue order, progress
+	// bounds, pool membership — is checked, and the run panics with a
+	// structured expected-vs-actual report on the first violation. All
+	// tests run with Audit on; it defaults to off so benchmarks and the
+	// headline experiment harness keep the unchanged hot path. Results
+	// are bit-identical either way (auditing only reads state).
+	Audit bool
+
 	Seed int64
 }
 
@@ -236,6 +246,7 @@ func Run(cfg Config, tr *Trace) (*Report, error) {
 		PreemptOverhead: cfg.PreemptOverhead,
 		Scaling:         cfg.Scaling,
 		InferenceUtil:   func(t int64) float64 { return infSched.UtilizationAt(t) },
+		Audit:           cfg.Audit,
 	}
 	res := sim.New(c, tr.Jobs, tr.Horizon, s, orch, simCfg).Run()
 	return buildReport(res, tr), nil

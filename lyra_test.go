@@ -21,6 +21,7 @@ func TestRunBaselineCompletesEverything(t *testing.T) {
 	tr := smallTrace(1)
 	cfg := BaselineConfig()
 	cfg.Cluster = smallCluster()
+	cfg.Audit = true
 	rep, err := Run(cfg, tr)
 	if err != nil {
 		t.Fatal(err)
@@ -41,6 +42,7 @@ func TestRunDoesNotMutateInputTrace(t *testing.T) {
 	before := tr.Jobs[0].Remaining
 	cfg := DefaultConfig()
 	cfg.Cluster = smallCluster()
+	cfg.Audit = true
 	if _, err := Run(cfg, tr); err != nil {
 		t.Fatal(err)
 	}
@@ -50,19 +52,29 @@ func TestRunDoesNotMutateInputTrace(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
-	tr := smallTrace(3)
-	cfg := DefaultConfig()
-	cfg.Cluster = smallCluster()
-	a, err := Run(cfg, tr)
+	// In-process double run over two days of elastic load. Map-order
+	// nondeterminism mostly hides from this (same process, same hash
+	// seed); TestRunDeterministicAcrossProcesses is the real guard for
+	// that class, this covers everything else (shared state, rng reuse).
+	cfg := DefaultTraceConfig(3)
+	cfg.Days = 2
+	cfg.TrainingGPUs = 128
+	tr := GenerateTrace(cfg)
+	run := DefaultConfig()
+	run.Cluster = smallCluster()
+	run.Audit = true
+	a, err := Run(run, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg, tr)
+	b, err := Run(run, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Queue.Mean != b.Queue.Mean || a.JCT.Mean != b.JCT.Mean || a.Preemptions != b.Preemptions {
-		t.Errorf("same config diverged: %+v vs %+v", a.Queue, b.Queue)
+	ra, rb := *a, *b
+	ra.Raw, rb.Raw = nil, nil
+	if ra != rb {
+		t.Errorf("same config diverged:\n%+v\n%+v", ra, rb)
 	}
 }
 
@@ -70,12 +82,14 @@ func TestRunRejectsUnknownKinds(t *testing.T) {
 	tr := smallTrace(4)
 	cfg := DefaultConfig()
 	cfg.Cluster = smallCluster()
+	cfg.Audit = true
 	cfg.Scheduler = "bogus"
 	if _, err := Run(cfg, tr); err == nil {
 		t.Error("unknown scheduler accepted")
 	}
 	cfg = DefaultConfig()
 	cfg.Cluster = smallCluster()
+	cfg.Audit = true
 	cfg.Reclaim = "bogus"
 	if _, err := Run(cfg, tr); err == nil {
 		t.Error("unknown reclaim policy accepted")
@@ -118,6 +132,7 @@ func TestEverySchedulerKindRuns(t *testing.T) {
 	for _, kind := range []SchedulerKind{SchedFIFO, SchedLyra, SchedGandiva, SchedAFS, SchedPollux} {
 		cfg := DefaultConfig()
 		cfg.Cluster = smallCluster()
+		cfg.Audit = true
 		cfg.Scheduler = kind
 		cfg.Loaning = false
 		rep, err := Run(cfg, tr)
@@ -135,6 +150,7 @@ func TestEveryReclaimKindRuns(t *testing.T) {
 	for _, kind := range []ReclaimKind{ReclaimLyra, ReclaimRandom, ReclaimSCF} {
 		cfg := DefaultConfig()
 		cfg.Cluster = smallCluster()
+		cfg.Audit = true
 		cfg.Elastic = false
 		cfg.Reclaim = kind
 		rep, err := Run(cfg, tr)
@@ -237,6 +253,7 @@ func TestProactiveReclaimRuns(t *testing.T) {
 	tr := smallTrace(15)
 	cfg := DefaultConfig()
 	cfg.Cluster = smallCluster()
+	cfg.Audit = true
 	cfg.Elastic = false
 	cfg.ProactiveReclaim = true
 	rep, err := Run(cfg, tr)
@@ -252,6 +269,7 @@ func TestInfoAgnosticRuns(t *testing.T) {
 	tr := smallTrace(16)
 	cfg := DefaultConfig()
 	cfg.Cluster = smallCluster()
+	cfg.Audit = true
 	cfg.InfoAgnostic = true
 	rep, err := Run(cfg, tr)
 	if err != nil {
@@ -266,6 +284,7 @@ func TestCheckpointingReducesJCTUnderPreemption(t *testing.T) {
 	tr := smallTrace(13)
 	cfg := DefaultConfig()
 	cfg.Cluster = smallCluster()
+	cfg.Audit = true
 	cfg.Elastic = false
 	noCkpt, err := Run(cfg, tr)
 	if err != nil {

@@ -1,0 +1,27 @@
+#!/bin/sh
+# check.sh runs the repository's full verification gate — the same steps as
+# `make check` — for environments without make.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+	echo "gofmt needed on:"
+	echo "$out"
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test (invariant auditor on in every suite)"
+go test ./...
+
+echo "== go test -race ./internal/..."
+go test -race ./internal/...
+
+echo "OK"
