@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench fuzz
+.PHONY: all check fmt vet build test race bench bench-smoke fuzz
 
 all: check
 
 # check is the default gate: formatting, vet, build, the full test suite
-# (every package runs with the invariant auditor on), and the race detector
-# over the internal packages.
-check: fmt vet build test race
+# (every package runs with the invariant auditor on), the race detector
+# over the internal packages, and the runner-memoization smoke test.
+check: fmt vet build test race bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -26,6 +26,12 @@ test:
 
 race:
 	$(GO) test -race ./internal/...
+
+# bench-smoke proves the experiment runner's memoization end to end: one
+# experiment run twice through one pool must serve the second pass from the
+# cache (Hits > 0, no extra simulations executed).
+bench-smoke:
+	@./scripts/bench_smoke.sh
 
 # bench runs the audit-overhead and experiment benchmarks (audit off: the
 # numbers quoted in DESIGN.md come from BenchmarkEngineAudit).

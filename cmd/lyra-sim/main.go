@@ -1,6 +1,8 @@
-// Command lyra-sim runs a single cluster simulation: one scheme over one
-// synthesized (or CSV-loaded) trace, printing the summary statistics the
-// paper's tables report.
+// Command lyra-sim runs single cluster simulations: one or more schemes
+// over one synthesized (or CSV-loaded) trace, printing the summary
+// statistics the paper's tables report. The configuration is validated
+// before any trace is synthesized or loaded, so a typo in -scheme,
+// -reclaim or -scenario fails in milliseconds with the valid values listed.
 //
 // Usage examples:
 //
@@ -8,20 +10,23 @@
 //	lyra-sim -scheme baseline -days 15 -training-servers 443 -inference-servers 520
 //	lyra-sim -scheme lyra -elastic=false -reclaim scf
 //	lyra-sim -trace trace.csv -scheme pollux -loaning=false
+//	lyra-sim -scheme lyra,fifo,gandiva,afs,pollux -parallel 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lyra"
+	"lyra/internal/runner"
 	"lyra/internal/trace"
 )
 
 func main() {
 	var (
-		scheme    = flag.String("scheme", "lyra", "scheduler: lyra, fifo, gandiva, afs, pollux")
+		scheme    = flag.String("scheme", "lyra", "scheduler(s), comma-separated: lyra, fifo, gandiva, afs, pollux")
 		reclaim   = flag.String("reclaim", "lyra", "reclaim policy: lyra, random, scf, optimal")
 		loaning   = flag.Bool("loaning", true, "enable capacity loaning")
 		elastic   = flag.Bool("elastic", true, "enable elastic scaling (lyra scheduler)")
@@ -37,52 +42,87 @@ func main() {
 		proactive = flag.Bool("proactive", false, "LSTM-forecast-driven (proactive) reclaiming")
 		agnostic  = flag.Bool("info-agnostic", false, "least-attained-service order instead of SJF (no runtime estimates)")
 		audit     = flag.Bool("audit", false, "run the invariant auditor after every event (results are identical, runs slower)")
+		parallel  = flag.Int("parallel", 0, "max concurrent simulations when fanning out over schemes (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	var tr *lyra.Trace
+	// Validate everything BEFORE synthesizing or loading a trace: a typo
+	// should not cost a multi-second trace generation first.
+	kind := lyra.ScenarioKind(*scenario)
+	if !kind.Valid() {
+		fatal(fmt.Errorf("unknown scenario %q (valid: %v)", *scenario, lyra.Scenarios()))
+	}
+	schemes := strings.Split(*scheme, ",")
+	cfgs := make([]lyra.Config, len(schemes))
+	for i, s := range schemes {
+		cfg := lyra.Config{
+			Cluster:          lyra.ClusterConfig{TrainingServers: *trainSrv, InferenceServers: *infSrv},
+			Scheduler:        lyra.SchedulerKind(strings.TrimSpace(s)),
+			Elastic:          *elastic,
+			Loaning:          *loaning,
+			Reclaim:          lyra.ReclaimKind(*reclaim),
+			Tuned:            *tuned,
+			ProactiveReclaim: *proactive,
+			InfoAgnostic:     *agnostic,
+			Audit:            *audit,
+			Seed:             *seed,
+		}
+		cfg.Scaling.PerWorkerLoss = *loss
+		if *tuned || cfg.Scheduler == lyra.SchedPollux {
+			cfg.Scaling.TunedGain = 0.08
+		}
+		if err := cfg.Validate(); err != nil {
+			fatal(err)
+		}
+		cfgs[i] = cfg
+	}
+
 	if *traceFile != "" {
+		// CSV traces live outside the runner's declarative trace model;
+		// run them directly (one scheme at a time).
 		f, err := os.Open(*traceFile)
 		if err != nil {
 			fatal(err)
 		}
-		tr, err = trace.ReadCSV(f)
+		tr, err := trace.ReadCSV(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
 		}
-	} else {
-		cfg := lyra.DefaultTraceConfig(*seed)
-		cfg.Days = *days
-		cfg.TrainingGPUs = *trainSrv * 8
-		cfg.LoadFactor = *load
-		tr = lyra.GenerateTrace(cfg)
+		for i, cfg := range cfgs {
+			trc := tr.Clone()
+			cfg = lyra.ApplyScenarioAll(kind, cfg, trc, *seed+100)
+			rep, err := lyra.Run(cfg, trc)
+			if err != nil {
+				fatal(err)
+			}
+			report(schemes[i], len(schemes) > 1, rep)
+		}
+		return
 	}
 
-	kind := lyra.ScenarioKind(*scenario)
-	lyra.ApplyScenario(tr, kind, *seed+100)
+	gen := lyra.DefaultTraceConfig(*seed)
+	gen.Days = *days
+	gen.TrainingGPUs = *trainSrv * 8
+	gen.LoadFactor = *load
 
-	cfg := lyra.Config{
-		Cluster:          lyra.ClusterConfig{TrainingServers: *trainSrv, InferenceServers: *infSrv},
-		Scheduler:        lyra.SchedulerKind(*scheme),
-		Elastic:          *elastic,
-		Loaning:          *loaning,
-		Reclaim:          lyra.ReclaimKind(*reclaim),
-		Tuned:            *tuned,
-		ProactiveReclaim: *proactive,
-		InfoAgnostic:     *agnostic,
-		Audit:            *audit,
-		Seed:             *seed,
+	pool := runner.New(*parallel)
+	specs := make([]runner.Spec, len(cfgs))
+	for i, cfg := range cfgs {
+		specs[i] = runner.NewSpec(cfg, gen).WithScenario(kind, *seed+100).Named(schemes[i])
 	}
-	cfg = lyra.Scenario(kind, cfg)
-	cfg.Scaling.PerWorkerLoss = *loss
-	if *tuned || cfg.Scheduler == lyra.SchedPollux {
-		cfg.Scaling.TunedGain = 0.08
-	}
-
-	rep, err := lyra.Run(cfg, tr)
+	reps, err := pool.SimAll(specs)
 	if err != nil {
 		fatal(err)
+	}
+	for i, rep := range reps {
+		report(schemes[i], len(schemes) > 1, rep)
+	}
+}
+
+func report(scheme string, labelled bool, rep *lyra.Report) {
+	if labelled {
+		fmt.Printf("-- %s --\n", scheme)
 	}
 	fmt.Printf("jobs: %d submitted, %d completed\n", rep.Total, rep.Completed)
 	fmt.Printf("queuing  mean=%.0fs median=%.0fs p95=%.0fs p99=%.0fs\n",

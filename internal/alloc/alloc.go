@@ -15,12 +15,39 @@ import (
 	"lyra/internal/knapsack"
 )
 
-// Phase2MaxItems caps the number of knapsack items generated per elastic
-// job. Jobs with a wider flexible range get evenly spaced worker counts;
-// this keeps the pseudo-polynomial DP fast at production scale while
-// preserving the choice structure. It is a variable (not a constant) so the
-// ablation experiments can sweep the granularity.
+// Phase2MaxItems is the default cap on the number of knapsack items
+// generated per elastic job. Jobs with a wider flexible range get evenly
+// spaced worker counts; this keeps the pseudo-polynomial DP fast at
+// production scale while preserving the choice structure. Sweeps override
+// it per call via Tuning.MaxItems — the package default is never mutated,
+// so concurrent simulations stay independent.
 var Phase2MaxItems = 8
+
+// Tuning carries the per-call MCKP knobs. The zero value selects the
+// package defaults (StabilityBonus, Phase2MaxItems); the ablation
+// experiments pass explicit values instead of mutating globals so that
+// simulations can run concurrently.
+type Tuning struct {
+	// StabilityBonus overrides the current-allocation value bump
+	// (0 = default; 1 disables the damping).
+	StabilityBonus float64
+	// MaxItems overrides the per-job knapsack item cap (0 = default).
+	MaxItems int
+}
+
+func (t Tuning) stabilityBonus() float64 {
+	if t.StabilityBonus == 0 {
+		return StabilityBonus
+	}
+	return t.StabilityBonus
+}
+
+func (t Tuning) maxItems() int {
+	if t.MaxItems == 0 {
+		return Phase2MaxItems
+	}
+	return t.MaxItems
+}
 
 // Extra is a phase-2 decision: give job ID extra workers beyond its base
 // demand (its current flexible workers are included in Extra, i.e. Extra is
@@ -44,20 +71,20 @@ func JCTReduction(j *job.Job, extra int, sm job.ScalingModel) float64 {
 }
 
 // itemExtras returns the candidate extra-worker counts for one job: all of
-// 1..FlexRange when small, otherwise Phase2MaxItems evenly spaced values
-// always including FlexRange. current (the job's present extra workers) is
-// always included so the stability bonus below has an item to attach to.
-func itemExtras(flexRange, current int) []int {
-	if flexRange <= Phase2MaxItems {
+// 1..FlexRange when small, otherwise maxItems evenly spaced values always
+// including FlexRange. current (the job's present extra workers) is always
+// included so the stability bonus below has an item to attach to.
+func itemExtras(flexRange, current, maxItems int) []int {
+	if flexRange <= maxItems {
 		out := make([]int, flexRange)
 		for i := range out {
 			out[i] = i + 1
 		}
 		return out
 	}
-	out := make([]int, 0, Phase2MaxItems+1)
-	for i := 1; i <= Phase2MaxItems; i++ {
-		k := i * flexRange / Phase2MaxItems
+	out := make([]int, 0, maxItems+1)
+	for i := 1; i <= maxItems; i++ {
+		k := i * flexRange / maxItems
 		if k == 0 {
 			k = 1
 		}
@@ -75,13 +102,14 @@ func itemExtras(flexRange, current int) []int {
 	return out
 }
 
-// StabilityBonus is the relative value bump a job's current allocation item
-// receives in the MCKP, so that the solution only moves flexible workers
-// between jobs when the JCT-reduction improvement is real — without it the
-// knapsack reshuffles workers every epoch as remaining-work values drift,
-// inflating scaling operations (§7.4 measures Pollux at 1.76x Lyra's
-// scaling-operation count; the damping keeps Lyra on the right side of
-// that comparison). Set to 1 to disable (the ablation experiments do).
+// StabilityBonus is the default relative value bump a job's current
+// allocation item receives in the MCKP, so that the solution only moves
+// flexible workers between jobs when the JCT-reduction improvement is real
+// — without it the knapsack reshuffles workers every epoch as
+// remaining-work values drift, inflating scaling operations (§7.4 measures
+// Pollux at 1.76x Lyra's scaling-operation count; the damping keeps Lyra on
+// the right side of that comparison). Pass Tuning.StabilityBonus = 1 to
+// disable per call (the ablation experiments do).
 var StabilityBonus = 1.08
 
 // Phase2 solves the flexible-demand allocation as a multiple-choice
@@ -90,10 +118,11 @@ var StabilityBonus = 1.08
 // reductions, and the capacity is the number of GPUs available for flexible
 // workers. It returns the target extra workers per job (jobs absent from
 // the result get zero).
-func Phase2(jobs []*job.Job, capacityGPUs int, sm job.ScalingModel) []Extra {
+func Phase2(jobs []*job.Job, capacityGPUs int, sm job.ScalingModel, tune Tuning) []Extra {
 	if capacityGPUs <= 0 || len(jobs) == 0 {
 		return nil
 	}
+	bonus, maxItems := tune.stabilityBonus(), tune.maxItems()
 	// Deterministic group order.
 	ordered := make([]*job.Job, len(jobs))
 	copy(ordered, jobs)
@@ -135,12 +164,12 @@ func Phase2(jobs []*job.Job, capacityGPUs int, sm job.ScalingModel) []Extra {
 			continue
 		}
 		cur := j.FlexibleWorkers()
-		ks := itemExtras(fr, cur)
+		ks := itemExtras(fr, cur, maxItems)
 		items := make([]knapsack.Item, len(ks))
 		for i, k := range ks {
 			v := JCTReduction(j, k, sm)
 			if k == cur {
-				v *= StabilityBonus
+				v *= bonus
 			}
 			items[i] = knapsack.Item{
 				Weight: k * j.GPUsPerWorker / g,

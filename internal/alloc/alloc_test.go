@@ -71,7 +71,7 @@ func TestPhase2PicksMaxTotalReduction(t *testing.T) {
 	a := job.New(1, 0, job.Generic, 2, 2, 3, 100)
 	a.Elastic = true
 	_, b := table4Jobs()
-	got := Phase2([]*job.Job{a, b}, 4, job.Linear)
+	got := Phase2([]*job.Job{a, b}, 4, job.Linear, Tuning{})
 	// Options: A+1 (2 GPUs, 50) + B+2 (2 GPUs, 30) = 80 beats B+4 (40)
 	// and A+1 + B+1 (70).
 	want := map[int]int{1: 1, 2: 2}
@@ -87,7 +87,7 @@ func TestPhase2PicksMaxTotalReduction(t *testing.T) {
 
 func TestPhase2EverythingFitsShortcut(t *testing.T) {
 	a, b := tableJobs2()
-	got := Phase2([]*job.Job{a, b}, 100, job.Linear)
+	got := Phase2([]*job.Job{a, b}, 100, job.Linear, Tuning{})
 	if len(got) != 2 || got[0].Extra != a.FlexRange() || got[1].Extra != b.FlexRange() {
 		t.Errorf("abundant capacity should max everyone: %v", got)
 	}
@@ -95,7 +95,7 @@ func TestPhase2EverythingFitsShortcut(t *testing.T) {
 
 func TestPhase2ZeroCapacity(t *testing.T) {
 	a, b := tableJobs2()
-	if got := Phase2([]*job.Job{a, b}, 0, job.Linear); got != nil {
+	if got := Phase2([]*job.Job{a, b}, 0, job.Linear, Tuning{}); got != nil {
 		t.Errorf("zero capacity: %v", got)
 	}
 }
@@ -104,7 +104,7 @@ func TestPhase2RespectsCapacity(t *testing.T) {
 	a, b := tableJobs2()
 	a.GPUsPerWorker, b.GPUsPerWorker = 2, 2
 	for _, capGPUs := range []int{1, 2, 3, 5, 7, 9} {
-		got := Phase2([]*job.Job{a, b}, capGPUs, job.Linear)
+		got := Phase2([]*job.Job{a, b}, capGPUs, job.Linear, Tuning{})
 		total := 0
 		for _, e := range got {
 			total += e.Extra * 2
@@ -126,14 +126,14 @@ func TestPhase2StabilityBonusPreventsChurn(t *testing.T) {
 		{Server: 0, GPUs: 1}, {Server: 0, GPUs: 1},
 		{Server: 1, GPUs: 1, Flexible: true},
 	}
-	got := Phase2([]*job.Job{a, b}, 1, job.Linear)
+	got := Phase2([]*job.Job{a, b}, 1, job.Linear, Tuning{})
 	if len(got) != 1 || got[0].ID != b.ID || got[0].Extra != 1 {
 		t.Errorf("churn: %v, want job %d to keep its flexible worker", got, b.ID)
 	}
 }
 
 func TestItemExtrasSmallRange(t *testing.T) {
-	got := itemExtras(3, 0)
+	got := itemExtras(3, 0, Phase2MaxItems)
 	want := []int{1, 2, 3}
 	if len(got) != 3 || got[0] != want[0] || got[2] != want[2] {
 		t.Errorf("itemExtras(3) = %v", got)
@@ -141,7 +141,7 @@ func TestItemExtrasSmallRange(t *testing.T) {
 }
 
 func TestItemExtrasLargeRangeIncludesCurrentAndMax(t *testing.T) {
-	got := itemExtras(40, 7)
+	got := itemExtras(40, 7, Phase2MaxItems)
 	if got[len(got)-1] != 40 {
 		t.Errorf("max extra missing: %v", got)
 	}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"lyra"
-	"lyra/internal/alloc"
+	"lyra/internal/runner"
 )
 
 // Ablations exercises the design choices DESIGN.md calls out beyond the
@@ -16,14 +16,42 @@ import (
 //     scheduling §10 leaves as future work);
 //   - the MCKP stability bonus (scaling-operation churn damping);
 //   - the MCKP item granularity (Phase2MaxItems).
+//
+// The knapsack knobs are per-config fields (Config.StabilityBonus,
+// Config.Phase2MaxItems), so the sweeps are plain declared runs — no global
+// state, safe under the pool's parallelism, and the default points
+// (1.08, 8) are cache hits against the other experiments' Lyra runs.
 func Ablations(p Params) []*Table {
-	base := p.Trace()
-
-	// --- Reclaiming: reactive vs proactive. ---
-	react := mustRun(loanOnlyCfg(p, lyra.ReclaimLyra), base.Clone())
 	proCfg := loanOnlyCfg(p, lyra.ReclaimLyra)
 	proCfg.ProactiveReclaim = true
-	pro := mustRun(proCfg, base.Clone())
+	lasCfg := elasticOnlyCfg(p, lyra.SchedLyra)
+	lasCfg.InfoAgnostic = true
+
+	bonuses := []float64{1.0, 1.08, 1.25}
+	items := []int{2, 4, 8, 16}
+
+	specs := []runner.Spec{
+		p.spec(loanOnlyCfg(p, lyra.ReclaimLyra)).Named("ablation/reactive"),
+		p.spec(proCfg).Named("ablation/proactive"),
+		p.spec(elasticOnlyCfg(p, lyra.SchedLyra)).Named("ablation/sjf"),
+		p.spec(lasCfg).Named("ablation/las"),
+	}
+	for _, bonus := range bonuses {
+		cfg := elasticOnlyCfg(p, lyra.SchedLyra)
+		cfg.StabilityBonus = bonus
+		specs = append(specs, p.spec(cfg).Named(fmt.Sprintf("ablation/bonus=%.2f", bonus)))
+	}
+	for _, n := range items {
+		cfg := elasticOnlyCfg(p, lyra.SchedLyra)
+		cfg.Phase2MaxItems = n
+		specs = append(specs, p.spec(cfg).Named(fmt.Sprintf("ablation/items=%d", n)))
+	}
+	reps := mustSimAll(p, specs)
+	react, pro, sjf, las := reps[0], reps[1], reps[2], reps[3]
+	bonusReps := reps[4 : 4+len(bonuses)]
+	itemReps := reps[4+len(bonuses):]
+
+	// --- Reclaiming: reactive vs proactive. ---
 	reclaimT := &Table{
 		ID:     "ablation-proactive",
 		Title:  "Reactive vs LSTM-forecast-driven (proactive) reclaiming, loaning-only Lyra",
@@ -36,10 +64,6 @@ func Ablations(p Params) []*Table {
 	reclaimT.Notes = append(reclaimT.Notes, "expected: proactive reclaiming trades a little loaned capacity for fewer preemptions")
 
 	// --- Queue order: SJF vs least-attained-service. ---
-	sjf := mustRun(elasticOnlyCfg(p, lyra.SchedLyra), base.Clone())
-	lasCfg := elasticOnlyCfg(p, lyra.SchedLyra)
-	lasCfg.InfoAgnostic = true
-	las := mustRun(lasCfg, base.Clone())
 	orderT := &Table{
 		ID:     "ablation-infoagnostic",
 		Title:  "SJF (runtime estimates) vs least-attained-service (information-agnostic), elastic-only Lyra",
@@ -57,15 +81,12 @@ func Ablations(p Params) []*Table {
 		Title:  "MCKP stability bonus vs scaling-operation churn, elastic-only Lyra",
 		Header: []string{"bonus", "scaling_ops", "q_mean", "jct_mean"},
 	}
-	origBonus := alloc.StabilityBonus
-	for _, bonus := range []float64{1.0, 1.08, 1.25} {
-		alloc.StabilityBonus = bonus
-		rep := mustRun(elasticOnlyCfg(p, lyra.SchedLyra), base.Clone())
+	for i, bonus := range bonuses {
+		rep := bonusReps[i]
 		churnT.Rows = append(churnT.Rows, []string{
 			fmtF(bonus), fmt.Sprintf("%d", rep.ScalingOps), fmtS(rep.Queue.Mean), fmtS(rep.JCT.Mean),
 		})
 	}
-	alloc.StabilityBonus = origBonus
 	churnT.Notes = append(churnT.Notes, "without the bonus (1.00) the knapsack reshuffles flexible workers as values drift; JCT is nearly unchanged while churn grows")
 
 	// --- MCKP item granularity. ---
@@ -74,15 +95,12 @@ func Ablations(p Params) []*Table {
 		Title:  "MCKP items per elastic job (allocation granularity), elastic-only Lyra",
 		Header: []string{"max_items", "q_mean", "jct_mean", "scaling_ops"},
 	}
-	origItems := alloc.Phase2MaxItems
-	for _, n := range []int{2, 4, 8, 16} {
-		alloc.Phase2MaxItems = n
-		rep := mustRun(elasticOnlyCfg(p, lyra.SchedLyra), base.Clone())
+	for i, n := range items {
+		rep := itemReps[i]
 		itemsT.Rows = append(itemsT.Rows, []string{
 			fmt.Sprintf("%d", n), fmtS(rep.Queue.Mean), fmtS(rep.JCT.Mean), fmt.Sprintf("%d", rep.ScalingOps),
 		})
 	}
-	alloc.Phase2MaxItems = origItems
 	itemsT.Notes = append(itemsT.Notes, "coarse granularity saves DP time; JCT should be stable beyond ~4 items per job")
 
 	return []*Table{reclaimT, orderT, churnT, itemsT}

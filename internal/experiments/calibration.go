@@ -4,16 +4,25 @@ import (
 	"fmt"
 	"math"
 
+	"lyra"
 	"lyra/internal/cluster"
 	"lyra/internal/inference"
-	"lyra/internal/job"
+	"lyra/internal/metrics"
 	"lyra/internal/orchestrator"
 	"lyra/internal/reclaim"
+	"lyra/internal/runner"
 	"lyra/internal/sched"
 	"lyra/internal/sim"
-	"lyra/internal/testbed"
 	"lyra/internal/trace"
 )
+
+// calibrationSim is the simulator leg's memoized result: the aggregate
+// statistics the comparison consumes.
+type calibrationSim struct {
+	Queue     metrics.Summary
+	JCT       metrics.Summary
+	Completed int
+}
 
 // Calibration reproduces the simulator-fidelity methodology of §7.2: the
 // same small trace is executed by the discrete-event simulator and by the
@@ -22,38 +31,58 @@ import (
 // 3.4% differences in average and 95%ile JCT and 3.5% / 4.4% in queuing,
 // attributing them to worker placement/removal overheads the simulator
 // does not capture — exactly the launch latency the prototype's containers
-// pay here.
+// pay here. The simulator leg drives sim.New directly (no estimate
+// annotation, testbed intervals), so it goes through the pool's generic Do
+// with an explicit content key instead of a Spec.
 func Calibration(p Params) []*Table {
-	tr := trace.GenerateTestbed(p.Seed, 60)
+	pool := p.pool()
 
-	// Simulator leg.
-	simSched := sched.NewLyra()
-	c := cluster.New(cluster.TestbedConfig())
-	util := inference.GenerateUtilization(inference.DefaultUtilizationConfig(p.Seed+13), tr.Horizon, 300)
-	infSched := inference.NewScheduler(util, cluster.TestbedConfig().InferenceServers, 0.02)
-	orch := orchestrator.New(infSched, reclaim.Lyra{}, simSched.Less)
-	simRes := sim.New(c, cloneJobs(tr), tr.Horizon, simSched, orch, sim.Config{
-		SchedInterval: 30, OrchInterval: 300, Audit: p.Audit,
-	}).Run()
-	simQ := simRes.QueuingSummary()
-	simJ := simRes.JCTSummary()
+	simKey, err := runner.KeyOf("calibration-sim", struct {
+		Seed  int64
+		Audit bool
+	}{p.Seed, p.Audit})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	simV, err := pool.Do(simKey, func() (any, error) {
+		tr := trace.GenerateTestbed(p.Seed, 60)
+		simSched := sched.NewLyra()
+		c := cluster.New(cluster.TestbedConfig())
+		util := inference.GenerateUtilization(inference.DefaultUtilizationConfig(p.Seed+13), tr.Horizon, 300)
+		infSched := inference.NewScheduler(util, cluster.TestbedConfig().InferenceServers, 0.02)
+		orch := orchestrator.New(infSched, reclaim.Lyra{}, simSched.Less)
+		res := sim.New(c, tr.Clone().Jobs, tr.Horizon, simSched, orch, sim.Config{
+			SchedInterval: 30, OrchInterval: 300, Audit: p.Audit,
+		}).Run()
+		return calibrationSim{
+			Queue:     res.QueuingSummary(),
+			JCT:       res.JCTSummary(),
+			Completed: res.Completed,
+		}, nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	simRes := simV.(calibrationSim)
 
 	// Prototype leg: identical intervals and utilization timebase; the
 	// container launch latency is the real-world effect under study.
-	tbCfg := testbed.Config{
-		Cluster:       cluster.TestbedConfig(),
+	tbRes, err := pool.Testbed(runner.TestbedSpec{
+		Name:          "calibration/testbed",
+		Jobs:          60,
+		Seed:          p.Seed,
+		Scheduler:     lyra.SchedLyra,
+		Elastic:       true,
+		Loaning:       true,
 		Speedup:       8000,
 		SchedInterval: 30,
 		OrchInterval:  300,
 		UtilCompress:  1,
 		Audit:         p.Audit,
-		Seed:          p.Seed,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
 	}
-	tb := testbed.New(tbCfg, tr.Clone(), sched.NewLyra(),
-		func(less func(a, b *job.Job) bool, inf *inference.Scheduler) *orchestrator.Orchestrator {
-			return orchestrator.New(inf, reclaim.Lyra{}, less)
-		})
-	tbRes := tb.Run(tr.Horizon)
 
 	t := &Table{
 		ID:     "calibration",
@@ -67,18 +96,13 @@ func Calibration(p Params) []*Table {
 		}
 		t.Rows = append(t.Rows, []string{name, fmtS(s), fmtS(tb), fmtS(math.Abs(tb - s)), fmtPct(diff)})
 	}
-	row("queuing mean (s)", simQ.Mean, tbRes.Queue.Mean)
-	row("queuing p95 (s)", simQ.P95, tbRes.Queue.P95)
-	row("JCT mean (s)", simJ.Mean, tbRes.JCT.Mean)
-	row("JCT p95 (s)", simJ.P95, tbRes.JCT.P95)
+	row("queuing mean (s)", simRes.Queue.Mean, tbRes.Queue.Mean)
+	row("queuing p95 (s)", simRes.Queue.P95, tbRes.Queue.P95)
+	row("JCT mean (s)", simRes.JCT.Mean, tbRes.JCT.Mean)
+	row("JCT p95 (s)", simRes.JCT.P95, tbRes.JCT.P95)
 	t.Rows = append(t.Rows, []string{"jobs completed",
 		fmt.Sprintf("%d", simRes.Completed), fmt.Sprintf("%d", tbRes.Completed), "-", "-"})
 	t.Notes = append(t.Notes,
 		"paper: simulator within 6.2%/3.4% of testbed JCT and 3.5%/4.4% of queuing; residual gap here is the container launch latency the simulator does not model")
 	return []*Table{t}
-}
-
-func cloneJobs(tr *trace.Trace) []*job.Job {
-	cp := tr.Clone()
-	return cp.Jobs
 }

@@ -13,6 +13,8 @@ import (
 	"strings"
 
 	"lyra"
+	"lyra/internal/runner"
+	"lyra/internal/testbed"
 )
 
 // Params scales an experiment run. Full is the paper's production scale;
@@ -30,6 +32,12 @@ type Params struct {
 	// leaves it off so published numbers come from the unchanged hot
 	// path — they are identical either way, see lyra.Config.Audit).
 	Audit bool
+	// Pool runs and memoizes the experiment's simulations. nil uses a
+	// shared package-level pool sized to GOMAXPROCS; cmd/lyra-bench and
+	// cmd/lyra-sim install one sized by their -parallel flag. Sharing one
+	// pool across experiments is what makes a registry run execute each
+	// distinct simulation once, however many tables reference it.
+	Pool *runner.Pool `json:"-"`
 }
 
 // Full returns the paper-scale parameters (§7.1: 443 8-GPU training
@@ -153,19 +161,56 @@ func Lookup(name string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// mustRun executes a configuration and panics on configuration errors
-// (which are programming bugs in this package).
-func mustRun(cfg lyra.Config, tr *lyra.Trace) *lyra.Report {
-	rep, err := lyra.Run(cfg, tr)
+// defaultPool backs experiments run without an explicit pool (tests, direct
+// library use). It is shared deliberately: repeated calls within one process
+// reuse earlier simulations.
+var defaultPool = runner.New(0)
+
+func (p Params) pool() *runner.Pool {
+	if p.Pool != nil {
+		return p.Pool
+	}
+	return defaultPool
+}
+
+// spec declares a simulation of cfg on this parameter set's trace. Scenario
+// and trace-mutation knobs chain on via the runner.Spec With* helpers.
+func (p Params) spec(cfg lyra.Config) runner.Spec {
+	return runner.NewSpec(cfg, p.TraceConfig())
+}
+
+// mustSim executes (or recalls) one declared simulation and panics on
+// errors, which are programming bugs in this package.
+func mustSim(p Params, s runner.Spec) *lyra.Report {
+	rep, err := p.pool().Sim(s)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
 	return rep
 }
 
+// mustSimAll submits a whole batch at once: distinct specs fan out over the
+// pool's workers, duplicates collapse onto one simulation.
+func mustSimAll(p Params, specs []runner.Spec) []*lyra.Report {
+	reps, err := p.pool().SimAll(specs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return reps
+}
+
+// mustTestbedAll is mustSimAll for prototype-runtime runs.
+func mustTestbedAll(p Params, specs []runner.TestbedSpec) []testbed.Result {
+	results, err := p.pool().TestbedAll(specs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return results
+}
+
 // Scheme configuration builders shared across experiments. Each takes the
-// cluster sizing from p; scenario flags on the trace are applied by the
-// caller via lyra.ApplyScenario and friends.
+// cluster sizing from p; scenario adaptation and trace mutations are
+// declared on the runner.Spec.
 
 func baselineCfg(p Params) lyra.Config {
 	cfg := lyra.BaselineConfig()

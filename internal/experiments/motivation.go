@@ -37,8 +37,7 @@ func Fig2(p Params) []*Table {
 	if week.Days > 7 {
 		week.Days = 7
 	}
-	tr := week.Trace()
-	rep := mustRun(baselineCfg(week), tr)
+	rep := mustSim(week, week.spec(baselineCfg(week)).Named("fig2/baseline"))
 	t := &Table{
 		ID:     "fig2",
 		Title:  "Fraction of newly-submitted jobs queuing, per hour (FIFO baseline)",

@@ -9,11 +9,14 @@ import (
 	"lyra/internal/job"
 	"lyra/internal/metrics"
 	"lyra/internal/reclaim"
+	"lyra/internal/runner"
 )
 
 // ReclaimOpt compares Lyra's reclaiming heuristic to the exhaustive optimum
 // on randomized on-loan instances, reporting preemption counts and the
-// overlap of the selected server sets (§7.3).
+// overlap of the selected server sets (§7.3). The wall-time columns are
+// real measurements, so this experiment is excluded from the
+// serial-vs-parallel byte-identity guarantee.
 func ReclaimOpt(p Params) []*Table {
 	t := &Table{
 		ID:     "reclaimopt",
@@ -104,20 +107,25 @@ func buildReclaimInstance(seed int64, nServers int) reclaimInstance {
 // Fig11 sweeps the fraction of heterogeneous-capable jobs (10% to 90%) in
 // the Heterogeneous scenario and reports reductions over Baseline.
 func Fig11(p Params) []*Table {
-	base := p.Trace()
-	baseTr := base.Clone()
-	lyra.ApplyScenario(baseTr, lyra.Heterogeneous, p.Seed+100)
-	baseRep := mustRun(lyra.Scenario(lyra.Baseline, baselineCfg(p)), baseTr)
+	fracs := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	specs := []runner.Spec{
+		p.spec(baselineCfg(p)).WithScenario(lyra.Heterogeneous, p.Seed+100).Named("fig11/baseline"),
+	}
+	for _, frac := range fracs {
+		specs = append(specs, p.spec(lyraCfg(p)).
+			WithScenario(lyra.Heterogeneous, p.Seed+100).
+			WithHeteroFrac(frac, p.Seed+200).
+			Named(fmt.Sprintf("fig11/frac=%.1f", frac)))
+	}
+	reps := mustSimAll(p, specs)
+	baseRep := reps[0]
 	t := &Table{
 		ID:     "fig11",
 		Title:  "Reductions vs Baseline as more jobs support heterogeneous training",
 		Header: []string{"hetero_frac", "queuing_reduction", "jct_reduction"},
 	}
-	for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
-		tr := base.Clone()
-		lyra.ApplyScenario(tr, lyra.Heterogeneous, p.Seed+100)
-		lyra.SetHeteroFraction(tr, frac, p.Seed+200)
-		rep := mustRun(lyra.Scenario(lyra.Heterogeneous, lyraCfg(p)), tr)
+	for i, frac := range fracs {
+		rep := reps[i+1]
 		t.Rows = append(t.Rows, []string{
 			fmtF(frac),
 			fmtF(baseRep.Queue.Mean / rep.Queue.Mean),
@@ -129,28 +137,31 @@ func Fig11(p Params) []*Table {
 }
 
 // Fig12 regenerates the reproducibility study: ten bootstrapped traces,
-// Basic and Ideal reductions over their own Baselines.
+// Basic and Ideal reductions over their own Baselines, as one batched
+// submission of thirty runs.
 func Fig12(p Params) []*Table {
-	src := p.Trace()
 	days := p.Days * 2 / 3
 	if days < 1 {
 		days = 1
 	}
-	boots := src.Bootstrap(days, 10, p.Seed+300)
+	const nBoots = 10
+	var specs []runner.Spec
+	for i := 0; i < nBoots; i++ {
+		boot := func(s runner.Spec) runner.Spec { return s.WithBootstrap(days, nBoots, i, p.Seed+300) }
+		specs = append(specs,
+			boot(p.spec(baselineCfg(p))).Named(fmt.Sprintf("fig12/%d/baseline", i)),
+			boot(p.spec(lyraCfg(p))).Named(fmt.Sprintf("fig12/%d/basic", i)),
+			boot(p.spec(lyraCfg(p)).WithScenario(lyra.Ideal, p.Seed+100)).Named(fmt.Sprintf("fig12/%d/ideal", i)))
+	}
+	reps := mustSimAll(p, specs)
 	t := &Table{
 		ID:     "fig12",
 		Title:  "Average queuing and JCT reductions on ten bootstrapped traces",
 		Header: []string{"trace", "basic_q_red", "basic_jct_red", "ideal_q_red", "ideal_jct_red"},
 	}
 	var basicJCTReds, idealJCTReds []float64
-	for i, bt := range boots {
-		baseRep := mustRun(lyra.Scenario(lyra.Baseline, baselineCfg(p)), bt.Clone())
-		basicTr := bt.Clone()
-		lyra.ApplyScenario(basicTr, lyra.Basic, p.Seed+100)
-		basicRep := mustRun(lyra.Scenario(lyra.Basic, lyraCfg(p)), basicTr)
-		idealTr := bt.Clone()
-		lyra.ApplyScenario(idealTr, lyra.Ideal, p.Seed+100)
-		idealRep := mustRun(lyra.Scenario(lyra.Ideal, lyraCfg(p)), idealTr)
+	for i := 0; i < nBoots; i++ {
+		baseRep, basicRep, idealRep := reps[3*i], reps[3*i+1], reps[3*i+2]
 		basicJCTReds = append(basicJCTReds, baseRep.JCT.Mean/basicRep.JCT.Mean)
 		idealJCTReds = append(idealJCTReds, baseRep.JCT.Mean/idealRep.JCT.Mean)
 		t.Rows = append(t.Rows, []string{
@@ -173,17 +184,22 @@ func Fig12(p Params) []*Table {
 // Fig13 sweeps the fraction of jobs with checkpointing under loaning-only
 // Lyra (reclaiming preempts jobs; checkpoints keep their progress).
 func Fig13(p Params) []*Table {
-	base := p.Trace()
-	noCkpt := mustRun(loanOnlyCfg(p, lyra.ReclaimLyra), base.Clone())
+	fracs := []float64{0.2, 0.5, 0.8, 1.0}
+	specs := []runner.Spec{p.spec(loanOnlyCfg(p, lyra.ReclaimLyra)).Named("fig13/nockpt")}
+	for _, frac := range fracs {
+		specs = append(specs, p.spec(loanOnlyCfg(p, lyra.ReclaimLyra)).
+			WithCheckpointFrac(frac, p.Seed+400).
+			Named(fmt.Sprintf("fig13/frac=%.1f", frac)))
+	}
+	reps := mustSimAll(p, specs)
+	noCkpt := reps[0]
 	t := &Table{
 		ID:     "fig13",
 		Title:  "Impact of checkpointing fraction (loaning-only Lyra, vs the no-checkpoint default)",
 		Header: []string{"ckpt_frac", "q_mean", "jct_mean", "jct_reduction_vs_nockpt", "preempt_ratio"},
 	}
-	for _, frac := range []float64{0.2, 0.5, 0.8, 1.0} {
-		tr := base.Clone()
-		lyra.SetCheckpointFraction(tr, frac, p.Seed+400)
-		rep := mustRun(loanOnlyCfg(p, lyra.ReclaimLyra), tr)
+	for i, frac := range fracs {
+		rep := reps[i+1]
 		t.Rows = append(t.Rows, []string{
 			fmtF(frac),
 			fmtS(rep.Queue.Mean), fmtS(rep.JCT.Mean),
@@ -198,32 +214,31 @@ func Fig13(p Params) []*Table {
 // Table8 regenerates the queuing/JCT percentile table for the
 // elastic-scaling schemes in the Basic scenario.
 func Table8(p Params) []*Table {
-	base := p.Trace()
+	names := []string{"Baseline", "Gandiva", "AFS", "Pollux", "Lyra", "Lyra+TunedJobs"}
+	specs := []runner.Spec{
+		p.spec(baselineCfg(p)),
+		p.spec(elasticOnlyCfg(p, lyra.SchedGandiva)),
+		p.spec(elasticOnlyCfg(p, lyra.SchedAFS)),
+		p.spec(elasticOnlyCfg(p, lyra.SchedPollux)),
+		p.spec(elasticOnlyCfg(p, lyra.SchedLyra)),
+		p.spec(lyraTunedCfg(p)),
+	}
+	for i := range specs {
+		specs[i] = specs[i].Named("table8/" + names[i])
+	}
+	reps := mustSimAll(p, specs)
 	t := &Table{
 		ID:     "table8",
 		Title:  "Queuing time and JCT percentiles (elastic scaling, Basic)",
 		Header: []string{"scheme", "q_p50", "q_p75", "q_p95", "q_p99", "jct_p50", "jct_p75", "jct_p95", "jct_p99"},
 	}
-	add := func(name string, rep *lyra.Report) {
+	for i, rep := range reps {
 		t.Rows = append(t.Rows, []string{
-			name,
+			names[i],
 			fmtS(rep.Queue.P50), fmtS(rep.Queue.P75), fmtS(rep.Queue.P95), fmtS(rep.Queue.P99),
 			fmtS(rep.JCT.P50), fmtS(rep.JCT.P75), fmtS(rep.JCT.P95), fmtS(rep.JCT.P99),
 		})
 	}
-	add("Baseline", mustRun(lyra.Scenario(lyra.Baseline, baselineCfg(p)), base.Clone()))
-	for _, sk := range []struct {
-		name string
-		kind lyra.SchedulerKind
-	}{
-		{"Gandiva", lyra.SchedGandiva},
-		{"AFS", lyra.SchedAFS},
-		{"Pollux", lyra.SchedPollux},
-		{"Lyra", lyra.SchedLyra},
-	} {
-		add(sk.name, mustRun(elasticOnlyCfg(p, sk.kind), base.Clone()))
-	}
-	add("Lyra+TunedJobs", mustRun(lyraTunedCfg(p), base.Clone()))
 	t.Notes = append(t.Notes, "paper shape: Lyra best among untuned schemes at every percentile; tuning adds further tail gains")
 	return []*Table{t}
 }
@@ -231,18 +246,23 @@ func Table8(p Params) []*Table {
 // Table9 regenerates the prediction-error sensitivity: reductions over
 // Baseline with 20/40/60% of estimates wrong by up to 25%.
 func Table9(p Params) []*Table {
-	base := p.Trace()
-	baseRep := mustRun(lyra.Scenario(lyra.Baseline, baselineCfg(p)), base.Clone())
+	fracs := []float64{0, 0.2, 0.4, 0.6}
+	specs := []runner.Spec{p.spec(baselineCfg(p)).Named("table9/baseline")}
+	for _, frac := range fracs {
+		cfg := elasticOnlyCfg(p, lyra.SchedLyra)
+		cfg.FracWrongEstimate = frac
+		cfg.MaxEstimateError = 0.25
+		specs = append(specs, p.spec(cfg).Named(fmt.Sprintf("table9/frac=%.1f", frac)))
+	}
+	reps := mustSimAll(p, specs)
+	baseRep := reps[0]
 	t := &Table{
 		ID:     "table9",
 		Title:  "Reductions vs Baseline with wrong running-time estimates (error margin <= 25%)",
 		Header: []string{"frac_wrong", "queuing_reduction", "jct_reduction"},
 	}
-	for _, frac := range []float64{0, 0.2, 0.4, 0.6} {
-		cfg := elasticOnlyCfg(p, lyra.SchedLyra)
-		cfg.FracWrongEstimate = frac
-		cfg.MaxEstimateError = 0.25
-		rep := mustRun(cfg, base.Clone())
+	for i, frac := range fracs {
+		rep := reps[i+1]
 		t.Rows = append(t.Rows, []string{
 			fmtPct(frac),
 			fmtF(baseRep.Queue.Mean / rep.Queue.Mean),
@@ -254,19 +274,32 @@ func Table9(p Params) []*Table {
 }
 
 // Fig14_15 sweeps the elastic-job fraction (20% to 100%) and reports the
-// queuing and JCT reductions of every elastic-scaling scheme over Baseline.
+// queuing and JCT reductions of every elastic-scaling scheme over Baseline,
+// as one batched submission of thirty runs.
 func Fig14_15(p Params) []*Table {
-	base := p.Trace()
 	schemes := []struct {
 		name string
-		cfg  func() lyra.Config
+		cfg  lyra.Config
 	}{
-		{"Gandiva", func() lyra.Config { return elasticOnlyCfg(p, lyra.SchedGandiva) }},
-		{"AFS", func() lyra.Config { return elasticOnlyCfg(p, lyra.SchedAFS) }},
-		{"Pollux", func() lyra.Config { return elasticOnlyCfg(p, lyra.SchedPollux) }},
-		{"Lyra", func() lyra.Config { return elasticOnlyCfg(p, lyra.SchedLyra) }},
-		{"Lyra+Tuned", func() lyra.Config { return lyraTunedCfg(p) }},
+		{"Gandiva", elasticOnlyCfg(p, lyra.SchedGandiva)},
+		{"AFS", elasticOnlyCfg(p, lyra.SchedAFS)},
+		{"Pollux", elasticOnlyCfg(p, lyra.SchedPollux)},
+		{"Lyra", elasticOnlyCfg(p, lyra.SchedLyra)},
+		{"Lyra+Tuned", lyraTunedCfg(p)},
 	}
+	fracs := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	var specs []runner.Spec
+	for _, frac := range fracs {
+		specs = append(specs, p.spec(baselineCfg(p)).
+			WithElasticFrac(frac, p.Seed+500).
+			Named(fmt.Sprintf("fig1415/baseline/frac=%.1f", frac)))
+		for _, s := range schemes {
+			specs = append(specs, p.spec(s.cfg).
+				WithElasticFrac(frac, p.Seed+500).
+				Named(fmt.Sprintf("fig1415/%s/frac=%.1f", s.name, frac)))
+		}
+	}
+	reps := mustSimAll(p, specs)
 	queueT := &Table{
 		ID:     "fig14",
 		Title:  "Queuing-time reduction vs Baseline as the elastic-job fraction grows",
@@ -281,14 +314,13 @@ func Fig14_15(p Params) []*Table {
 		queueT.Header = append(queueT.Header, s.name)
 		jctT.Header = append(jctT.Header, s.name)
 	}
-	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
-		tr := base.Clone()
-		lyra.SetElasticFraction(tr, frac, p.Seed+500)
-		baseRep := mustRun(lyra.Scenario(lyra.Baseline, baselineCfg(p)), tr)
+	perFrac := 1 + len(schemes)
+	for fi, frac := range fracs {
+		baseRep := reps[fi*perFrac]
 		qRow := []string{fmtF(frac)}
 		jRow := []string{fmtF(frac)}
-		for _, s := range schemes {
-			rep := mustRun(s.cfg(), tr)
+		for si := range schemes {
+			rep := reps[fi*perFrac+1+si]
 			qRow = append(qRow, fmtF(baseRep.Queue.Mean/rep.Queue.Mean))
 			jRow = append(jRow, fmtF(baseRep.JCT.Mean/rep.JCT.Mean))
 		}
@@ -303,22 +335,27 @@ func Fig14_15(p Params) []*Table {
 
 // Fig16 reruns the elastic-fraction sweep with non-linear (imperfect)
 // scaling, reporting Lyra's queuing and JCT reductions with linear results
-// alongside.
+// alongside. The baseline and linear runs are shared with Figures 14-15
+// when one pool serves both experiments.
 func Fig16(p Params) []*Table {
-	base := p.Trace()
+	nl := elasticOnlyCfg(p, lyra.SchedLyra)
+	nl.Scaling.PerWorkerLoss = 0.2
+	fracs := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	var specs []runner.Spec
+	for _, frac := range fracs {
+		specs = append(specs,
+			p.spec(baselineCfg(p)).WithElasticFrac(frac, p.Seed+500).Named(fmt.Sprintf("fig16/baseline/frac=%.1f", frac)),
+			p.spec(nl).WithElasticFrac(frac, p.Seed+500).Named(fmt.Sprintf("fig16/nonlinear/frac=%.1f", frac)),
+			p.spec(elasticOnlyCfg(p, lyra.SchedLyra)).WithElasticFrac(frac, p.Seed+500).Named(fmt.Sprintf("fig16/linear/frac=%.1f", frac)))
+	}
+	reps := mustSimAll(p, specs)
 	t := &Table{
 		ID:     "fig16",
 		Title:  "Lyra with non-linear scaling across elastic-job fractions",
 		Header: []string{"elastic_frac", "q_red_nonlinear", "jct_red_nonlinear", "q_red_linear", "jct_red_linear"},
 	}
-	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
-		tr := base.Clone()
-		lyra.SetElasticFraction(tr, frac, p.Seed+500)
-		baseRep := mustRun(lyra.Scenario(lyra.Baseline, baselineCfg(p)), tr)
-		nl := elasticOnlyCfg(p, lyra.SchedLyra)
-		nl.Scaling.PerWorkerLoss = 0.2
-		nlRep := mustRun(nl, tr)
-		linRep := mustRun(elasticOnlyCfg(p, lyra.SchedLyra), tr)
+	for i, frac := range fracs {
+		baseRep, nlRep, linRep := reps[3*i], reps[3*i+1], reps[3*i+2]
 		t.Rows = append(t.Rows, []string{
 			fmtF(frac),
 			fmtF(baseRep.Queue.Mean / nlRep.Queue.Mean),

@@ -6,9 +6,10 @@ import (
 	"lyra"
 	"lyra/internal/job"
 	"lyra/internal/metrics"
+	"lyra/internal/runner"
 )
 
-// table5Row runs one scheme and renders the Table 5 columns.
+// table5Row renders one scheme's Table 5 columns.
 func table5Row(scenario, scheme string, rep *lyra.Report, loaning bool) []string {
 	trainUse := fmtF(rep.TrainUsage)
 	overall := fmtF(rep.OverallUsage)
@@ -25,9 +26,9 @@ func table5Row(scenario, scheme string, rep *lyra.Report, loaning bool) []string
 }
 
 // Table5 regenerates the main simulation table: the five scenarios, the
-// capacity-loaning comparison, and the elastic-scaling comparison.
+// capacity-loaning comparison, and the elastic-scaling comparison, as one
+// batched submission of fourteen declared runs.
 func Table5(p Params) []*Table {
-	base := p.Trace()
 	t := &Table{
 		ID:    "table5",
 		Title: "Simulation results in different scenarios using different schemes",
@@ -39,50 +40,40 @@ func Table5(p Params) []*Table {
 		},
 	}
 
-	scenarioTrace := func(kind lyra.ScenarioKind) *lyra.Trace {
-		tr := base.Clone()
-		lyra.ApplyScenario(tr, kind, p.Seed+100)
-		return tr
+	type row struct {
+		scenario, scheme string
+		spec             runner.Spec
+		loaning          bool
 	}
-
-	// Rows 1-5: scenarios.
-	t.Rows = append(t.Rows, table5Row("-", "Baseline",
-		mustRun(lyra.Scenario(lyra.Baseline, baselineCfg(p)), scenarioTrace(lyra.Basic)), true))
-	t.Rows = append(t.Rows, table5Row("Basic", "Lyra",
-		mustRun(lyra.Scenario(lyra.Basic, lyraCfg(p)), scenarioTrace(lyra.Basic)), true))
-	t.Rows = append(t.Rows, table5Row("Advanced", "Lyra",
-		mustRun(lyra.Scenario(lyra.Advanced, lyraCfg(p)), scenarioTrace(lyra.Advanced)), true))
-	t.Rows = append(t.Rows, table5Row("Heterogeneous", "Lyra",
-		mustRun(lyra.Scenario(lyra.Heterogeneous, lyraCfg(p)), scenarioTrace(lyra.Heterogeneous)), true))
-	t.Rows = append(t.Rows, table5Row("Ideal", "Lyra",
-		mustRun(lyra.Scenario(lyra.Ideal, lyraCfg(p)), scenarioTrace(lyra.Ideal)), true))
-
-	// Rows 6-9: capacity loaning only (elastic scaling off, Basic).
-	t.Rows = append(t.Rows, table5Row("Loaning", "Opportunity",
-		mustRun(opportunisticCfg(p), scenarioTrace(lyra.Basic)), true))
-	for _, rk := range []struct {
-		name string
-		kind lyra.ReclaimKind
-	}{{"Random", lyra.ReclaimRandom}, {"SCF", lyra.ReclaimSCF}, {"Lyra", lyra.ReclaimLyra}} {
-		t.Rows = append(t.Rows, table5Row("Loaning", rk.name,
-			mustRun(loanOnlyCfg(p, rk.kind), scenarioTrace(lyra.Basic)), true))
+	rows := []row{
+		// Rows 1-5: scenarios. Baseline and Basic leave the generated trace
+		// as is (no hetero jobs either way); the other scenarios adapt
+		// config and trace together.
+		{"-", "Baseline", p.spec(baselineCfg(p)), true},
+		{"Basic", "Lyra", p.spec(lyraCfg(p)), true},
+		{"Advanced", "Lyra", p.spec(lyraCfg(p)).WithScenario(lyra.Advanced, p.Seed+100), true},
+		{"Heterogeneous", "Lyra", p.spec(lyraCfg(p)).WithScenario(lyra.Heterogeneous, p.Seed+100), true},
+		{"Ideal", "Lyra", p.spec(lyraCfg(p)).WithScenario(lyra.Ideal, p.Seed+100), true},
+		// Rows 6-9: capacity loaning only (elastic scaling off, Basic).
+		{"Loaning", "Opportunity", p.spec(opportunisticCfg(p)), true},
+		{"Loaning", "Random", p.spec(loanOnlyCfg(p, lyra.ReclaimRandom)), true},
+		{"Loaning", "SCF", p.spec(loanOnlyCfg(p, lyra.ReclaimSCF)), true},
+		{"Loaning", "Lyra", p.spec(loanOnlyCfg(p, lyra.ReclaimLyra)), true},
+		// Rows 10-14: elastic scaling only (loaning off, Basic).
+		{"Elastic", "Gandiva", p.spec(elasticOnlyCfg(p, lyra.SchedGandiva)), false},
+		{"Elastic", "AFS", p.spec(elasticOnlyCfg(p, lyra.SchedAFS)), false},
+		{"Elastic", "Pollux", p.spec(elasticOnlyCfg(p, lyra.SchedPollux)), false},
+		{"Elastic", "Lyra", p.spec(elasticOnlyCfg(p, lyra.SchedLyra)), false},
+		{"Elastic", "Lyra+TunedJobs", p.spec(lyraTunedCfg(p)), false},
 	}
-
-	// Rows 10-14: elastic scaling only (loaning off, Basic).
-	for _, sk := range []struct {
-		name string
-		kind lyra.SchedulerKind
-	}{
-		{"Gandiva", lyra.SchedGandiva},
-		{"AFS", lyra.SchedAFS},
-		{"Pollux", lyra.SchedPollux},
-		{"Lyra", lyra.SchedLyra},
-	} {
-		t.Rows = append(t.Rows, table5Row("Elastic", sk.name,
-			mustRun(elasticOnlyCfg(p, sk.kind), scenarioTrace(lyra.Basic)), false))
+	specs := make([]runner.Spec, len(rows))
+	for i, r := range rows {
+		specs[i] = r.spec.Named("table5/" + r.scenario + "/" + r.scheme)
 	}
-	t.Rows = append(t.Rows, table5Row("Elastic", "Lyra+TunedJobs",
-		mustRun(lyraTunedCfg(p), scenarioTrace(lyra.Basic)), false))
+	reps := mustSimAll(p, specs)
+	for i, r := range rows {
+		t.Rows = append(t.Rows, table5Row(r.scenario, r.scheme, reps[i], r.loaning))
+	}
 
 	t.Notes = append(t.Notes,
 		"paper shape: Lyra Basic beats Baseline on queuing and JCT; Ideal is the upper bound;",
@@ -96,15 +87,15 @@ func Fig7(p Params) []*Table {
 	if p.Days > 2 {
 		p.Days = 2
 	}
-	base := p.Trace()
-	series := func(kind lyra.ScenarioKind, cfg lyra.Config) []float64 {
-		tr := base.Clone()
-		lyra.ApplyScenario(tr, kind, p.Seed+100)
-		return mustRun(cfg, tr).Raw.OverallUsage.Bucket(3600).Values
+	reps := mustSimAll(p, []runner.Spec{
+		p.spec(baselineCfg(p)).Named("fig7/baseline"),
+		p.spec(lyraCfg(p)).Named("fig7/basic"),
+		p.spec(lyraCfg(p)).WithScenario(lyra.Ideal, p.Seed+100).Named("fig7/ideal"),
+	})
+	series := func(rep *lyra.Report) []float64 {
+		return rep.Raw.OverallUsage.Bucket(3600).Values
 	}
-	sBase := series(lyra.Basic, lyra.Scenario(lyra.Baseline, baselineCfg(p)))
-	sBasic := series(lyra.Basic, lyra.Scenario(lyra.Basic, lyraCfg(p)))
-	sIdeal := series(lyra.Ideal, lyra.Scenario(lyra.Ideal, lyraCfg(p)))
+	sBase, sBasic, sIdeal := series(reps[0]), series(reps[1]), series(reps[2])
 	t := &Table{
 		ID:     "fig7",
 		Title:  "Hourly combined (training+inference) usage over 48 hours",
@@ -130,19 +121,21 @@ func Fig7(p Params) []*Table {
 // with the 20%-per-worker throughput loss, reported as reductions over the
 // same Baseline.
 func Fig8(p Params) []*Table {
-	base := p.Trace()
-	baseRep := mustRun(lyra.Scenario(lyra.Baseline, baselineCfg(p)), base.Clone())
+	lossy := lyraCfg(p)
+	lossy.Scaling.PerWorkerLoss = 0.2
+	reps := mustSimAll(p, []runner.Spec{
+		p.spec(baselineCfg(p)).Named("fig8/baseline"),
+		p.spec(lossy).Named("fig8/basic"),
+		p.spec(lossy).WithScenario(lyra.Ideal, p.Seed+100).Named("fig8/ideal"),
+	})
+	baseRep := reps[0]
 	t := &Table{
 		ID:     "fig8",
 		Title:  "Queuing and JCT reduction vs Baseline under imperfect (non-linear) scaling",
 		Header: []string{"scenario", "queuing_reduction", "jct_reduction", "q_mean", "jct_mean"},
 	}
-	for _, sc := range []lyra.ScenarioKind{lyra.Basic, lyra.Ideal} {
-		tr := base.Clone()
-		lyra.ApplyScenario(tr, sc, p.Seed+100)
-		cfg := lyra.Scenario(sc, lyraCfg(p))
-		cfg.Scaling.PerWorkerLoss = 0.2
-		rep := mustRun(cfg, tr)
+	for i, sc := range []lyra.ScenarioKind{lyra.Basic, lyra.Ideal} {
+		rep := reps[i+1]
 		t.Rows = append(t.Rows, []string{
 			string(sc),
 			fmtF(baseRep.Queue.Mean / rep.Queue.Mean),
@@ -157,21 +150,29 @@ func Fig8(p Params) []*Table {
 // Table6 regenerates the naive-placement ablation: Lyra placing elastic
 // jobs like inelastic ones (no flexible-group separation, training-first).
 func Table6(p Params) []*Table {
-	base := p.Trace()
+	naiveCfg := lyraCfg(p)
+	naiveCfg.NaivePlacement = true
+	withScenario := func(s runner.Spec, sc lyra.ScenarioKind) runner.Spec {
+		if sc == lyra.Basic {
+			return s // Basic leaves the generated trace as is
+		}
+		return s.WithScenario(sc, p.Seed+100)
+	}
+	scenarios := []lyra.ScenarioKind{lyra.Basic, lyra.Advanced, lyra.Ideal}
+	var specs []runner.Spec
+	for _, sc := range scenarios {
+		specs = append(specs,
+			withScenario(p.spec(naiveCfg), sc).Named("table6/naive/"+string(sc)),
+			withScenario(p.spec(lyraCfg(p)), sc).Named("table6/full/"+string(sc)))
+	}
+	reps := mustSimAll(p, specs)
 	t := &Table{
 		ID:     "table6",
 		Title:  "Lyra without special placement of elastic jobs (naive BFD)",
 		Header: []string{"scenario", "q_mean", "jct_mean", "preempt", "preempt_lyra_placement"},
 	}
-	for _, sc := range []lyra.ScenarioKind{lyra.Basic, lyra.Advanced, lyra.Ideal} {
-		tr := base.Clone()
-		lyra.ApplyScenario(tr, sc, p.Seed+100)
-		cfg := lyra.Scenario(sc, lyraCfg(p))
-		cfg.NaivePlacement = true
-		naive := mustRun(cfg, tr)
-		tr2 := base.Clone()
-		lyra.ApplyScenario(tr2, sc, p.Seed+100)
-		full := mustRun(lyra.Scenario(sc, lyraCfg(p)), tr2)
+	for i, sc := range scenarios {
+		naive, full := reps[2*i], reps[2*i+1]
 		t.Rows = append(t.Rows, []string{
 			string(sc),
 			fmtS(naive.Queue.Mean), fmtS(naive.JCT.Mean),
@@ -186,9 +187,11 @@ func Table6(p Params) []*Table {
 // the jobs that ran on on-loan servers under Lyra, compared with the very
 // same jobs' behaviour under the Baseline (no loaning).
 func Table7(p Params) []*Table {
-	base := p.Trace()
-	lyraRep := mustRun(loanOnlyCfg(p, lyra.ReclaimLyra), base.Clone())
-	baseRep := mustRun(lyra.Scenario(lyra.Baseline, baselineCfg(p)), base.Clone())
+	reps := mustSimAll(p, []runner.Spec{
+		p.spec(loanOnlyCfg(p, lyra.ReclaimLyra)).Named("table7/lyra"),
+		p.spec(baselineCfg(p)).Named("table7/baseline"),
+	})
+	lyraRep, baseRep := reps[0], reps[1]
 
 	var baseQ, baseJ, lyraQ, lyraJ []float64
 	for _, j := range baseRep.Raw.Jobs {
@@ -224,7 +227,7 @@ func Table7(p Params) []*Table {
 // Fig9 regenerates the daily average usage of on-loan servers under
 // loaning-only Lyra.
 func Fig9(p Params) []*Table {
-	rep := mustRun(loanOnlyCfg(p, lyra.ReclaimLyra), p.Trace())
+	rep := mustSim(p, p.spec(loanOnlyCfg(p, lyra.ReclaimLyra)).Named("fig9"))
 	daily := rep.Raw.OnLoanUsage.Bucket(86400)
 	t := &Table{
 		ID:     "fig9",
@@ -242,24 +245,33 @@ func Fig9(p Params) []*Table {
 // collateral damage for Random, SCF and Lyra, with elastic scaling disabled
 // and enabled.
 func Fig10(p Params) []*Table {
-	base := p.Trace()
+	kinds := []struct {
+		name string
+		kind lyra.ReclaimKind
+	}{{"Random", lyra.ReclaimRandom}, {"SCF", lyra.ReclaimSCF}, {"Lyra", lyra.ReclaimLyra}}
+	var specs []runner.Spec
+	for _, elastic := range []bool{false, true} {
+		for _, rk := range kinds {
+			cfg := loanOnlyCfg(p, rk.kind)
+			cfg.Elastic = elastic
+			specs = append(specs, p.spec(cfg).Named(fmt.Sprintf("fig10/%s/elastic=%v", rk.name, elastic)))
+		}
+	}
+	reps := mustSimAll(p, specs)
 	t := &Table{
 		ID:     "fig10",
 		Title:  "Preemption ratio and collateral damage by reclaiming scheme",
 		Header: []string{"scaling", "scheme", "preempt_ratio", "collateral", "flex_satisfied"},
 	}
+	i := 0
 	for _, elastic := range []bool{false, true} {
 		label := "disabled"
 		if elastic {
 			label = "enabled"
 		}
-		for _, rk := range []struct {
-			name string
-			kind lyra.ReclaimKind
-		}{{"Random", lyra.ReclaimRandom}, {"SCF", lyra.ReclaimSCF}, {"Lyra", lyra.ReclaimLyra}} {
-			cfg := loanOnlyCfg(p, rk.kind)
-			cfg.Elastic = elastic
-			rep := mustRun(cfg, base.Clone())
+		for _, rk := range kinds {
+			rep := reps[i]
+			i++
 			t.Rows = append(t.Rows, []string{
 				label, rk.name,
 				fmtPct(rep.PreemptionRatio), fmtPct(rep.CollateralDamage), fmtPct(rep.FlexSatisfiedShare),

@@ -1,41 +1,25 @@
 package experiments
 
 import (
-	"lyra/internal/cluster"
-	"lyra/internal/inference"
-	"lyra/internal/job"
-	"lyra/internal/orchestrator"
-	"lyra/internal/reclaim"
-	"lyra/internal/sched"
-	"lyra/internal/sim"
+	"fmt"
+
+	"lyra"
+	"lyra/internal/runner"
 	"lyra/internal/testbed"
-	"lyra/internal/trace"
 )
 
-// testbedTrace builds the §7.5 workload: 180 jobs (~10 of them elastic,
-// like Basic), submissions spanning 8 hours, training times from 2 minutes
-// to 2 hours, demand capped at half the cluster.
-func testbedTrace(seed int64) *trace.Trace {
-	return trace.GenerateTestbed(seed, 180)
-}
-
-// testbedRun executes one scheme on the 64-GPU testbed prototype.
-func testbedRun(p Params, s sim.Scheduler, policy reclaim.Policy) testbed.Result {
-	cfg := testbed.Config{
-		Cluster: cluster.TestbedConfig(),
+// testbedSpec declares one scheme on the §7.5 64-GPU prototype: 180 jobs
+// (~10 of them elastic, like Basic), submissions spanning 8 hours, training
+// times from 2 minutes to 2 hours, demand capped at half the cluster,
+// replayed at 4000x real time.
+func testbedSpec(p Params, name string) runner.TestbedSpec {
+	return runner.TestbedSpec{
+		Name:    name,
+		Jobs:    180,
+		Seed:    p.Seed,
 		Speedup: 4000,
 		Audit:   p.Audit,
-		Seed:    p.Seed,
 	}
-	var orchBuilder func(less func(a, b *job.Job) bool, inf *inference.Scheduler) *orchestrator.Orchestrator
-	if policy != nil {
-		orchBuilder = func(less func(a, b *job.Job) bool, inf *inference.Scheduler) *orchestrator.Orchestrator {
-			return orchestrator.New(inf, policy, less)
-		}
-	}
-	tr := testbedTrace(p.Seed)
-	tb := testbed.New(cfg, tr, s, orchBuilder)
-	return tb.Run(tr.Horizon)
 }
 
 func testbedRow(name string, r testbed.Result, loaning bool) []string {
@@ -60,26 +44,53 @@ func Table10(p Params) []*Table {
 		Title:  "Testbed results (64-GPU prototype, 180-job trace)",
 		Header: []string{"scheme", "q_mean", "q_med", "q_p95", "jct_mean", "jct_med", "jct_p95", "preempt"},
 	}
-	newRand := func() reclaim.Policy { return reclaim.Random{Rng: newRng(p.Seed + 31)} }
-
-	t.Rows = append(t.Rows, testbedRow("Baseline(FIFO)",
-		testbedRun(p, &sched.FIFO{}, nil), false))
-	t.Rows = append(t.Rows, testbedRow("Lyra(full)",
-		testbedRun(p, sched.NewLyra(), reclaim.Lyra{}), true))
-	t.Rows = append(t.Rows, testbedRow("Loan/Random",
-		testbedRun(p, &sched.Lyra{}, newRand()), true))
-	t.Rows = append(t.Rows, testbedRow("Loan/SCF",
-		testbedRun(p, &sched.Lyra{}, reclaim.SCF{}), true))
-	t.Rows = append(t.Rows, testbedRow("Loan/Lyra",
-		testbedRun(p, &sched.Lyra{}, reclaim.Lyra{}), true))
-	t.Rows = append(t.Rows, testbedRow("Elastic/Gandiva",
-		testbedRun(p, &sched.Gandiva{}, nil), false))
-	t.Rows = append(t.Rows, testbedRow("Elastic/AFS",
-		testbedRun(p, &sched.AFS{}, nil), false))
-	t.Rows = append(t.Rows, testbedRow("Elastic/Pollux",
-		testbedRun(p, sched.NewPollux(p.Seed+5), nil), false))
-	t.Rows = append(t.Rows, testbedRow("Elastic/Lyra",
-		testbedRun(p, &sched.Lyra{Elastic: true}, nil), false))
+	type row struct {
+		name    string
+		spec    runner.TestbedSpec
+		loaning bool
+	}
+	mk := func(name string, mut func(*runner.TestbedSpec)) runner.TestbedSpec {
+		s := testbedSpec(p, "table10/"+name)
+		mut(&s)
+		return s
+	}
+	rows := []row{
+		{"Baseline(FIFO)", mk("Baseline(FIFO)", func(s *runner.TestbedSpec) {
+			s.Scheduler = lyra.SchedFIFO
+		}), false},
+		{"Lyra(full)", mk("Lyra(full)", func(s *runner.TestbedSpec) {
+			s.Elastic, s.Loaning = true, true
+		}), true},
+		{"Loan/Random", mk("Loan/Random", func(s *runner.TestbedSpec) {
+			s.Loaning, s.Reclaim = true, lyra.ReclaimRandom
+		}), true},
+		{"Loan/SCF", mk("Loan/SCF", func(s *runner.TestbedSpec) {
+			s.Loaning, s.Reclaim = true, lyra.ReclaimSCF
+		}), true},
+		{"Loan/Lyra", mk("Loan/Lyra", func(s *runner.TestbedSpec) {
+			s.Loaning = true
+		}), true},
+		{"Elastic/Gandiva", mk("Elastic/Gandiva", func(s *runner.TestbedSpec) {
+			s.Scheduler = lyra.SchedGandiva
+		}), false},
+		{"Elastic/AFS", mk("Elastic/AFS", func(s *runner.TestbedSpec) {
+			s.Scheduler = lyra.SchedAFS
+		}), false},
+		{"Elastic/Pollux", mk("Elastic/Pollux", func(s *runner.TestbedSpec) {
+			s.Scheduler = lyra.SchedPollux
+		}), false},
+		{"Elastic/Lyra", mk("Elastic/Lyra", func(s *runner.TestbedSpec) {
+			s.Elastic = true
+		}), false},
+	}
+	specs := make([]runner.TestbedSpec, len(rows))
+	for i, r := range rows {
+		specs[i] = r.spec
+	}
+	results := mustTestbedAll(p, specs)
+	for i, r := range rows {
+		t.Rows = append(t.Rows, testbedRow(r.name, results[i], r.loaning))
+	}
 	t.Notes = append(t.Notes,
 		"paper shape: Lyra improves queuing ~1.38x and JCT ~1.22x over Baseline; reclaiming order Lyra < SCF < Random preemptions",
 		"wall-clock: the prototype replays the trace at 4000x real time with goroutine containers")
@@ -87,27 +98,37 @@ func Table10(p Params) []*Table {
 }
 
 // Fig17 regenerates the testbed preemption/collateral comparison across
-// reclaiming schemes, with elastic scaling disabled and enabled.
+// reclaiming schemes, with elastic scaling disabled and enabled. The
+// disabled trio and the enabled/Lyra cell reuse Table 10's runs when one
+// pool serves both experiments.
 func Fig17(p Params) []*Table {
 	t := &Table{
 		ID:     "fig17",
 		Title:  "Testbed preemption ratio and collateral damage by reclaiming scheme",
 		Header: []string{"scaling", "scheme", "preempt_ratio", "collateral"},
 	}
+	kinds := []struct {
+		name string
+		kind lyra.ReclaimKind
+	}{{"Random", lyra.ReclaimRandom}, {"SCF", lyra.ReclaimSCF}, {"Lyra", lyra.ReclaimLyra}}
+	var specs []runner.TestbedSpec
+	for _, elastic := range []bool{false, true} {
+		for _, rc := range kinds {
+			s := testbedSpec(p, fmt.Sprintf("fig17/%s/elastic=%v", rc.name, elastic))
+			s.Elastic, s.Loaning, s.Reclaim = elastic, true, rc.kind
+			specs = append(specs, s)
+		}
+	}
+	results := mustTestbedAll(p, specs)
+	i := 0
 	for _, elastic := range []bool{false, true} {
 		label := "disabled"
 		if elastic {
 			label = "enabled"
 		}
-		for _, rc := range []struct {
-			name   string
-			policy reclaim.Policy
-		}{
-			{"Random", reclaim.Random{Rng: newRng(p.Seed + 31)}},
-			{"SCF", reclaim.SCF{}},
-			{"Lyra", reclaim.Lyra{}},
-		} {
-			r := testbedRun(p, &sched.Lyra{Elastic: elastic}, rc.policy)
+		for _, rc := range kinds {
+			r := results[i]
+			i++
 			t.Rows = append(t.Rows, []string{label, rc.name, fmtPct(r.PreemptionRatio), fmtPct(r.CollateralDamage)})
 		}
 	}

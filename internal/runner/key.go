@@ -1,0 +1,24 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// KeyOf derives the canonical content key for a declarative value: the kind
+// tag plus the SHA-256 of its JSON encoding. encoding/json writes struct
+// fields in declaration order and sorts map keys, so pure-data specs encode
+// deterministically; two semantically equal specs produce the same key and
+// any field flip produces a different one. The kind tag namespaces the
+// pool's cache so a simulation result can never be confused with a trace or
+// a testbed run for the same parameters.
+func KeyOf(kind string, v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("runner: keying %s spec: %w", kind, err)
+	}
+	sum := sha256.Sum256(b)
+	return kind + ":" + hex.EncodeToString(sum[:]), nil
+}

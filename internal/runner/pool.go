@@ -1,0 +1,354 @@
+package runner
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"lyra"
+	"lyra/internal/cluster"
+	"lyra/internal/inference"
+	"lyra/internal/job"
+	"lyra/internal/orchestrator"
+	"lyra/internal/reclaim"
+	"lyra/internal/sched"
+	"lyra/internal/sim"
+	"lyra/internal/testbed"
+	"lyra/internal/trace"
+)
+
+// Stats counts the pool's memoization traffic.
+type Stats struct {
+	// Requests is the number of memoized lookups (simulations, testbed
+	// runs, and generic Do calls; base-trace synthesis is counted
+	// separately).
+	Requests int64
+	// Hits is how many requests were served from the cache or joined an
+	// in-flight execution of the same key (singleflight).
+	Hits int64
+	// Executed is how many functions actually ran (Requests - Hits).
+	Executed int64
+	// TraceGens is how many base traces / bootstrap sets were synthesized.
+	TraceGens int64
+}
+
+// HitRate is Hits/Requests (0 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d requested, %d executed, %d cache hits (%.0f%% hit rate), %d traces synthesized",
+		s.Requests, s.Executed, s.Hits, 100*s.HitRate(), s.TraceGens)
+}
+
+// Pool is a concurrent, memoizing experiment runner. At most `parallel`
+// executions run at once; results are cached by content key for the life of
+// the pool, and concurrent requests for the same key share one execution
+// (singleflight). Cached results are returned as shared pointers — treat
+// them as immutable.
+type Pool struct {
+	parallel int
+	sem      chan struct{}
+
+	mu    sync.Mutex
+	calls map[string]*call
+	stats Stats
+}
+
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New returns a pool running at most parallel executions at once;
+// parallel <= 0 defaults to GOMAXPROCS. New(1) is the serial reference
+// runner: with the same pool inputs it produces byte-identical results to
+// any other parallelism, which TestRegistrySerialVsParallelIdentity guards.
+func New(parallel int) *Pool {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		parallel: parallel,
+		sem:      make(chan struct{}, parallel),
+		calls:    make(map[string]*call),
+	}
+}
+
+// Parallelism reports the worker bound.
+func (p *Pool) Parallelism() int { return p.parallel }
+
+// Stats returns a snapshot of the memoization counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Do memoizes fn under key with singleflight semantics, bounded by the
+// worker pool. It is the generic layer under Sim and Testbed — use it for
+// bespoke experiment legs (the §7.2 calibration does) with a KeyOf-derived
+// key covering every input that influences the result. Errors are cached
+// like results: deterministic failures fail once.
+func (p *Pool) Do(key string, fn func() (any, error)) (any, error) {
+	return p.do(key, fn, true, false)
+}
+
+// do implements the memoized singleflight. bounded selects whether fn
+// counts against the worker pool; trace synthesis runs unbounded because
+// its callers already hold a worker slot (a bounded nested acquire could
+// deadlock a 1-worker pool) and is tallied as TraceGens instead.
+func (p *Pool) do(key string, fn func() (any, error), bounded, traceGen bool) (any, error) {
+	p.mu.Lock()
+	if c, ok := p.calls[key]; ok {
+		if !traceGen {
+			p.stats.Requests++
+			p.stats.Hits++
+		}
+		p.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	p.calls[key] = c
+	if traceGen {
+		p.stats.TraceGens++
+	} else {
+		p.stats.Requests++
+		p.stats.Executed++
+	}
+	p.mu.Unlock()
+
+	if bounded {
+		p.sem <- struct{}{}
+	}
+	defer func() {
+		if bounded {
+			<-p.sem
+		}
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err
+}
+
+// Sim executes (or recalls) one simulation. Blocks until the result is
+// available.
+func (p *Pool) Sim(spec Spec) (*lyra.Report, error) {
+	key, err := spec.Key()
+	if err != nil {
+		return nil, err
+	}
+	v, err := p.do(key, func() (any, error) { return p.runSim(spec) }, true, false)
+	if err != nil {
+		return nil, fmt.Errorf("runner: %s: %w", spec.label(), err)
+	}
+	return v.(*lyra.Report), nil
+}
+
+// SimAll submits the whole batch at once and waits for every result;
+// specs[i] maps to result[i]. Distinct specs fan out over the worker pool;
+// duplicate specs collapse onto one execution. The first error (in spec
+// order) is returned with every completed result.
+func (p *Pool) SimAll(specs []Spec) ([]*lyra.Report, error) {
+	reps := make([]*lyra.Report, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reps[i], errs[i] = p.Sim(specs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return reps, err
+		}
+	}
+	return reps, nil
+}
+
+// runSim materializes the trace, applies the scenario to config and trace
+// together, applies the mutation knobs, and runs the simulation.
+func (p *Pool) runSim(spec Spec) (*lyra.Report, error) {
+	cfg := spec.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Scenario != "" && !spec.Scenario.Valid() {
+		return nil, fmt.Errorf("unknown scenario %q (valid: %v)", spec.Scenario, lyra.Scenarios())
+	}
+	tr, err := p.materializeTrace(spec.Trace)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Scenario != "" {
+		cfg = lyra.ApplyScenarioAll(spec.Scenario, cfg, tr, spec.ScenarioSeed)
+	}
+	if f := spec.Trace.HeteroFrac; f != nil {
+		lyra.SetHeteroFraction(tr, f.Frac, f.Seed)
+	}
+	if f := spec.Trace.ElasticFrac; f != nil {
+		lyra.SetElasticFraction(tr, f.Frac, f.Seed)
+	}
+	if f := spec.Trace.CheckpointFrac; f != nil {
+		lyra.SetCheckpointFraction(tr, f.Frac, f.Seed)
+	}
+	return lyra.Run(cfg, tr)
+}
+
+// materializeTrace returns a private clone of the declared workload: the
+// base trace (and any bootstrap set) is synthesized once per pool and
+// shared, the clone is the caller's to mutate.
+func (p *Pool) materializeTrace(ts TraceSpec) (*lyra.Trace, error) {
+	genKey, err := KeyOf("trace", struct {
+		Gen         lyra.TraceConfig
+		TestbedJobs int
+		TestbedSeed int64
+	}{ts.Gen, ts.TestbedJobs, ts.TestbedSeed})
+	if err != nil {
+		return nil, err
+	}
+	v, err := p.do(genKey, func() (any, error) {
+		if ts.TestbedJobs > 0 {
+			return trace.GenerateTestbed(ts.TestbedSeed, ts.TestbedJobs), nil
+		}
+		return lyra.GenerateTrace(ts.Gen), nil
+	}, false, true)
+	if err != nil {
+		return nil, err
+	}
+	base := v.(*lyra.Trace)
+
+	if b := ts.Bootstrap; b != nil {
+		bootKey, err := KeyOf("boots", struct {
+			GenKey string
+			Days   int
+			Count  int
+			Seed   int64
+		}{genKey, b.Days, b.Count, b.Seed})
+		if err != nil {
+			return nil, err
+		}
+		bv, err := p.do(bootKey, func() (any, error) {
+			return base.Bootstrap(b.Days, b.Count, b.Seed), nil
+		}, false, true)
+		if err != nil {
+			return nil, err
+		}
+		boots := bv.([]*lyra.Trace)
+		if b.Index < 0 || b.Index >= len(boots) {
+			return nil, fmt.Errorf("bootstrap index %d outside [0, %d)", b.Index, len(boots))
+		}
+		return boots[b.Index].Clone(), nil
+	}
+	return base.Clone(), nil
+}
+
+// Testbed executes (or recalls) one prototype-runtime run.
+func (p *Pool) Testbed(spec TestbedSpec) (testbed.Result, error) {
+	key, err := spec.Key()
+	if err != nil {
+		return testbed.Result{}, err
+	}
+	v, err := p.do(key, func() (any, error) { return runTestbed(spec) }, true, false)
+	if err != nil {
+		return testbed.Result{}, fmt.Errorf("runner: %s: %w", spec.label(), err)
+	}
+	return v.(testbed.Result), nil
+}
+
+// TestbedAll is SimAll for testbed runs.
+func (p *Pool) TestbedAll(specs []TestbedSpec) ([]testbed.Result, error) {
+	results := make([]testbed.Result, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = p.Testbed(specs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+func runTestbed(spec TestbedSpec) (testbed.Result, error) {
+	var zero testbed.Result
+	if spec.Jobs <= 0 {
+		return zero, fmt.Errorf("testbed spec needs Jobs > 0")
+	}
+	s, err := testbedScheduler(spec)
+	if err != nil {
+		return zero, err
+	}
+	var orchBuilder func(less func(a, b *job.Job) bool, inf *inference.Scheduler) *orchestrator.Orchestrator
+	if spec.Loaning {
+		policy, err := testbedReclaim(spec)
+		if err != nil {
+			return zero, err
+		}
+		orchBuilder = func(less func(a, b *job.Job) bool, inf *inference.Scheduler) *orchestrator.Orchestrator {
+			return orchestrator.New(inf, policy, less)
+		}
+	}
+	cfg := testbed.Config{
+		Cluster:       cluster.TestbedConfig(),
+		Speedup:       spec.Speedup,
+		SchedInterval: spec.SchedInterval,
+		OrchInterval:  spec.OrchInterval,
+		UtilCompress:  spec.UtilCompress,
+		Audit:         spec.Audit,
+		Seed:          spec.Seed,
+	}
+	tr := trace.GenerateTestbed(spec.Seed, spec.Jobs)
+	tb := testbed.New(cfg, tr, s, orchBuilder)
+	return tb.Run(tr.Horizon), nil
+}
+
+// testbedScheduler mirrors the §7.5 scheme table: the scheduler kinds are
+// validated against the root package's registry so unknown names fail with
+// the same list Validate reports.
+func testbedScheduler(spec TestbedSpec) (sim.Scheduler, error) {
+	switch spec.Scheduler {
+	case lyra.SchedFIFO:
+		return &sched.FIFO{}, nil
+	case lyra.SchedLyra, "":
+		return &sched.Lyra{Elastic: spec.Elastic}, nil
+	case lyra.SchedGandiva:
+		return &sched.Gandiva{}, nil
+	case lyra.SchedAFS:
+		return &sched.AFS{}, nil
+	case lyra.SchedPollux:
+		return sched.NewPollux(spec.Seed + 5), nil
+	}
+	return nil, fmt.Errorf("unknown testbed scheduler %q (valid: %v)", spec.Scheduler, lyra.Schedulers())
+}
+
+func testbedReclaim(spec TestbedSpec) (reclaim.Policy, error) {
+	switch spec.Reclaim {
+	case lyra.ReclaimLyra, "":
+		return reclaim.Lyra{}, nil
+	case lyra.ReclaimRandom:
+		return reclaim.Random{Rng: rand.New(rand.NewSource(spec.Seed + 31))}, nil
+	case lyra.ReclaimSCF:
+		return reclaim.SCF{}, nil
+	case lyra.ReclaimOptimal:
+		return reclaim.Optimal{}, nil
+	}
+	return nil, fmt.Errorf("unknown testbed reclaim policy %q (valid: %v)", spec.Reclaim, lyra.Reclaims())
+}

@@ -1,0 +1,302 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lyra"
+)
+
+func tinyGen() lyra.TraceConfig {
+	cfg := lyra.DefaultTraceConfig(1)
+	cfg.Days = 1
+	cfg.TrainingGPUs = 16 * 8
+	cfg.LoadFactor = 0.83
+	return cfg
+}
+
+func tinyCfg() lyra.Config {
+	return lyra.Config{
+		Cluster:   lyra.ClusterConfig{TrainingServers: 16, InferenceServers: 16},
+		Scheduler: lyra.SchedLyra,
+		Elastic:   true,
+		Loaning:   true,
+		Seed:      1,
+		Audit:     true,
+	}
+}
+
+func mustKey(t *testing.T, s Spec) string {
+	t.Helper()
+	k, err := s.Key()
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	return k
+}
+
+// Semantically equal specs must key equal: normalization resolves the
+// zero-vs-default ambiguity before hashing.
+func TestKeyEqualForSemanticallyEqualSpecs(t *testing.T) {
+	base := NewSpec(tinyCfg(), tinyGen())
+	ref := mustKey(t, base)
+
+	equal := map[string]Spec{
+		"renamed":           base.Named("other-name"),
+		"headroom default":  func() Spec { s := base; s.Config.Headroom = 0.02; return s }(),
+		"intervals default": func() Spec { s := base; s.Config.SchedInterval = 60; s.Config.OrchInterval = 300; return s }(),
+		"reclaim default":   func() Spec { s := base; s.Config.Reclaim = lyra.ReclaimLyra; return s }(),
+		"tuning default":    func() Spec { s := base; s.Config.StabilityBonus = 1.08; s.Config.Phase2MaxItems = 8; return s }(),
+		"pre-normalized":    func() Spec { s := base; s.Config = s.Config.Normalize(); return s }(),
+	}
+	for name, s := range equal {
+		if k := mustKey(t, s); k != ref {
+			t.Errorf("%s: key %s != base %s; semantically equal specs must collide", name, k, ref)
+		}
+	}
+
+	// Reclaim without loaning is inert and must not affect the key.
+	noLoanA := base
+	noLoanA.Config.Loaning = false
+	noLoanB := noLoanA
+	noLoanB.Config.Reclaim = lyra.ReclaimSCF
+	if mustKey(t, noLoanA) != mustKey(t, noLoanB) {
+		t.Errorf("inert Reclaim changed the key of a non-loaning spec")
+	}
+}
+
+// Every meaningful knob flip must change the key.
+func TestKeyDiffersPerField(t *testing.T) {
+	base := NewSpec(tinyCfg(), tinyGen())
+	ref := mustKey(t, base)
+
+	mutations := map[string]Spec{
+		"scheduler":       func() Spec { s := base; s.Config.Scheduler = lyra.SchedFIFO; return s }(),
+		"elastic":         func() Spec { s := base; s.Config.Elastic = false; return s }(),
+		"loaning":         func() Spec { s := base; s.Config.Loaning = false; return s }(),
+		"reclaim":         func() Spec { s := base; s.Config.Reclaim = lyra.ReclaimRandom; return s }(),
+		"headroom":        func() Spec { s := base; s.Config.Headroom = 0.10; return s }(),
+		"headroom zero":   func() Spec { s := base; s.Config.Headroom = lyra.Zero; return s }(),
+		"preempt zero":    func() Spec { s := base; s.Config.PreemptOverhead = lyra.Zero; return s }(),
+		"seed":            func() Spec { s := base; s.Config.Seed = 2; return s }(),
+		"stability bonus": func() Spec { s := base; s.Config.StabilityBonus = 1.25; return s }(),
+		"phase2 items":    func() Spec { s := base; s.Config.Phase2MaxItems = 4; return s }(),
+		"hetero penalty":  func() Spec { s := base; s.Config.Scaling.HeteroPenalty = 0.5; return s }(),
+		"scenario":        base.WithScenario(lyra.Advanced, 7),
+		"scenario seed": func() Spec {
+			s := base.WithScenario(lyra.Advanced, 7)
+			s.ScenarioSeed = 8
+			return s
+		}(),
+		"trace seed":      func() Spec { s := base; s.Trace.Gen.Seed = 2; return s }(),
+		"trace days":      func() Spec { s := base; s.Trace.Gen.Days = 2; return s }(),
+		"trace load":      func() Spec { s := base; s.Trace.Gen.LoadFactor = 0.9; return s }(),
+		"hetero frac":     base.WithHeteroFrac(0.3, 9),
+		"elastic frac":    base.WithElasticFrac(0.3, 9),
+		"checkpoint frac": base.WithCheckpointFrac(0.3, 9),
+		"bootstrap":       base.WithBootstrap(1, 10, 3, 11),
+	}
+	seen := map[string]string{ref: "base"}
+	for name, s := range mutations {
+		k := mustKey(t, s)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s: key collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+
+	// Bootstrap index selects a different resample: distinct keys.
+	b3 := mustKey(t, base.WithBootstrap(1, 10, 3, 11))
+	b4 := mustKey(t, base.WithBootstrap(1, 10, 4, 11))
+	if b3 == b4 {
+		t.Errorf("bootstrap index not part of the key")
+	}
+}
+
+func TestTestbedKeyCanonicalizes(t *testing.T) {
+	a := TestbedSpec{Jobs: 60, Seed: 1, Loaning: true}
+	b := TestbedSpec{Jobs: 60, Seed: 1, Loaning: true, Scheduler: lyra.SchedLyra, Reclaim: lyra.ReclaimLyra, Name: "x"}
+	ka, err := a.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Errorf("testbed defaults not canonicalized: %s vs %s", ka, kb)
+	}
+	c := a
+	c.Loaning = false
+	c.Reclaim = lyra.ReclaimSCF // inert without loaning
+	d := a
+	d.Loaning = false
+	kc, _ := c.Key()
+	kd, _ := d.Key()
+	if kc != kd {
+		t.Errorf("inert testbed Reclaim changed the key")
+	}
+	if kc == ka {
+		t.Errorf("loaning flip did not change the key")
+	}
+}
+
+// Concurrent requests for one key run the function exactly once and all
+// observe its result (singleflight). Run under -race via make race.
+func TestDoSingleflight(t *testing.T) {
+	p := New(4)
+	var ran atomic.Int64
+	const n = 16
+	results := make([]any, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := p.Do("k", func() (any, error) {
+				ran.Add(1)
+				return "value", nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("function ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != "value" {
+			t.Errorf("request %d got %v", i, v)
+		}
+	}
+	st := p.Stats()
+	if st.Requests != n || st.Executed != 1 || st.Hits != n-1 {
+		t.Errorf("stats = %+v, want %d requests / 1 executed / %d hits", st, n, n-1)
+	}
+}
+
+// Errors are memoized too: a deterministic failure fails once.
+func TestDoCachesErrors(t *testing.T) {
+	p := New(2)
+	var ran atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, err := p.Do("bad", func() (any, error) {
+			ran.Add(1)
+			return nil, fmt.Errorf("boom")
+		})
+		if err == nil || err.Error() != "boom" {
+			t.Fatalf("attempt %d: err = %v, want boom", i, err)
+		}
+	}
+	if got := ran.Load(); got != 1 {
+		t.Errorf("failing function ran %d times, want 1", got)
+	}
+}
+
+func TestPoolDefaultsAndValidation(t *testing.T) {
+	if got := New(0).Parallelism(); got < 1 {
+		t.Errorf("New(0).Parallelism() = %d, want >= 1", got)
+	}
+	p := New(1)
+	bad := NewSpec(tinyCfg(), tinyGen())
+	bad.Config.Scheduler = "nonsense"
+	if _, err := p.Sim(bad); err == nil {
+		t.Errorf("Sim accepted an unknown scheduler")
+	}
+	badScen := NewSpec(tinyCfg(), tinyGen())
+	badScen.Scenario = "nonsense"
+	if _, err := p.Sim(badScen); err == nil {
+		t.Errorf("Sim accepted an unknown scenario")
+	}
+	badBoot := NewSpec(tinyCfg(), tinyGen()).WithBootstrap(1, 3, 99, 5)
+	if _, err := p.Sim(badBoot); err == nil {
+		t.Errorf("Sim accepted an out-of-range bootstrap index")
+	}
+	badTB := TestbedSpec{Jobs: 10, Scheduler: "nonsense"}
+	if _, err := p.Testbed(badTB); err == nil {
+		t.Errorf("Testbed accepted an unknown scheduler")
+	}
+}
+
+// End to end: one real tiny simulation is shared across equivalent specs and
+// both invocations return the same pointer; an inequivalent spec runs fresh.
+func TestSimMemoizesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation")
+	}
+	p := New(2)
+	spec := NewSpec(tinyCfg(), tinyGen()).Named("first")
+	r1, err := p.Sim(spec)
+	if err != nil {
+		t.Fatalf("Sim: %v", err)
+	}
+	alias := spec.Named("second")
+	alias.Config.Reclaim = lyra.ReclaimLyra // the normalized default
+	r2, err := p.Sim(alias)
+	if err != nil {
+		t.Fatalf("Sim (alias): %v", err)
+	}
+	if r1 != r2 {
+		t.Errorf("equivalent specs returned distinct results; memoization failed")
+	}
+	st := p.Stats()
+	if st.Requests != 2 || st.Executed != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 requests / 1 executed / 1 hit", st)
+	}
+	if st.TraceGens != 1 {
+		t.Errorf("TraceGens = %d, want 1", st.TraceGens)
+	}
+
+	other := spec
+	other.Config.Scheduler = lyra.SchedFIFO
+	other.Config.Elastic = false
+	other.Config.Loaning = false
+	r3, err := p.Sim(other)
+	if err != nil {
+		t.Fatalf("Sim (other): %v", err)
+	}
+	if r3 == r1 {
+		t.Errorf("distinct specs shared one result")
+	}
+	st = p.Stats()
+	if st.Executed != 2 {
+		t.Errorf("Executed = %d after a distinct spec, want 2", st.Executed)
+	}
+	if st.TraceGens != 1 {
+		t.Errorf("TraceGens = %d, want 1 (same base trace shared)", st.TraceGens)
+	}
+}
+
+// SimAll of a batch containing duplicates collapses them and preserves
+// positional results.
+func TestSimAllCollapsesDuplicates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	p := New(4)
+	spec := NewSpec(tinyCfg(), tinyGen())
+	fifo := spec
+	fifo.Config.Scheduler = lyra.SchedFIFO
+	fifo.Config.Elastic = false
+	fifo.Config.Loaning = false
+	batch := []Spec{spec, fifo, spec, fifo, spec}
+	reps, err := p.SimAll(batch)
+	if err != nil {
+		t.Fatalf("SimAll: %v", err)
+	}
+	if reps[0] != reps[2] || reps[0] != reps[4] || reps[1] != reps[3] {
+		t.Errorf("duplicate specs did not share results")
+	}
+	if reps[0] == reps[1] {
+		t.Errorf("distinct specs shared one result")
+	}
+	if st := p.Stats(); st.Executed != 2 {
+		t.Errorf("Executed = %d, want 2", st.Executed)
+	}
+}

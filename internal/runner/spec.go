@@ -1,0 +1,192 @@
+// Package runner is the shared experiment runner behind the benchmark
+// harness: it fans lyra.Run (and testbed) executions out over a bounded
+// worker pool and memoizes every result behind a content-derived key, with
+// singleflight semantics so concurrent requests for the same experiment run
+// one simulation. The experiments package declares its runs as Spec values
+// instead of calling lyra.Run imperatively; the pool makes a full registry
+// regeneration bound by the number of DISTINCT simulations and the core
+// count, not by the number of tables.
+//
+// Memoization is safe because PR 1 made simulation results deterministic
+// functions of their declarative inputs (config, trace parameters, seeds) —
+// see DESIGN.md §6. Cached results are shared pointers: treat them as
+// immutable.
+package runner
+
+import (
+	"lyra"
+)
+
+// Spec declares one simulation: a scheme configuration plus the trace it
+// replays, both in declarative (content-hashable) form. Build one with
+// NewSpec and the With* helpers.
+type Spec struct {
+	// Name labels the run in error messages; it does not affect identity.
+	Name string `json:"-"`
+
+	// Config is the scheme under test, before scenario adaptation.
+	Config lyra.Config
+
+	// Scenario, when set, adapts BOTH the config and the trace via
+	// lyra.ApplyScenarioAll — the two cannot diverge by mistake.
+	Scenario     lyra.ScenarioKind
+	ScenarioSeed int64
+
+	// Trace declares the workload.
+	Trace TraceSpec
+}
+
+// TraceSpec declares a workload as generation parameters plus an optional
+// pipeline of deterministic mutations, applied in the order the fields are
+// declared. The base trace for a given generation key is synthesized once
+// per pool and cloned per run.
+type TraceSpec struct {
+	// Gen synthesizes the production-like base trace. Ignored when
+	// TestbedJobs is set.
+	Gen lyra.TraceConfig
+
+	// TestbedJobs > 0 selects the §7.5 testbed workload generator
+	// (trace.GenerateTestbed) with TestbedSeed instead of Gen.
+	TestbedJobs int
+	TestbedSeed int64
+
+	// Bootstrap resamples the base trace (Figure 12) before any other
+	// mutation.
+	Bootstrap *BootstrapSpec
+
+	// HeteroFrac, ElasticFrac and CheckpointFrac apply the Figures 11-16
+	// trace-mutation knobs after scenario adaptation.
+	HeteroFrac     *FracSpec
+	ElasticFrac    *FracSpec
+	CheckpointFrac *FracSpec
+}
+
+// BootstrapSpec selects one of Count day-resampled traces derived from the
+// base trace with the given seed.
+type BootstrapSpec struct {
+	Days  int
+	Count int
+	Index int
+	Seed  int64
+}
+
+// FracSpec is a deterministic fraction knob: mark Frac of the jobs, chosen
+// by Seed.
+type FracSpec struct {
+	Frac float64
+	Seed int64
+}
+
+// NewSpec starts a Spec from a scheme config and trace generation
+// parameters.
+func NewSpec(cfg lyra.Config, gen lyra.TraceConfig) Spec {
+	return Spec{Config: cfg, Trace: TraceSpec{Gen: gen}}
+}
+
+// Named labels the spec for error messages.
+func (s Spec) Named(name string) Spec { s.Name = name; return s }
+
+// WithScenario adapts config and trace to the named scenario (one step, via
+// lyra.ApplyScenarioAll at execution time).
+func (s Spec) WithScenario(kind lyra.ScenarioKind, seed int64) Spec {
+	s.Scenario, s.ScenarioSeed = kind, seed
+	return s
+}
+
+// WithHeteroFrac marks frac of the jobs heterogeneous-capable (Figure 11).
+func (s Spec) WithHeteroFrac(frac float64, seed int64) Spec {
+	s.Trace.HeteroFrac = &FracSpec{Frac: frac, Seed: seed}
+	return s
+}
+
+// WithElasticFrac makes frac of the jobs elastic (Figures 14-16).
+func (s Spec) WithElasticFrac(frac float64, seed int64) Spec {
+	s.Trace.ElasticFrac = &FracSpec{Frac: frac, Seed: seed}
+	return s
+}
+
+// WithCheckpointFrac enables checkpointing for frac of the jobs (Figure 13).
+func (s Spec) WithCheckpointFrac(frac float64, seed int64) Spec {
+	s.Trace.CheckpointFrac = &FracSpec{Frac: frac, Seed: seed}
+	return s
+}
+
+// WithBootstrap replays bootstrapped trace index of count (Figure 12).
+func (s Spec) WithBootstrap(days, count, index int, seed int64) Spec {
+	s.Trace.Bootstrap = &BootstrapSpec{Days: days, Count: count, Index: index, Seed: seed}
+	return s
+}
+
+// Key returns the spec's content key: the canonical hash of the NORMALIZED
+// config plus every trace and scenario knob. Two semantically equal specs
+// (e.g. Headroom 0 vs 0.02, Reclaim set vs unset without loaning) key
+// equal; any meaningful field flip keys different.
+func (s Spec) Key() (string, error) {
+	s.Name = ""
+	s.Config = s.Config.Normalize()
+	return KeyOf("sim", s)
+}
+
+func (s Spec) label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return string(s.Config.Scheduler)
+}
+
+// TestbedSpec declares one prototype-runtime run (§7.5) in declarative
+// form. Unlike simulations, testbed runs execute real goroutines against an
+// accelerated wall clock, so their results are measurements rather than
+// pure functions — the pool still memoizes them (one invocation's tables
+// reuse a single run) but they are excluded from the byte-identity
+// guarantee.
+type TestbedSpec struct {
+	// Name labels the run in error messages; it does not affect identity.
+	Name string `json:"-"`
+
+	// Jobs sizes the testbed workload (trace.GenerateTestbed).
+	Jobs int
+	Seed int64
+
+	// Scheduler and Elastic pick the scheduling scheme; Elastic only
+	// matters for SchedLyra (phase 2 on/off).
+	Scheduler lyra.SchedulerKind
+	Elastic   bool
+
+	// Loaning attaches the orchestrator with the given reclaiming policy
+	// ("" defaults to ReclaimLyra).
+	Loaning bool
+	Reclaim lyra.ReclaimKind
+
+	// Speedup, SchedInterval, OrchInterval and UtilCompress override the
+	// testbed defaults (simulated seconds per wall second, epochs, and the
+	// diurnal-curve compression).
+	Speedup       float64
+	SchedInterval float64
+	OrchInterval  float64
+	UtilCompress  int
+
+	Audit bool
+}
+
+// Key returns the testbed spec's content key.
+func (s TestbedSpec) Key() (string, error) {
+	s.Name = ""
+	if s.Scheduler == "" {
+		s.Scheduler = lyra.SchedLyra
+	}
+	if s.Loaning && s.Reclaim == "" {
+		s.Reclaim = lyra.ReclaimLyra
+	}
+	if !s.Loaning {
+		s.Reclaim = ""
+	}
+	return KeyOf("testbed", s)
+}
+
+func (s TestbedSpec) label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return "testbed/" + string(s.Scheduler)
+}

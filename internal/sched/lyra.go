@@ -34,6 +34,11 @@ type Lyra struct {
 	// start promptly and long-running preempted jobs with checkpoints
 	// keep their place by attained service.
 	InfoAgnostic bool
+	// Tuning carries the MCKP knobs (stability bonus, item granularity);
+	// the zero value selects the allocator defaults. Per-scheduler rather
+	// than package-global so concurrent simulations can sweep them
+	// independently.
+	Tuning alloc.Tuning
 }
 
 // NewLyra returns the full Lyra scheduler (elastic scaling on).
@@ -92,7 +97,7 @@ func (l *Lyra) phase2(st *sim.State) {
 	}
 	freeT, freeL := st.FreeSchedulableGPUs()
 	capacity := freeT + freeL + flexGPUs
-	targets := alloc.Phase2(cands, capacity, st.Scaling)
+	targets := alloc.Phase2(cands, capacity, st.Scaling, l.Tuning)
 	target := make(map[int]int, len(targets))
 	for _, e := range targets {
 		target[e.ID] = e.Extra

@@ -26,7 +26,8 @@ type Config struct {
 	MetricsInterval int64
 	// PreemptOverhead is the fixed preemption overhead in seconds added
 	// whenever a job is preempted (default 63, the testbed-measured value
-	// adopted by the simulation in §7.2).
+	// adopted by the simulation in §7.2; negative means explicitly free —
+	// the root package maps lyra.Zero here).
 	PreemptOverhead float64
 	// Scaling is the throughput model (Linear by default).
 	Scaling job.ScalingModel
@@ -57,7 +58,12 @@ func (c Config) withDefaults() Config {
 	if c.MetricsInterval == 0 {
 		c.MetricsInterval = 300
 	}
-	if c.PreemptOverhead == 0 {
+	switch {
+	case c.PreemptOverhead < 0:
+		// Negative is the "explicitly zero" sentinel (lyra.Zero at the
+		// root-package boundary): preemption is free.
+		c.PreemptOverhead = 0
+	case c.PreemptOverhead == 0:
 		c.PreemptOverhead = 63
 	}
 	if c.Scaling == (job.ScalingModel{}) {

@@ -27,7 +27,10 @@ package lyra
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 
+	"lyra/internal/alloc"
 	"lyra/internal/cluster"
 	"lyra/internal/inference"
 	"lyra/internal/job"
@@ -84,16 +87,97 @@ const (
 	ReclaimOptimal ReclaimKind = "optimal"
 )
 
+// schedulerRegistry is the single source of truth for the scheduler
+// schemes: Validate consults it to fail fast on unknown kinds, and Run
+// constructs the scheduler through it. The Config passed to a constructor
+// is always normalized.
+var schedulerRegistry = map[SchedulerKind]func(Config) sim.Scheduler{
+	SchedFIFO: func(cfg Config) sim.Scheduler { return &sched.FIFO{Opportunistic: cfg.Opportunistic} },
+	SchedLyra: func(cfg Config) sim.Scheduler {
+		return &sched.Lyra{
+			Elastic:        cfg.Elastic,
+			NaivePlacement: cfg.NaivePlacement,
+			Tuned:          cfg.Tuned,
+			Opportunistic:  cfg.Opportunistic,
+			InfoAgnostic:   cfg.InfoAgnostic,
+			Tuning:         alloc.Tuning{StabilityBonus: cfg.StabilityBonus, MaxItems: cfg.Phase2MaxItems},
+		}
+	},
+	SchedGandiva: func(Config) sim.Scheduler { return &sched.Gandiva{} },
+	SchedAFS:     func(Config) sim.Scheduler { return &sched.AFS{} },
+	SchedPollux:  func(cfg Config) sim.Scheduler { return sched.NewPollux(cfg.Seed + 5) },
+}
+
+// reclaimRegistry is the counterpart registry for the reclaiming policies.
+var reclaimRegistry = map[ReclaimKind]func(Config) reclaim.Policy{
+	ReclaimLyra:   func(Config) reclaim.Policy { return reclaim.Lyra{} },
+	ReclaimRandom: func(cfg Config) reclaim.Policy { return reclaim.Random{Rng: rand.New(rand.NewSource(cfg.Seed + 31))} },
+	ReclaimSCF:    func(Config) reclaim.Policy { return reclaim.SCF{} },
+	ReclaimOptimal: func(Config) reclaim.Policy {
+		return reclaim.Optimal{}
+	},
+}
+
+// Schedulers lists the registered scheduler kinds in sorted order.
+func Schedulers() []SchedulerKind {
+	out := make([]SchedulerKind, 0, len(schedulerRegistry))
+	for k := range schedulerRegistry {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reclaims lists the registered reclaiming policies in sorted order.
+func Reclaims() []ReclaimKind {
+	out := make([]ReclaimKind, 0, len(reclaimRegistry))
+	for k := range reclaimRegistry {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Valid reports whether k names a registered scheduler.
+func (k SchedulerKind) Valid() bool { _, ok := schedulerRegistry[k]; return ok }
+
+// Valid reports whether k names a registered reclaiming policy.
+func (k ReclaimKind) Valid() bool { _, ok := reclaimRegistry[k]; return ok }
+
+func kindList[K ~string](ks []K) string {
+	parts := make([]string, len(ks))
+	for i, k := range ks {
+		parts[i] = string(k)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Zero marks a Config field as explicitly zero in the fields that treat the
+// Go zero value as "use the default": Headroom: lyra.Zero loans every
+// inference server (no headroom), PreemptOverhead: lyra.Zero makes
+// preemption free. Normalize resolves the sentinel to a literal 0.
+const Zero = -1
+
 // Config assembles one simulated scheme.
+//
+// Several fields treat their zero value as "use the paper's default"; the
+// defaults are applied by Normalize (Run normalizes automatically). Fields
+// whose default is non-zero accept the Zero sentinel to request a literal
+// zero — each field's comment says which rule it follows.
 type Config struct {
-	Cluster   ClusterConfig
+	Cluster ClusterConfig
+	// Scheduler picks the job scheduler; "" defaults to SchedLyra. Unknown
+	// kinds are rejected by Validate with the registered list.
 	Scheduler SchedulerKind
 
 	// Elastic enables elastic scaling (phase 2) for the Lyra scheduler.
 	Elastic bool
 	// Loaning enables capacity loaning via the orchestrator.
 	Loaning bool
-	// Reclaim picks the reclaiming policy when Loaning is on.
+	// Reclaim picks the reclaiming policy when Loaning is on; "" defaults
+	// to ReclaimLyra. Normalize clears it when Loaning is off (the policy
+	// is never consulted then), so semantically equal configs compare and
+	// hash equal.
 	Reclaim ReclaimKind
 	// Opportunistic switches to the Opportunistic comparison scheme:
 	// fungible jobs queue to the inference cluster only (§7.1).
@@ -112,25 +196,42 @@ type Config struct {
 	// future work in §10): no running-time estimates are consulted.
 	InfoAgnostic bool
 
-	// Scaling is the throughput model; zero value means linear scaling
-	// with a 0.7 heterogeneous penalty (the paper's default operating
-	// point).
+	// Scaling is the throughput model. The all-zero model defaults to
+	// linear scaling with a 0.7 heterogeneous penalty (the paper's default
+	// operating point); in a partially-set model, HeteroPenalty 0 defaults
+	// to 1 (no penalty). A literal zero penalty is not expressible — it
+	// would mean heterogeneous jobs make no progress at all.
 	Scaling ScalingModel
 
 	// FracWrongEstimate and MaxEstimateError inject running-time
-	// prediction error (Table 9).
+	// prediction error (Table 9). Zero means no injected error (the
+	// default IS zero; no sentinel needed).
 	FracWrongEstimate float64
 	MaxEstimateError  float64
 
-	// Headroom is the never-loaned fraction of the inference cluster
-	// (default 0.02, §7.1).
+	// Headroom is the never-loaned fraction of the inference cluster.
+	// Zero value defaults to 0.02 (§7.1); Headroom: Zero loans the whole
+	// inference cluster.
 	Headroom float64
 
-	// SchedInterval, OrchInterval and PreemptOverhead override the
-	// simulator defaults (60 s, 300 s, 63 s).
-	SchedInterval   int64
-	OrchInterval    int64
+	// SchedInterval and OrchInterval override the simulator epochs. Zero
+	// value defaults to 60 s and 300 s; a literal zero interval is
+	// meaningless and rejected by Validate (the Zero sentinel too).
+	SchedInterval int64
+	OrchInterval  int64
+	// PreemptOverhead is the fixed restart cost of a preempted job. Zero
+	// value defaults to the measured 63 s; PreemptOverhead: Zero makes
+	// preemption free.
 	PreemptOverhead float64
+
+	// StabilityBonus overrides the MCKP current-allocation damping factor
+	// (§5.2 allocator). Zero value defaults to 1.08; 1 disables the
+	// damping (the ablations sweep this — per-config, so concurrent runs
+	// stay independent).
+	StabilityBonus float64
+	// Phase2MaxItems overrides the MCKP items generated per elastic job.
+	// Zero value defaults to 8.
+	Phase2MaxItems int
 
 	// Audit enables the invariant audit layer (internal/invariant): after
 	// every simulator event the full conservation/legality suite —
@@ -143,6 +244,115 @@ type Config struct {
 	Audit bool
 
 	Seed int64
+
+	// DefaultsApplied records that Normalize has run: every "zero means
+	// default" rule above has been resolved, so a zero field now means a
+	// literal zero. Run normalizes un-normalized configs automatically;
+	// construct a config with DefaultsApplied set only if every field is
+	// meant literally.
+	DefaultsApplied bool
+}
+
+// Normalize returns the config with every default applied and the Zero
+// sentinels resolved to literal zeros, marked DefaultsApplied. It is
+// idempotent, and Run applies it automatically; call it directly when two
+// configs must be compared or hashed canonically (the experiment runner
+// does, so that semantically equal configs share one cache entry).
+func (c Config) Normalize() Config {
+	if !c.DefaultsApplied {
+		if c.Scheduler == "" {
+			c.Scheduler = SchedLyra
+		}
+		if c.Scaling == (ScalingModel{}) {
+			c.Scaling = ScalingModel{HeteroPenalty: 0.7}
+		}
+		if c.Scaling.HeteroPenalty == 0 {
+			c.Scaling.HeteroPenalty = 1
+		}
+		if c.Headroom == 0 {
+			c.Headroom = 0.02
+		}
+		if c.SchedInterval == 0 {
+			c.SchedInterval = 60
+		}
+		if c.OrchInterval == 0 {
+			c.OrchInterval = 300
+		}
+		if c.PreemptOverhead == 0 {
+			c.PreemptOverhead = 63
+		}
+		if c.StabilityBonus == 0 {
+			c.StabilityBonus = 1.08
+		}
+		if c.Phase2MaxItems == 0 {
+			c.Phase2MaxItems = 8
+		}
+		if c.Loaning && c.Reclaim == "" {
+			c.Reclaim = ReclaimLyra
+		}
+	}
+	// Sentinels resolve on every pass so a hand-built DefaultsApplied
+	// config may still use them.
+	if c.Headroom == Zero {
+		c.Headroom = 0
+	}
+	if c.PreemptOverhead == Zero {
+		c.PreemptOverhead = 0
+	}
+	if !c.Loaning {
+		c.Reclaim = ""
+	}
+	c.DefaultsApplied = true
+	return c
+}
+
+// Validate reports the first problem that would otherwise surface as a
+// panic or a silently wrong run deep inside Run: unknown scheme kinds (with
+// the registered alternatives listed), out-of-range fractions, and
+// non-positive intervals. It validates the normalized form, so zero-valued
+// fields are fine.
+func (c Config) Validate() error {
+	n := c.Normalize()
+	if !n.Scheduler.Valid() {
+		return fmt.Errorf("lyra: unknown scheduler %q (valid: %s)", n.Scheduler, kindList(Schedulers()))
+	}
+	if n.Loaning && !n.Reclaim.Valid() {
+		return fmt.Errorf("lyra: unknown reclaim policy %q (valid: %s)", n.Reclaim, kindList(Reclaims()))
+	}
+	if c.Cluster.TrainingServers < 0 || c.Cluster.InferenceServers < 0 {
+		return fmt.Errorf("lyra: negative cluster size %+v", c.Cluster)
+	}
+	if n.SchedInterval <= 0 {
+		return fmt.Errorf("lyra: SchedInterval %d must be positive (zero value selects the 60 s default; an explicit zero interval is meaningless)", n.SchedInterval)
+	}
+	if n.OrchInterval <= 0 {
+		return fmt.Errorf("lyra: OrchInterval %d must be positive (zero value selects the 300 s default)", n.OrchInterval)
+	}
+	if n.Headroom < 0 || n.Headroom > 1 {
+		return fmt.Errorf("lyra: Headroom %v outside [0, 1] (use lyra.Zero for an explicit zero)", n.Headroom)
+	}
+	if n.PreemptOverhead < 0 {
+		return fmt.Errorf("lyra: PreemptOverhead %v negative (use lyra.Zero for an explicit zero)", n.PreemptOverhead)
+	}
+	if n.FracWrongEstimate < 0 || n.FracWrongEstimate > 1 {
+		return fmt.Errorf("lyra: FracWrongEstimate %v outside [0, 1]", n.FracWrongEstimate)
+	}
+	if n.MaxEstimateError < 0 {
+		return fmt.Errorf("lyra: MaxEstimateError %v negative", n.MaxEstimateError)
+	}
+	if n.Scaling.HeteroPenalty < 0 || n.Scaling.HeteroPenalty > 1 {
+		return fmt.Errorf("lyra: Scaling.HeteroPenalty %v outside [0, 1]", n.Scaling.HeteroPenalty)
+	}
+	if n.Scaling.PerWorkerLoss < 0 || n.Scaling.PerWorkerLoss >= 1 {
+		return fmt.Errorf("lyra: Scaling.PerWorkerLoss %v outside [0, 1)", n.Scaling.PerWorkerLoss)
+	}
+	if n.StabilityBonus <= 0 {
+		return fmt.Errorf("lyra: StabilityBonus %v must be positive (1 disables the damping)", n.StabilityBonus)
+	}
+	if n.Phase2MaxItems < 1 {
+		return fmt.Errorf("lyra: Phase2MaxItems %d must be at least 1", n.Phase2MaxItems)
+	}
+	return nil
 }
 
 // DefaultConfig returns the full Lyra system at production scale: SJF+MCKP
@@ -200,36 +410,28 @@ type Report struct {
 }
 
 // Run replays tr under cfg and returns the report. The input trace is
-// cloned, so the same trace can be reused across schemes.
+// cloned, so the same trace can be reused across schemes. The config is
+// normalized (Normalize) and validated (Validate) first, so misconfigured
+// runs fail fast with the registered alternatives listed instead of
+// panicking mid-simulation.
 func Run(cfg Config, tr *Trace) (*Report, error) {
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	tr = tr.Clone()
-	if cfg.Scaling == (ScalingModel{}) {
-		cfg.Scaling = ScalingModel{HeteroPenalty: 0.7}
-	}
-	if cfg.Scaling.HeteroPenalty == 0 {
-		cfg.Scaling.HeteroPenalty = 1
-	}
-	if cfg.Headroom == 0 {
-		cfg.Headroom = 0.02
-	}
 	est := predict.WithError(cfg.FracWrongEstimate, cfg.MaxEstimateError, cfg.Seed+77)
 	est.Annotate(tr.Jobs)
 
 	c := cluster.New(cfg.Cluster)
-	s, err := buildScheduler(cfg)
-	if err != nil {
-		return nil, err
-	}
+	s := schedulerRegistry[cfg.Scheduler](cfg)
 
 	util := inference.GenerateUtilization(inference.DefaultUtilizationConfig(cfg.Seed+13), tr.Horizon, 300)
 	infSched := inference.NewScheduler(util, cfg.Cluster.InferenceServers, cfg.Headroom)
 
 	var orch sim.Orchestrator
 	if cfg.Loaning {
-		policy, err := buildReclaim(cfg)
-		if err != nil {
-			return nil, err
-		}
+		policy := reclaimRegistry[cfg.Reclaim](cfg)
 		var targeter orchestrator.LoanTargeter = infSched
 		if cfg.ProactiveReclaim {
 			targeter = orchestrator.NewForecaster(infSched, cfg.Seed+19)
@@ -240,52 +442,23 @@ func Run(cfg Config, tr *Trace) (*Report, error) {
 		orch = o
 	}
 
+	// Post-normalization the config's zero values are literal; the
+	// simulator still treats zero as "default", so explicit zeros cross
+	// the boundary as the simulator's own negative sentinel.
+	preempt := cfg.PreemptOverhead
+	if preempt == 0 {
+		preempt = -1
+	}
 	simCfg := sim.Config{
 		SchedInterval:   cfg.SchedInterval,
 		OrchInterval:    cfg.OrchInterval,
-		PreemptOverhead: cfg.PreemptOverhead,
+		PreemptOverhead: preempt,
 		Scaling:         cfg.Scaling,
 		InferenceUtil:   func(t int64) float64 { return infSched.UtilizationAt(t) },
 		Audit:           cfg.Audit,
 	}
 	res := sim.New(c, tr.Jobs, tr.Horizon, s, orch, simCfg).Run()
 	return buildReport(res, tr), nil
-}
-
-func buildScheduler(cfg Config) (sim.Scheduler, error) {
-	switch cfg.Scheduler {
-	case SchedFIFO:
-		return &sched.FIFO{Opportunistic: cfg.Opportunistic}, nil
-	case SchedLyra, "":
-		return &sched.Lyra{
-			Elastic:        cfg.Elastic,
-			NaivePlacement: cfg.NaivePlacement,
-			Tuned:          cfg.Tuned,
-			Opportunistic:  cfg.Opportunistic,
-			InfoAgnostic:   cfg.InfoAgnostic,
-		}, nil
-	case SchedGandiva:
-		return &sched.Gandiva{}, nil
-	case SchedAFS:
-		return &sched.AFS{}, nil
-	case SchedPollux:
-		return sched.NewPollux(cfg.Seed + 5), nil
-	}
-	return nil, fmt.Errorf("lyra: unknown scheduler %q", cfg.Scheduler)
-}
-
-func buildReclaim(cfg Config) (reclaim.Policy, error) {
-	switch cfg.Reclaim {
-	case ReclaimLyra, "":
-		return reclaim.Lyra{}, nil
-	case ReclaimRandom:
-		return reclaim.Random{Rng: rand.New(rand.NewSource(cfg.Seed + 31))}, nil
-	case ReclaimSCF:
-		return reclaim.SCF{}, nil
-	case ReclaimOptimal:
-		return reclaim.Optimal{}, nil
-	}
-	return nil, fmt.Errorf("lyra: unknown reclaim policy %q", cfg.Reclaim)
 }
 
 func buildReport(res *sim.Result, tr *Trace) *Report {

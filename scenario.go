@@ -28,10 +28,31 @@ const (
 	Ideal ScenarioKind = "ideal"
 )
 
-// Scenario adapts cfg to the named scenario. It controls scheduler flags
-// and the scaling model; ApplyScenario must be called on the trace with the
-// same scenario to set the per-job capability flags.
-func Scenario(kind ScenarioKind, cfg Config) Config {
+// Scenarios lists the evaluation scenarios in paper order.
+func Scenarios() []ScenarioKind {
+	return []ScenarioKind{Baseline, Basic, Advanced, Heterogeneous, Ideal}
+}
+
+// Valid reports whether k names a known scenario.
+func (k ScenarioKind) Valid() bool {
+	for _, s := range Scenarios() {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyScenarioAll adapts the config AND the trace to the named scenario in
+// one step: scheduler flags and the scaling model on the config, the
+// per-job capability flags on the trace (deterministically in seed). Using
+// it rules out the classic mistake of adapting config and trace to
+// different scenarios. tr may be nil when only the config side is wanted.
+// Unknown kinds are returned unchanged; validate with ScenarioKind.Valid.
+func ApplyScenarioAll(kind ScenarioKind, cfg Config, tr *Trace, seed int64) Config {
+	if tr != nil {
+		applyScenarioTrace(tr, kind, seed)
+	}
 	switch kind {
 	case Baseline:
 		cfg.Scheduler = SchedFIFO
@@ -47,9 +68,21 @@ func Scenario(kind ScenarioKind, cfg Config) Config {
 	return cfg
 }
 
+// Scenario adapts cfg to the named scenario. Thin wrapper over
+// ApplyScenarioAll for the config side only; prefer ApplyScenarioAll so the
+// trace cannot be adapted to a different scenario by mistake.
+func Scenario(kind ScenarioKind, cfg Config) Config {
+	return ApplyScenarioAll(kind, cfg, nil, 0)
+}
+
 // ApplyScenario rewrites the per-job capability flags of tr in place for
-// the named scenario, using a deterministic seed for the random selections.
+// the named scenario. Thin wrapper over ApplyScenarioAll for the trace side
+// only; prefer ApplyScenarioAll.
 func ApplyScenario(tr *Trace, kind ScenarioKind, seed int64) {
+	applyScenarioTrace(tr, kind, seed)
+}
+
+func applyScenarioTrace(tr *Trace, kind ScenarioKind, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	switch kind {
 	case Baseline, Basic:

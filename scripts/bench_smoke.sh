@@ -1,0 +1,28 @@
+#!/bin/sh
+# bench_smoke.sh runs one memoized experiment twice through a single runner
+# pool and asserts the second pass was served from the cache: the pool must
+# report cache hits, and it must execute strictly fewer simulations than
+# were requested.
+set -eu
+cd "$(dirname "$0")/.."
+
+stats=$(mktemp)
+trap 'rm -f "$stats"' EXIT
+
+echo "== bench-smoke: fig9 twice through one pool"
+go run ./cmd/lyra-bench -exp fig9 -repeat 2 -stats -stats-json "$stats" >/dev/null
+
+hits=$(sed -n 's/.*"cache_hits": \([0-9][0-9]*\).*/\1/p' "$stats")
+requested=$(sed -n 's/.*"sims_requested": \([0-9][0-9]*\).*/\1/p' "$stats")
+executed=$(sed -n 's/.*"sims_executed": \([0-9][0-9]*\).*/\1/p' "$stats")
+
+echo "requested=$requested executed=$executed hits=$hits"
+if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+	echo "bench-smoke FAILED: repeated run produced no cache hits" >&2
+	exit 1
+fi
+if [ "$executed" -ge "$requested" ]; then
+	echo "bench-smoke FAILED: executed $executed of $requested requests; memoization saved nothing" >&2
+	exit 1
+fi
+echo "bench-smoke OK"

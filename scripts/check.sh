@@ -24,4 +24,7 @@ go test ./...
 echo "== go test -race ./internal/..."
 go test -race ./internal/...
 
+echo "== bench-smoke (runner memoization end to end)"
+./scripts/bench_smoke.sh
+
 echo "OK"
