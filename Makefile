@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench bench-smoke fuzz
+.PHONY: all check fmt vet build test race bench bench-smoke events-smoke fuzz
 
 all: check
 
 # check is the default gate: formatting, vet, build, the full test suite
 # (every package runs with the invariant auditor on), the race detector
-# over the internal packages, and the runner-memoization smoke test.
-check: fmt vet build test race bench-smoke
+# over the internal packages, and the runner-memoization and event-stream
+# smoke tests.
+check: fmt vet build test race bench-smoke events-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -32,6 +33,12 @@ race:
 # cache (Hits > 0, no extra simulations executed).
 bench-smoke:
 	@./scripts/bench_smoke.sh
+
+# events-smoke proves the event-stream determinism contract through the real
+# binaries: one scenario run twice with -events must record byte-identical
+# JSONL, and lyra-events must reconstruct a complete job lifecycle from it.
+events-smoke:
+	@./scripts/events_smoke.sh
 
 # bench runs the audit-overhead and experiment benchmarks (audit off: the
 # numbers quoted in DESIGN.md come from BenchmarkEngineAudit).

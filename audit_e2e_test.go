@@ -109,7 +109,7 @@ func TestAuditDoesNotChangeResults(t *testing.T) {
 
 	a, b := *on, *off
 	a.Raw, b.Raw = nil, nil // pointer identity; summaries below cover its content
-	if a != b {
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
 		t.Errorf("audit changed the report:\n on: %+v\noff: %+v", a, b)
 	}
 }

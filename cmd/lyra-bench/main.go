@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"lyra/internal/experiments"
+	"lyra/internal/obs"
 	"lyra/internal/runner"
 )
 
@@ -71,6 +72,10 @@ func main() {
 	params.Seed = *seed
 	pool := runner.New(*parallel)
 	params.Pool = pool
+	// The obs registry mirrors the pool's memoization counters and folds
+	// per-run simulator totals, so -stats prints one merged table.
+	reg := obs.NewRegistry()
+	pool.Observe(reg)
 
 	tables := 0
 	run := func(e experiments.Experiment) {
@@ -103,6 +108,7 @@ func main() {
 	if *stats {
 		fmt.Fprintf(os.Stderr, "[pool: %s; %d workers; %d tables in %s]\n",
 			st, pool.Parallelism(), tables, wall.Round(time.Millisecond))
+		reg.WriteTable(os.Stderr)
 	}
 	if *statsJSON != "" {
 		doc := benchStats{

@@ -1,0 +1,174 @@
+// Command lyra-events queries the JSONL event streams that lyra-sim -events
+// and lyra-testbed -events record. It reconstructs a single job's lifecycle
+// timeline, summarizes decision activity per scheduler epoch, tallies events
+// per kind, and diffs two streams (the determinism contract makes two runs
+// of the same simulator configuration byte-identical, so the first divergent
+// line pinpoints where behaviour forked).
+//
+// Usage:
+//
+//	lyra-events out.jsonl              # per-kind summary
+//	lyra-events -job 4217 out.jsonl    # one job's timeline + lifecycle check
+//	lyra-events -epochs out.jsonl      # per-epoch decision counts
+//	lyra-events -diff a.jsonl b.jsonl  # first divergent line, exit 1 if any
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"lyra/internal/obs"
+)
+
+func main() {
+	var (
+		jobID  = flag.Int("job", -1, "reconstruct this job's timeline and validate its lifecycle")
+		epochs = flag.Bool("epochs", false, "summarize per-epoch decision counts")
+		diff   = flag.Bool("diff", false, "compare two streams line by line; exit 1 on the first divergence")
+	)
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two files, got %d", flag.NArg()))
+		}
+		diffStreams(flag.Arg(0), flag.Arg(1))
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lyra-events [-job N | -epochs | -diff] <events.jsonl> [events2.jsonl]")
+		os.Exit(2)
+	}
+	events := load(flag.Arg(0))
+
+	switch {
+	case *jobID >= 0:
+		jobTimeline(events, *jobID)
+	case *epochs:
+		epochTable(events)
+	default:
+		summary(events)
+	}
+}
+
+func load(path string) []obs.Event {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		fatal(err)
+	}
+	return events
+}
+
+// jobTimeline prints every event about one job and validates the lifecycle
+// state machine over them, exiting non-zero if the job is absent or its
+// lifecycle is out of order / incomplete.
+func jobTimeline(events []obs.Event, id int) {
+	tl := obs.JobTimeline(events, id)
+	if len(tl) == 0 {
+		fatal(fmt.Errorf("job %d: no events in stream (jobs recorded: %d)", id, len(obs.JobIDs(events))))
+	}
+	for _, ev := range tl {
+		fmt.Println(ev.String())
+	}
+	if err := obs.ValidateLifecycle(tl); err != nil {
+		fatal(fmt.Errorf("job %d: %w", id, err))
+	}
+	starts, preempts := 0, 0
+	for _, ev := range tl {
+		switch ev.Kind {
+		case obs.KindJobStart:
+			starts++
+		case obs.KindJobPreempt:
+			preempts++
+		}
+	}
+	fmt.Printf("lifecycle: complete (%d events, %d starts, %d preemptions)\n", len(tl), starts, preempts)
+}
+
+func epochTable(events []obs.Event) {
+	rows := obs.EpochRows(events)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "t\tepoch\tstarts\tpreempts\tscales\torch-moves\tqueue-after")
+	for _, r := range rows {
+		qa := ""
+		if v, ok := r.F["queue_after"]; ok {
+			qa = fmt.Sprint(v)
+		}
+		fmt.Fprintf(w, "%g\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			r.T, r.Epoch, r.Starts, r.Preempts, r.Scales, r.OrchMoves, qa)
+	}
+	w.Flush()
+}
+
+func summary(events []obs.Event) {
+	kinds, counts := obs.CountByKind(events)
+	fmt.Printf("%d events, %d jobs\n", len(events), len(obs.JobIDs(events)))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "%s\t%d\n", k, counts[k])
+	}
+	w.Flush()
+}
+
+// diffStreams compares two JSONL streams line by line and reports the first
+// divergence with context. Byte-identical streams exit 0 silently.
+func diffStreams(pa, pb string) {
+	fa, err := os.Open(pa)
+	if err != nil {
+		fatal(err)
+	}
+	defer fa.Close()
+	fb, err := os.Open(pb)
+	if err != nil {
+		fatal(err)
+	}
+	defer fb.Close()
+
+	sa := bufio.NewScanner(fa)
+	sb := bufio.NewScanner(fb)
+	sa.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sb.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for {
+		line++
+		okA, okB := sa.Scan(), sb.Scan()
+		if !okA && !okB {
+			if err := sa.Err(); err != nil {
+				fatal(err)
+			}
+			if err := sb.Err(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("identical (%d lines)\n", line-1)
+			return
+		}
+		la, lb := sa.Text(), sb.Text()
+		if !okA || !okB || la != lb {
+			fmt.Printf("streams diverge at line %d:\n", line)
+			if okA {
+				fmt.Printf("  %s: %s\n", pa, la)
+			} else {
+				fmt.Printf("  %s: <end of stream>\n", pa)
+			}
+			if okB {
+				fmt.Printf("  %s: %s\n", pb, lb)
+			} else {
+				fmt.Printf("  %s: <end of stream>\n", pb)
+			}
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lyra-events:", err)
+	os.Exit(1)
+}

@@ -14,12 +14,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"lyra"
+	"lyra/internal/obs"
 	"lyra/internal/runner"
 	"lyra/internal/trace"
 )
@@ -43,6 +45,7 @@ func main() {
 		agnostic  = flag.Bool("info-agnostic", false, "least-attained-service order instead of SJF (no runtime estimates)")
 		audit     = flag.Bool("audit", false, "run the invariant auditor after every event (results are identical, runs slower)")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations when fanning out over schemes (0 = GOMAXPROCS)")
+		events    = flag.String("events", "", "write the deterministic JSONL event stream to this file (single scheme only; inspect with lyra-events)")
 	)
 	flag.Parse()
 
@@ -53,6 +56,9 @@ func main() {
 		fatal(fmt.Errorf("unknown scenario %q (valid: %v)", *scenario, lyra.Scenarios()))
 	}
 	schemes := strings.Split(*scheme, ",")
+	if *events != "" && len(schemes) > 1 {
+		fatal(fmt.Errorf("-events records one stream: pick a single -scheme (got %d)", len(schemes)))
+	}
 	cfgs := make([]lyra.Config, len(schemes))
 	for i, s := range schemes {
 		cfg := lyra.Config{
@@ -65,6 +71,7 @@ func main() {
 			ProactiveReclaim: *proactive,
 			InfoAgnostic:     *agnostic,
 			Audit:            *audit,
+			Events:           *events != "",
 			Seed:             *seed,
 		}
 		cfg.Scaling.PerWorkerLoss = *loss
@@ -96,6 +103,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			writeEvents(*events, rep)
 			report(schemes[i], len(schemes) > 1, rep)
 		}
 		return
@@ -116,7 +124,18 @@ func main() {
 		fatal(err)
 	}
 	for i, rep := range reps {
+		writeEvents(*events, rep)
 		report(schemes[i], len(schemes) > 1, rep)
+	}
+}
+
+// writeEvents dumps a report's JSONL event stream to path, if requested.
+func writeEvents(path string, rep *lyra.Report) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, rep.Events, 0o644); err != nil {
+		fatal(err)
 	}
 }
 
@@ -137,6 +156,13 @@ func report(scheme string, labelled bool, rep *lyra.Report) {
 }
 
 func fatal(err error) {
+	var ve *obs.ViolationError
+	if errors.As(err, &ve) {
+		// Invariant violations get the structured report (rule, expected
+		// vs actual, sim time, lead-up events) instead of a raw panic.
+		obs.WriteViolationReport(os.Stderr, ve)
+		os.Exit(1)
+	}
 	fmt.Fprintln(os.Stderr, "lyra-sim:", err)
 	os.Exit(1)
 }

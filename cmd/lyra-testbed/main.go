@@ -16,7 +16,9 @@ import (
 
 	"lyra/internal/cluster"
 	"lyra/internal/inference"
+	"lyra/internal/invariant"
 	"lyra/internal/job"
+	"lyra/internal/obs"
 	"lyra/internal/orchestrator"
 	"lyra/internal/reclaim"
 	"lyra/internal/sched"
@@ -32,6 +34,8 @@ func main() {
 		speedup = flag.Float64("speedup", 4000, "simulated seconds per wall second")
 		seed    = flag.Int64("seed", 1, "random seed")
 		jobs    = flag.Int("jobs", 180, "number of jobs in the scaled trace")
+		audit   = flag.Bool("audit", false, "run the invariant auditor after every tick (slower; structured report on violation)")
+		events  = flag.String("events", "", "write the JSONL event stream (job lifecycle, tick epochs, container transitions) to this file")
 	)
 	flag.Parse()
 
@@ -68,7 +72,27 @@ func main() {
 
 	tr := trace.GenerateTestbed(*seed, *jobs)
 
-	tbCfg := testbed.Config{Cluster: cluster.TestbedConfig(), Speedup: *speedup, Seed: *seed}
+	// The recorder fans out to a JSONL file plus a small ring; on an
+	// invariant violation the ring tail is printed as lead-up context.
+	var (
+		rec  *obs.Recorder
+		ring *obs.Ring
+	)
+	if *events != "" {
+		ef, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lyra-testbed:", err)
+			os.Exit(1)
+		}
+		defer ef.Close()
+		ring = obs.NewRing(128)
+		rec = obs.NewRecorder(obs.NewJSONLWriter(ef), ring)
+	}
+
+	tbCfg := testbed.Config{
+		Cluster: cluster.TestbedConfig(), Speedup: *speedup, Seed: *seed,
+		Audit: *audit, Obs: rec,
+	}
 	var orchBuilder func(less func(a, b *job.Job) bool, inf *inference.Scheduler) *orchestrator.Orchestrator
 	if rp != nil {
 		orchBuilder = func(less func(a, b *job.Job) bool, inf *inference.Scheduler) *orchestrator.Orchestrator {
@@ -76,7 +100,11 @@ func main() {
 		}
 	}
 	tb := testbed.New(tbCfg, tr, s, orchBuilder)
-	res := tb.Run(tr.Horizon)
+	res, verr := runTestbed(tb, tr.Horizon, ring)
+	if verr != nil {
+		obs.WriteViolationReport(os.Stderr, verr)
+		os.Exit(1)
+	}
 
 	fmt.Printf("jobs: %d submitted, %d completed\n", res.Total, res.Completed)
 	fmt.Printf("queuing  mean=%.0fs median=%.0fs p95=%.0fs\n", res.Queue.Mean, res.Queue.P50, res.Queue.P95)
@@ -87,4 +115,22 @@ func main() {
 		res.ContainersLaunched, res.ContainersKilled, res.ReclaimOps)
 	lyraWL, infWL := tb.Whitelists()
 	fmt.Printf("whitelists at exit: lyra=%d servers, inference=%d servers\n", lyraWL.Len(), infWL.Len())
+}
+
+// runTestbed drives the testbed, converting an invariant-audit panic into a
+// structured violation report (with the event-ring tail attached when
+// recording) instead of a raw stack trace. Other panics pass through.
+func runTestbed(tb *testbed.Testbed, horizon int64, ring *obs.Ring) (res testbed.Result, verr *obs.ViolationError) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ie, ok := r.(*invariant.Error)
+		if !ok {
+			panic(r)
+		}
+		verr = &obs.ViolationError{Report: ie, Tail: ring.Tail(32)}
+	}()
+	return tb.Run(horizon), nil
 }

@@ -1,0 +1,137 @@
+package lyra
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"lyra/internal/obs"
+)
+
+// TestEventStreamDeterministicAndComplete is the tentpole acceptance test
+// for the observability layer: over a ~1k-job, 6-day trace exercising
+// elastic scaling, loaning and reclaiming, (a) two identical runs record
+// byte-identical JSONL event streams — the determinism contract extends to
+// the telemetry itself — and (b) every job's recorded lifecycle replays
+// cleanly through the lifecycle state machine: finished jobs are complete
+// (submit -> queue -> start -> (preempt -> queue -> start)* -> finish) and
+// unfinished jobs are legal prefixes of it.
+func TestEventStreamDeterministicAndComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day trace")
+	}
+	tcfg := DefaultTraceConfig(3)
+	tcfg.Days = 6
+	tcfg.TrainingGPUs = 256
+	tr := GenerateTrace(tcfg)
+	if len(tr.Jobs) < 1000 {
+		t.Fatalf("trace has %d jobs, want >= 1000", len(tr.Jobs))
+	}
+
+	cfg := DefaultConfig()
+	cfg.Cluster = ClusterConfig{TrainingServers: 32, InferenceServers: 32}
+	cfg.Events = true
+
+	a, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("Events enabled but the report carries no event stream")
+	}
+	if !bytes.Equal(a.Events, b.Events) {
+		la := strings.Split(string(a.Events), "\n")
+		lb := strings.Split(string(b.Events), "\n")
+		for i := 0; i < len(la) && i < len(lb); i++ {
+			if la[i] != lb[i] {
+				t.Fatalf("event streams diverge at line %d:\nrun1: %s\nrun2: %s", i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("event streams differ in length: %d vs %d lines", len(la), len(lb))
+	}
+
+	events, err := obs.ReadJSONL(bytes.NewReader(a.Events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := obs.JobIDs(events)
+	if len(ids) != len(tr.Jobs) {
+		t.Errorf("stream mentions %d jobs, trace has %d", len(ids), len(tr.Jobs))
+	}
+	finished := 0
+	for _, id := range ids {
+		tl := obs.JobTimeline(events, id)
+		done := false
+		for _, ev := range tl {
+			if ev.Kind == obs.KindJobFinish {
+				done = true
+			}
+		}
+		err := obs.ValidateLifecycle(tl)
+		if done {
+			finished++
+			if err != nil {
+				t.Errorf("finished job %d has a broken lifecycle: %v\n%s", id, err, renderTimeline(tl))
+			}
+		} else if err == nil || !strings.Contains(err.Error(), "incomplete") {
+			t.Errorf("unfinished job %d: want a legal-but-incomplete lifecycle, got %v\n%s", id, err, renderTimeline(tl))
+		}
+	}
+	if finished != a.Completed {
+		t.Errorf("stream records %d finishes, report says %d completed", finished, a.Completed)
+	}
+
+	// The run must have exercised the decision paths the events exist to
+	// explain; otherwise this test proves less than intended.
+	_, counts := obs.CountByKind(events)
+	for _, kind := range []obs.Kind{
+		obs.KindJobPreempt, obs.KindJobScaleUp, obs.KindJobScaleDown,
+		obs.KindSchedEpoch, obs.KindSchedPhase2,
+		obs.KindOrchLoan, obs.KindOrchReclaim, obs.KindReclaimPlan,
+		obs.KindCounters,
+	} {
+		if counts[kind] == 0 {
+			t.Errorf("stream has no %s events", kind)
+		}
+	}
+}
+
+func renderTimeline(tl []obs.Event) string {
+	var b strings.Builder
+	for _, ev := range tl {
+		b.WriteString("  " + ev.String() + "\n")
+	}
+	return b.String()
+}
+
+// TestEventsDoNotChangeResults mirrors TestAuditDoesNotChangeResults:
+// recording is read-only, so a run with events on must report bit-identical
+// results to the same run with events off.
+func TestEventsDoNotChangeResults(t *testing.T) {
+	tr := smallTrace(5)
+	cfg := DefaultConfig()
+	cfg.Cluster = smallCluster()
+
+	cfg.Events = true
+	on, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Events = false
+	off, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := *on, *off
+	a.Raw, b.Raw = nil, nil
+	a.Events = nil // the only field allowed to differ
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Errorf("recording changed the report:\n on: %+v\noff: %+v", a, b)
+	}
+}

@@ -51,7 +51,17 @@ const (
 	RuleProgressBounds  = "progress-bounds"  // Remaining/OverheadLeft/queue-time bounds
 	RuleTimeMonotonic   = "time-monotonic"   // Now regressed between audits
 	RulePoolMembership  = "pool-membership"  // worker pool / GPU-type legality
+	RuleThroughput      = "throughput"       // running job must have a throughput model entry
 )
+
+// Fail panics with a structured *Error carrying the given violations. It is
+// the replacement for bare panic(fmt.Sprintf(...)) at hot-path consistency
+// checks: the engines' outermost callers recover the *Error and render a
+// structured report (rule, subject, expected vs actual, sim time) instead
+// of a raw Go stack trace.
+func Fail(context string, v ...Violation) {
+	panic(&Error{Context: context, Violations: v})
+}
 
 // Violation is one broken invariant, reported as a structured diff of the
 // state the rule expected against what the bookkeeping actually holds.

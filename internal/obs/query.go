@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Query helpers over recorded event streams. These back cmd/lyra-events and
+// the end-to-end lifecycle tests: reconstructing one job's timeline,
+// validating that a lifecycle is complete (every start matched by a finish
+// or preempt), and summarizing decision activity per kind or per epoch.
+
+// ReadJSONL decodes a JSONL event stream, one event per line.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := ev.UnmarshalJSON(b); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// JobTimeline returns the events about one job, in stream order.
+func JobTimeline(events []Event, job int) []Event {
+	var out []Event
+	for _, ev := range events {
+		if ev.Job == job {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// JobIDs returns the sorted set of job IDs appearing in the stream.
+func JobIDs(events []Event) []int {
+	seen := make(map[int]bool)
+	for _, ev := range events {
+		if ev.Job >= 0 {
+			seen[ev.Job] = true
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// ValidateLifecycle checks one job's timeline against the lifecycle state
+// machine: submit -> queue -> start -> (preempt -> queue -> start)* ->
+// finish, with scale_up/scale_down legal only while running. It returns an
+// error naming the first out-of-order transition, or nil for a complete,
+// well-formed lifecycle. Jobs still pending or running when the run ended
+// (no finish event) are reported as incomplete. Events outside the job.*
+// namespace (testbed container transitions carry the job ID too) are
+// ignored.
+func ValidateLifecycle(timeline []Event) error {
+	const (
+		sNone = iota
+		sQueued
+		sRunning
+		sDone
+	)
+	state := sNone
+	submitted := false
+	for i, ev := range timeline {
+		bad := func() error {
+			return fmt.Errorf("event %d: %s at t=%g illegal in state %s", i, ev.Kind, ev.T, [...]string{"none", "queued", "running", "done"}[state])
+		}
+		switch ev.Kind {
+		case KindJobSubmit:
+			if submitted {
+				return bad()
+			}
+			submitted = true
+		case KindJobQueue:
+			if state != sNone {
+				return bad()
+			}
+			state = sQueued
+		case KindJobStart:
+			if state != sQueued {
+				return bad()
+			}
+			state = sRunning
+		case KindJobPreempt:
+			if state != sRunning {
+				return bad()
+			}
+			state = sNone // a re-queue event follows immediately
+		case KindJobScaleUp, KindJobScaleDown:
+			if state != sRunning {
+				return bad()
+			}
+		case KindJobFinish:
+			if state != sRunning {
+				return bad()
+			}
+			state = sDone
+		default:
+			continue // container.* and other non-lifecycle kinds
+		}
+	}
+	if !submitted && len(timeline) > 0 {
+		// Testbed-injected jobs may skip the submit event; tolerate that
+		// only when the rest of the lifecycle is present.
+		if timeline[0].Kind != KindJobQueue {
+			return fmt.Errorf("timeline does not begin with %s or %s", KindJobSubmit, KindJobQueue)
+		}
+	}
+	if state != sDone {
+		return fmt.Errorf("lifecycle incomplete: last state is not finished (job still pending or running at end of stream)")
+	}
+	return nil
+}
+
+// CountByKind tallies events per kind, returning kinds in sorted order.
+func CountByKind(events []Event) (kinds []Kind, counts map[Kind]int) {
+	counts = make(map[Kind]int)
+	for _, ev := range events {
+		counts[ev.Kind]++
+	}
+	names := make([]string, 0, len(counts))
+	for k := range counts {
+		names = append(names, string(k))
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		kinds = append(kinds, Kind(n))
+	}
+	return kinds, counts
+}
+
+// EpochRow summarizes one scheduler epoch: the sched.epoch event's own
+// payload plus the number of decision events recorded during the epoch
+// window (since the previous sched.epoch event).
+type EpochRow struct {
+	T         float64
+	Epoch     int64
+	Starts    int
+	Preempts  int
+	Scales    int
+	OrchMoves int
+	F         Fields
+}
+
+// EpochRows folds a stream into per-epoch decision counts.
+func EpochRows(events []Event) []EpochRow {
+	var rows []EpochRow
+	cur := EpochRow{T: -1}
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindJobStart:
+			cur.Starts++
+		case KindJobPreempt:
+			cur.Preempts++
+		case KindJobScaleUp, KindJobScaleDown:
+			cur.Scales++
+		case KindOrchLoan, KindOrchReturn, KindOrchReclaim:
+			cur.OrchMoves++
+		case KindSchedEpoch:
+			cur.T = ev.T
+			cur.F = ev.F
+			if n, ok := ev.F["epoch"]; ok {
+				switch v := n.(type) {
+				case int64:
+					cur.Epoch = v
+				case float64:
+					cur.Epoch = int64(v)
+				}
+			}
+			rows = append(rows, cur)
+			cur = EpochRow{T: -1}
+		}
+	}
+	if cur.Starts+cur.Preempts+cur.Scales+cur.OrchMoves > 0 {
+		rows = append(rows, cur) // trailing partial epoch
+	}
+	return rows
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// A well-formed lifecycle with a preemption cycle validates.
+func TestValidateLifecycleAccepts(t *testing.T) {
+	tl := []Event{
+		JobEv(0, KindJobSubmit, 3),
+		JobEv(0, KindJobQueue, 3).WithCause("arrival"),
+		JobEv(10, KindJobStart, 3).WithCause("first"),
+		JobEv(20, KindJobScaleUp, 3),
+		JobEv(30, KindJobScaleDown, 3),
+		JobEv(40, KindJobPreempt, 3).WithCause("reclaim"),
+		JobEv(40, KindJobQueue, 3).WithCause("preempt"),
+		JobEv(50, KindJobStart, 3).WithCause("resume"),
+		JobEv(90, KindJobFinish, 3),
+	}
+	if err := ValidateLifecycle(tl); err != nil {
+		t.Errorf("valid lifecycle rejected: %v", err)
+	}
+
+	// Testbed streams interleave container transitions into the job's
+	// timeline; they are not lifecycle transitions and must be ignored.
+	withContainers := []Event{
+		JobEv(0, KindJobQueue, 3),
+		JobEv(10, KindJobStart, 3),
+		JobEv(11, KindContainerLaunch, 3),
+		JobEv(15, KindContainerReady, 3),
+		JobEv(90, KindContainerRelease, 3),
+		JobEv(90, KindJobFinish, 3),
+	}
+	if err := ValidateLifecycle(withContainers); err != nil {
+		t.Errorf("container-interleaved lifecycle rejected: %v", err)
+	}
+}
+
+func TestValidateLifecycleRejects(t *testing.T) {
+	cases := map[string][]Event{
+		"start before queue": {
+			JobEv(0, KindJobSubmit, 1),
+			JobEv(5, KindJobStart, 1),
+		},
+		"finish while queued": {
+			JobEv(0, KindJobSubmit, 1),
+			JobEv(0, KindJobQueue, 1),
+			JobEv(5, KindJobFinish, 1),
+		},
+		"scale while queued": {
+			JobEv(0, KindJobSubmit, 1),
+			JobEv(0, KindJobQueue, 1),
+			JobEv(5, KindJobScaleUp, 1),
+		},
+		"double submit": {
+			JobEv(0, KindJobSubmit, 1),
+			JobEv(1, KindJobSubmit, 1),
+		},
+		"preempt while queued": {
+			JobEv(0, KindJobSubmit, 1),
+			JobEv(0, KindJobQueue, 1),
+			JobEv(5, KindJobPreempt, 1),
+		},
+		"incomplete (still running)": {
+			JobEv(0, KindJobSubmit, 1),
+			JobEv(0, KindJobQueue, 1),
+			JobEv(5, KindJobStart, 1),
+		},
+		"no lifecycle events at all": {
+			JobEv(0, KindContainerLaunch, 1),
+		},
+	}
+	for name, tl := range cases {
+		if err := ValidateLifecycle(tl); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestJobTimelineAndIDs(t *testing.T) {
+	events := []Event{
+		JobEv(0, KindJobQueue, 2),
+		Ev(1, KindSchedEpoch),
+		JobEv(1, KindJobStart, 2),
+		JobEv(2, KindJobQueue, 0),
+		JobEv(9, KindJobFinish, 2),
+	}
+	tl := JobTimeline(events, 2)
+	if len(tl) != 3 || tl[0].Kind != KindJobQueue || tl[2].Kind != KindJobFinish {
+		t.Errorf("timeline: %+v", tl)
+	}
+	ids := JobIDs(events)
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
+		t.Errorf("JobIDs = %v, want [0 2] (epoch events carry no job)", ids)
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	events := []Event{
+		JobEv(0, KindJobQueue, 1),
+		JobEv(1, KindJobStart, 1),
+		JobEv(2, KindJobQueue, 2),
+		Ev(3, KindSchedEpoch),
+	}
+	kinds, counts := CountByKind(events)
+	if len(kinds) != 3 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	if counts[KindJobQueue] != 2 || counts[KindJobStart] != 1 || counts[KindSchedEpoch] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	// Sorted order.
+	for i := 1; i < len(kinds); i++ {
+		if string(kinds[i-1]) >= string(kinds[i]) {
+			t.Errorf("kinds not sorted: %v", kinds)
+		}
+	}
+}
+
+func TestEpochRows(t *testing.T) {
+	events := []Event{
+		JobEv(5, KindJobStart, 1),
+		JobEv(8, KindJobStart, 2),
+		Ev(10, KindSchedEpoch).WithF(Fields{"epoch": int64(1), "queue_after": int64(0)}),
+		JobEv(12, KindJobPreempt, 1),
+		Ev(15, KindOrchReclaim),
+		JobEv(18, KindJobScaleDown, 2),
+		Ev(20, KindSchedEpoch).WithF(Fields{"epoch": int64(2), "queue_after": int64(1)}),
+		JobEv(25, KindJobStart, 1), // trailing partial epoch
+	}
+	rows := EpochRows(events)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (two epochs + trailing partial)", len(rows))
+	}
+	if rows[0].Epoch != 1 || rows[0].Starts != 2 || rows[0].Preempts != 0 {
+		t.Errorf("row 0: %+v", rows[0])
+	}
+	if rows[1].Epoch != 2 || rows[1].Preempts != 1 || rows[1].Scales != 1 || rows[1].OrchMoves != 1 {
+		t.Errorf("row 1: %+v", rows[1])
+	}
+	if rows[2].Starts != 1 || rows[2].T != -1 {
+		t.Errorf("trailing row: %+v", rows[2])
+	}
+}
+
+func TestReadJSONL(t *testing.T) {
+	in := `{"t":0,"kind":"job.queue","job":1,"cause":"arrival"}
+
+{"t":5,"kind":"job.start","job":1,"cause":"first","f":{"gpus":8}}
+`
+	events, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events (blank lines must be skipped)", len(events))
+	}
+	if events[1].F["gpus"] != 8.0 { // encoding/json decodes numbers as float64
+		t.Errorf("payload: %v", events[1].F)
+	}
+
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Errorf("malformed line accepted")
+	} else if !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error does not name the line: %v", err)
+	}
+}

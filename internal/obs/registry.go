@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"text/tabwriter"
+)
+
+// Registry is a small named counter/histogram store. It is safe for
+// concurrent use (the experiment runner's workers increment it from many
+// goroutines) and snapshots deterministically: keys are always emitted in
+// sorted order, and histogram summaries are pure functions of the observed
+// values.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	hists    map[string]*histogram
+}
+
+type histogram struct {
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]int64), hists: make(map[string]*histogram)}
+}
+
+// Add increments the named counter by delta. Nil-safe.
+func (g *Registry) Add(name string, delta int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.counters[name] += delta
+	g.mu.Unlock()
+}
+
+// Observe records one value into the named histogram. Nil-safe.
+func (g *Registry) Observe(name string, v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	h := g.hists[name]
+	if h == nil {
+		h = &histogram{min: v, max: v}
+		g.hists[name] = h
+	}
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	g.mu.Unlock()
+}
+
+// Counter returns the current value of the named counter (0 if absent).
+func (g *Registry) Counter(name string) int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.counters[name]
+}
+
+// SnapshotFields renders the full registry as event payload fields:
+// counters under their own name, histograms as name.count / name.sum /
+// name.min / name.max. Used for the periodic KindCounters sample.
+func (g *Registry) SnapshotFields() Fields {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f := make(Fields, len(g.counters)+4*len(g.hists))
+	for k, v := range g.counters {
+		f[k] = v
+	}
+	for k, h := range g.hists {
+		f[k+".count"] = h.count
+		f[k+".sum"] = h.sum
+		f[k+".min"] = h.min
+		f[k+".max"] = h.max
+	}
+	return f
+}
+
+// WriteTable prints the registry as one aligned table — counters first,
+// then histogram summaries — in sorted name order. This is the merged
+// report `lyra-bench -stats` prints, where runner cache economics and
+// scheduler counters land together.
+func (g *Registry) WriteTable(w io.Writer) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	names := make([]string, 0, len(g.counters))
+	for k := range g.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintln(tw, "counter\tvalue")
+		for _, k := range names {
+			fmt.Fprintf(tw, "%s\t%d\n", k, g.counters[k])
+		}
+	}
+	hnames := make([]string, 0, len(g.hists))
+	for k := range g.hists {
+		hnames = append(hnames, k)
+	}
+	sort.Strings(hnames)
+	if len(hnames) > 0 {
+		fmt.Fprintln(tw, "histogram\tcount\tmean\tmin\tmax")
+		for _, k := range hnames {
+			h := g.hists[k]
+			mean := 0.0
+			if h.count > 0 {
+				mean = h.sum / float64(h.count)
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\n", k, h.count, mean, h.min, h.max)
+		}
+	}
+	tw.Flush()
+}

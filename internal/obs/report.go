@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"lyra/internal/invariant"
+)
+
+// ViolationError wraps an invariant audit failure together with the tail of
+// the event ring at the moment of the violation: the structured report plus
+// its lead-up context, the replayable narrative a raw panic threw away.
+// lyra.Run recovers *invariant.Error panics into this type so CLI frontends
+// can render a readable report and exit non-zero instead of dumping a Go
+// stack trace.
+type ViolationError struct {
+	Report *invariant.Error
+	// Tail holds the most recent events before the violation, oldest
+	// first; empty when no event recorder was attached (run without
+	// -events).
+	Tail []Event
+}
+
+// Error implements error with the underlying audit report.
+func (e *ViolationError) Error() string { return e.Report.Error() }
+
+// Unwrap exposes the invariant error to errors.As/Is.
+func (e *ViolationError) Unwrap() error { return e.Report }
+
+// WriteViolationReport renders the structured report: per violation the
+// rule name, subject, expected vs actual state and detail, followed by the
+// flushed event-ring tail when one was recorded.
+func WriteViolationReport(w io.Writer, e *ViolationError) {
+	fmt.Fprintf(w, "invariant violation: %d violation(s) after %s\n", len(e.Report.Violations), e.Report.Context)
+	for _, v := range e.Report.Violations {
+		fmt.Fprintf(w, "  rule      %s\n", v.Rule)
+		fmt.Fprintf(w, "  subject   %s\n", v.Subject)
+		fmt.Fprintf(w, "  expected  %s\n", v.Expected)
+		fmt.Fprintf(w, "  actual    %s\n", v.Actual)
+		if v.Detail != "" {
+			fmt.Fprintf(w, "  detail    %s\n", v.Detail)
+		}
+	}
+	if len(e.Tail) == 0 {
+		fmt.Fprintln(w, "(no event ring attached; run with -events for the lead-up context)")
+		return
+	}
+	fmt.Fprintf(w, "last %d event(s) before the violation:\n", len(e.Tail))
+	for _, ev := range e.Tail {
+		fmt.Fprintf(w, "  %s\n", ev)
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"lyra/internal/invariant"
+)
+
+func sampleViolation() *ViolationError {
+	return &ViolationError{
+		Report: &invariant.Error{
+			Context: "sim:finish t=1860 job=42",
+			Violations: []invariant.Violation{{
+				Rule:     invariant.RuleGPUConservation,
+				Subject:  "server 3",
+				Expected: "8 GPUs allocated",
+				Actual:   "9 GPUs allocated",
+				Detail:   "job 42 released twice",
+			}},
+		},
+	}
+}
+
+func TestWriteViolationReport(t *testing.T) {
+	ve := sampleViolation()
+	var buf bytes.Buffer
+	WriteViolationReport(&buf, ve)
+	out := buf.String()
+	for _, want := range []string{
+		"1 violation(s) after sim:finish t=1860 job=42",
+		string(invariant.RuleGPUConservation),
+		"server 3",
+		"8 GPUs allocated",
+		"9 GPUs allocated",
+		"job 42 released twice",
+		"run with -events",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// With a recorded tail the report flushes the lead-up events instead.
+	ve.Tail = []Event{
+		JobEv(1800, KindJobPreempt, 42).WithCause("reclaim"),
+		JobEv(1860, KindJobFinish, 42),
+	}
+	buf.Reset()
+	WriteViolationReport(&buf, ve)
+	out = buf.String()
+	if !strings.Contains(out, "last 2 event(s) before the violation") ||
+		!strings.Contains(out, "job.preempt") || strings.Contains(out, "run with -events") {
+		t.Errorf("tail not rendered:\n%s", out)
+	}
+}
+
+// CLI frontends find the structured report through errors.As; the wrapped
+// invariant error stays reachable for callers matching on it directly.
+func TestViolationErrorUnwraps(t *testing.T) {
+	var err error = sampleViolation()
+	var ve *ViolationError
+	if !errors.As(err, &ve) {
+		t.Fatal("errors.As failed to find *ViolationError")
+	}
+	var ie *invariant.Error
+	if !errors.As(err, &ie) {
+		t.Fatal("errors.As failed to unwrap to *invariant.Error")
+	}
+	if !strings.Contains(err.Error(), "sim:finish") {
+		t.Errorf("Error() = %q", err.Error())
+	}
+}

@@ -8,10 +8,12 @@ package orchestrator
 
 import (
 	"fmt"
+	"sort"
 
 	"lyra/internal/cluster"
 	"lyra/internal/invariant"
 	"lyra/internal/job"
+	"lyra/internal/obs"
 	"lyra/internal/place"
 	"lyra/internal/reclaim"
 	"lyra/internal/sim"
@@ -63,9 +65,17 @@ const loanBuffer = 0
 func (o *Orchestrator) Epoch(st *sim.State) {
 	capSrv := o.Inf.TargetOnLoan(int64(st.Now))
 	cur := st.Cluster.PoolSize(cluster.PoolOnLoan)
-	want := o.busyOnLoanServers(st) + o.demandServers(st) + loanBuffer
+	busy := o.busyOnLoanServers(st)
+	demandSrv := o.demandServers(st)
+	want := busy + demandSrv + loanBuffer
 	if want > capSrv {
 		want = capSrv
+	}
+	if st.Obs.Enabled() {
+		st.Obs.Emit(obs.Ev(st.Now, obs.KindOrchEpoch).WithF(obs.Fields{
+			"cap_srv": capSrv, "on_loan": cur, "busy": busy,
+			"demand_srv": demandSrv, "want": want,
+		}))
 	}
 	switch {
 	case want > cur:
@@ -143,31 +153,62 @@ func (o *Orchestrator) demandServers(st *sim.State) int {
 // returnIdle hands back up to n empty on-loan servers — a voluntary trim,
 // so only servers with no workers qualify and nothing is preempted.
 func (o *Orchestrator) returnIdle(st *sim.State, n int) {
+	var moved []int
 	for _, s := range st.Cluster.PoolServers(cluster.PoolOnLoan) {
 		if n == 0 {
-			return
+			break
 		}
 		if s.Used() > 0 {
 			continue
 		}
 		if err := st.Cluster.Move(s.ID, cluster.PoolInference); err != nil {
-			panic(fmt.Sprintf("orchestrator: return idle server %d: %v", s.ID, err))
+			failMove(st, "return idle", s.ID, cluster.PoolInference, err)
+		}
+		if st.Obs.Enabled() {
+			moved = append(moved, s.ID)
 		}
 		n--
+	}
+	if len(moved) > 0 {
+		st.Obs.Emit(obs.Ev(st.Now, obs.KindOrchReturn).WithF(obs.Fields{
+			"servers": moved, "count": len(moved),
+		}))
+		st.Obs.Add("orch.returns", 1)
 	}
 }
 
 // loan moves n inference servers onto the training scheduler's whitelist.
 func (o *Orchestrator) loan(st *sim.State, n int) {
+	var moved []int
 	for _, s := range st.Cluster.PoolServers(cluster.PoolInference) {
 		if n == 0 {
-			return
+			break
 		}
 		if err := st.Cluster.Move(s.ID, cluster.PoolOnLoan); err != nil {
-			panic(fmt.Sprintf("orchestrator: loan server %d: %v", s.ID, err))
+			failMove(st, "loan", s.ID, cluster.PoolOnLoan, err)
+		}
+		if st.Obs.Enabled() {
+			moved = append(moved, s.ID)
 		}
 		n--
 	}
+	if len(moved) > 0 {
+		st.Obs.Emit(obs.Ev(st.Now, obs.KindOrchLoan).WithF(obs.Fields{
+			"servers": moved, "count": len(moved),
+		}))
+		st.Obs.Add("orch.loans", 1)
+	}
+}
+
+// failMove raises a structured pool-membership violation for a failed
+// cross-pool server move.
+func failMove(st *sim.State, op string, sid int, to cluster.Pool, err error) {
+	invariant.Fail(fmt.Sprintf("orchestrator:%s t=%g", op, st.Now), invariant.Violation{
+		Rule:     invariant.RulePoolMembership,
+		Subject:  fmt.Sprintf("server %d", sid),
+		Expected: fmt.Sprintf("move to pool %v to succeed", to),
+		Actual:   err.Error(),
+	})
 }
 
 // reclaim vacates n on-loan servers and returns them to the inference
@@ -187,13 +228,45 @@ func (o *Orchestrator) reclaim(st *sim.State, n int) {
 		demand += st.Cluster.Server(sid).NumGPUs
 	}
 
+	if st.Obs.Enabled() {
+		cands := make([]int, 0, len(onLoan))
+		for _, s := range onLoan {
+			cands = append(cands, s.ID)
+		}
+		picks := make([]obs.Fields, 0, len(plan.Picks))
+		for _, p := range plan.Picks {
+			picks = append(picks, obs.Fields{
+				"server": p.Server, "phase": p.Phase,
+				"cost": p.Cost, "reuse": p.Reuse, "damage": p.Damage,
+			})
+		}
+		st.Obs.Emit(obs.Ev(st.Now, obs.KindReclaimPlan).WithF(obs.Fields{
+			"want": n, "candidates": cands, "servers": plan.Servers,
+			"preempt_jobs": plan.PreemptJobs, "scale_in": scaleInPairs(plan.ScaleIn),
+			"flex_only": plan.FlexOnly, "picks": picks,
+		}))
+	}
+
+	// The state methods called below tag their lifecycle events with the
+	// decider's cause.
+	savedCause := st.Cause
+	st.Cause = "reclaim"
+	defer func() { st.Cause = savedCause }()
+
 	// Release flexible server groups first: pure scale-in, no preemption.
-	for id, servers := range plan.ScaleIn {
+	// Iterate jobs in sorted order: the map order would otherwise leak into
+	// the event stream and break byte-identity across runs.
+	scaleJobs := make([]int, 0, len(plan.ScaleIn))
+	for id := range plan.ScaleIn {
+		scaleJobs = append(scaleJobs, id)
+	}
+	sort.Ints(scaleJobs)
+	for _, id := range scaleJobs {
 		j := st.Running[id]
 		if j == nil {
 			continue
 		}
-		for _, sid := range servers {
+		for _, sid := range plan.ScaleIn[id] {
 			st.RemoveFlexibleOnServer(j, sid)
 		}
 	}
@@ -217,7 +290,7 @@ func (o *Orchestrator) reclaim(st *sim.State, n int) {
 
 	for _, sid := range plan.Servers {
 		if err := st.Cluster.Move(sid, cluster.PoolInference); err != nil {
-			panic(fmt.Sprintf("orchestrator: return server %d: %v", sid, err))
+			failMove(st, "reclaim", sid, cluster.PoolInference, err)
 		}
 	}
 
@@ -226,4 +299,33 @@ func (o *Orchestrator) reclaim(st *sim.State, n int) {
 	st.FlexSatisfied += plan.FlexOnly
 	st.DemandGPUs += demand
 	st.VacatedGPUs += demand + collateral
+
+	if st.Obs.Enabled() {
+		st.Obs.Emit(obs.Ev(st.Now, obs.KindOrchReclaim).WithF(obs.Fields{
+			"servers": plan.Servers, "preempted": len(plan.PreemptJobs),
+			"demand_gpus": demand, "collateral_gpus": collateral,
+			"flex_only": plan.FlexOnly,
+		}))
+		st.Obs.Add("orch.reclaims", 1)
+		st.Obs.Observe("orch.collateral_gpus", float64(collateral))
+	}
+}
+
+// scaleInPairs flattens a scale-in map into deterministic [job, server]
+// pairs sorted by job then server.
+func scaleInPairs(m map[int][]int) [][2]int {
+	out := make([][2]int, 0, len(m))
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		srvs := append([]int(nil), m[id]...)
+		sort.Ints(srvs)
+		for _, sid := range srvs {
+			out = append(out, [2]int{id, sid})
+		}
+	}
+	return out
 }

@@ -34,6 +34,21 @@ type Plan struct {
 	// FlexOnly counts planned servers vacated purely by scale-in or
 	// already empty — the "flexible server group" releases of §5.3.
 	FlexOnly int
+	// Picks, when filled by a policy, traces the selection order: one
+	// entry per chosen server with the knapsack phase that took it and the
+	// scores it won on. The Lyra heuristic records it so the decision
+	// trace (obs reclaim.plan events) can show WHY each server was picked,
+	// not just the final set. Baselines may leave it nil.
+	Picks []Pick
+}
+
+// Pick is one step of a reclaim policy's selection trace.
+type Pick struct {
+	Server int
+	Phase  int     // 1 = zero-preemption phase, 2 = greedy knapsack phase
+	Cost   float64 // preemption cost at pick time (phase 2; 0 in phase 1)
+	Reuse  int     // GPUs freed on other candidates by this pick
+	Damage int     // collateral GPUs freed outside the candidate set
 }
 
 // Policy selects servers for reclaiming. lookup resolves job IDs to jobs.
@@ -174,6 +189,7 @@ func (Lyra) Name() string { return "lyra" }
 // the coupled costs of every other server), and repeats.
 func (Lyra) Plan(onLoan []*cluster.Server, lookup func(id int) *job.Job, n int) Plan {
 	infos, baseServers := buildInfos(onLoan, lookup)
+	var picks []Pick
 	taken := 0
 	// Phase one: zero-preemption servers, emptiest first so scale-ins are
 	// minimized.
@@ -196,6 +212,7 @@ func (Lyra) Plan(onLoan []*cluster.Server, lookup func(id int) *job.Job, n int) 
 		}
 		info.taken = true
 		taken++
+		picks = append(picks, Pick{Server: info.s.ID, Phase: 1})
 	}
 	// Phase two: greedy minimum-cost with cost updates.
 	for taken < n {
@@ -230,6 +247,7 @@ func (Lyra) Plan(onLoan []*cluster.Server, lookup func(id int) *job.Job, n int) 
 		}
 		best.taken = true
 		taken++
+		picks = append(picks, Pick{Server: best.s.ID, Phase: 2, Cost: bestCost, Reuse: bestReuse, Damage: bestDamage})
 		// Preempting best's jobs removes them everywhere: their cost
 		// contributions vanish from all other servers.
 		for id := range best.baseJobs {
@@ -242,7 +260,9 @@ func (Lyra) Plan(onLoan []*cluster.Server, lookup func(id int) *job.Job, n int) 
 			}
 		}
 	}
-	return finishPlan(infos, lookup)
+	plan := finishPlan(infos, lookup)
+	plan.Picks = picks
+	return plan
 }
 
 // Random reclaims uniformly random on-loan servers — the Random baseline of

@@ -10,6 +10,7 @@ import (
 	"lyra/internal/cluster"
 	"lyra/internal/inference"
 	"lyra/internal/job"
+	"lyra/internal/obs"
 	"lyra/internal/orchestrator"
 	"lyra/internal/reclaim"
 	"lyra/internal/sched"
@@ -58,6 +59,12 @@ type Pool struct {
 	mu    sync.Mutex
 	calls map[string]*call
 	stats Stats
+
+	// obsReg, when set via Observe, mirrors the memoization counters into
+	// an obs.Registry and folds headline per-run counters out of completed
+	// simulations, so cache economics and scheduler activity land in one
+	// merged table (lyra-bench -stats).
+	obsReg *obs.Registry
 }
 
 type call struct {
@@ -91,6 +98,18 @@ func (p *Pool) Stats() Stats {
 	return p.stats
 }
 
+// Observe attaches an obs.Registry: from now on the pool mirrors its
+// memoization counters (runner.requests / runner.hits / runner.executed /
+// runner.trace_gens) into reg and folds per-run simulator counters
+// (runner.sim.completed, runner.sim.preemptions, ...) out of each executed
+// simulation. The registry's own methods are nil-safe, so Observe(nil)
+// detaches.
+func (p *Pool) Observe(reg *obs.Registry) {
+	p.mu.Lock()
+	p.obsReg = reg
+	p.mu.Unlock()
+}
+
 // Do memoizes fn under key with singleflight semantics, bounded by the
 // worker pool. It is the generic layer under Sim and Testbed — use it for
 // bespoke experiment legs (the §7.2 calibration does) with a KeyOf-derived
@@ -110,6 +129,8 @@ func (p *Pool) do(key string, fn func() (any, error), bounded, traceGen bool) (a
 		if !traceGen {
 			p.stats.Requests++
 			p.stats.Hits++
+			p.obsReg.Add("runner.requests", 1)
+			p.obsReg.Add("runner.hits", 1)
 		}
 		p.mu.Unlock()
 		<-c.done
@@ -119,9 +140,12 @@ func (p *Pool) do(key string, fn func() (any, error), bounded, traceGen bool) (a
 	p.calls[key] = c
 	if traceGen {
 		p.stats.TraceGens++
+		p.obsReg.Add("runner.trace_gens", 1)
 	} else {
 		p.stats.Requests++
 		p.stats.Executed++
+		p.obsReg.Add("runner.requests", 1)
+		p.obsReg.Add("runner.executed", 1)
 	}
 	p.mu.Unlock()
 
@@ -202,7 +226,17 @@ func (p *Pool) runSim(spec Spec) (*lyra.Report, error) {
 	if f := spec.Trace.CheckpointFrac; f != nil {
 		lyra.SetCheckpointFraction(tr, f.Frac, f.Seed)
 	}
-	return lyra.Run(cfg, tr)
+	rep, err := lyra.Run(cfg, tr)
+	if err == nil {
+		p.mu.Lock()
+		reg := p.obsReg
+		p.mu.Unlock()
+		reg.Add("runner.sim.jobs", int64(rep.Total))
+		reg.Add("runner.sim.completed", int64(rep.Completed))
+		reg.Add("runner.sim.preemptions", int64(rep.Preemptions))
+		reg.Add("runner.sim.scaling_ops", int64(rep.ScalingOps))
+	}
+	return rep, err
 }
 
 // materializeTrace returns a private clone of the declared workload: the

@@ -51,6 +51,9 @@ func (g *Gandiva) Schedule(st *sim.State) {
 		return // not under-utilized: no opportunistic scaling
 	}
 	// Round-robin one worker at a time across elastic jobs.
+	saved := st.Cause
+	st.Cause = "opportunistic"
+	defer func() { st.Cause = saved }()
 	grew := true
 	for grew {
 		grew = false
@@ -93,12 +96,16 @@ func (a *AFS) Schedule(st *sim.State) {
 	}
 	freeT, freeL := st.FreeSchedulableGPUs()
 	targets := alloc.AFS(cands, freeT+freeL+flexGPUs, st.Scaling)
-	applyExtraTargets(st, cands, targets, false)
+	applyExtraTargets(st, cands, targets, false, "afs")
 }
 
 // applyExtraTargets resizes elastic jobs to the given extra-worker targets:
-// scale-ins first (freeing GPUs), then scale-outs, placing what fits.
-func applyExtraTargets(st *sim.State, cands []*job.Job, targets []alloc.Extra, naive bool) {
+// scale-ins first (freeing GPUs), then scale-outs, placing what fits. cause
+// names the deciding scheduler on the emitted scale events.
+func applyExtraTargets(st *sim.State, cands []*job.Job, targets []alloc.Extra, naive bool, cause string) {
+	saved := st.Cause
+	st.Cause = cause
+	defer func() { st.Cause = saved }()
 	target := make(map[int]int, len(targets))
 	for _, e := range targets {
 		target[e.ID] = e.Extra

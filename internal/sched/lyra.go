@@ -3,6 +3,7 @@ package sched
 import (
 	"lyra/internal/alloc"
 	"lyra/internal/job"
+	"lyra/internal/obs"
 	"lyra/internal/place"
 	"lyra/internal/sim"
 )
@@ -98,10 +99,23 @@ func (l *Lyra) phase2(st *sim.State) {
 	freeT, freeL := st.FreeSchedulableGPUs()
 	capacity := freeT + freeL + flexGPUs
 	targets := alloc.Phase2(cands, capacity, st.Scaling, l.Tuning)
+	if st.Obs.Enabled() {
+		tf := make([]obs.Fields, 0, len(targets))
+		for _, e := range targets {
+			tf = append(tf, obs.Fields{"job": e.ID, "extra": e.Extra})
+		}
+		st.Obs.Emit(obs.Ev(st.Now, obs.KindSchedPhase2).WithF(obs.Fields{
+			"capacity": capacity, "free_train": freeT, "free_loan": freeL,
+			"flex_gpus": flexGPUs, "candidates": len(cands), "targets": tf,
+		}))
+	}
 	target := make(map[int]int, len(targets))
 	for _, e := range targets {
 		target[e.ID] = e.Extra
 	}
+	saved := st.Cause
+	st.Cause = "phase2"
+	defer func() { st.Cause = saved }()
 	// Scale in first to free GPUs for the scale-outs.
 	for _, j := range cands {
 		if cur := j.FlexibleWorkers(); cur > target[j.ID] {

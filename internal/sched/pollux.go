@@ -70,9 +70,12 @@ func (p *Pollux) Schedule(st *sim.State) {
 			resized = append(resized, j)
 		}
 	}
-	applyExtraTargets(st, resized, extras, false)
+	applyExtraTargets(st, resized, extras, false, "pollux")
 
 	// Start pending jobs the GA selected.
+	saved := st.Cause
+	st.Cause = "pollux"
+	defer func() { st.Cause = saved }()
 	for _, d := range decisions {
 		if running[d.ID] || d.Workers <= 0 {
 			continue

@@ -146,6 +146,11 @@ func flexibleGPUs(st *sim.State, pool cluster.Pool) int {
 func reclaimFlexible(st *sim.State, j *job.Job, pp poolPolicy) int {
 	want := j.BaseGPUs()
 	freed := 0
+	// Scale-downs here make room for a waiting base demand; tag them so
+	// the event stream distinguishes them from phase-2 resizes.
+	saved := st.Cause
+	st.Cause = "make-room"
+	defer func() { st.Cause = saved }()
 	for _, pool := range []cluster.Pool{pp.prefer, otherPool(pp.prefer)} {
 		if pool == cluster.PoolTraining && !pp.allowTraining {
 			continue

@@ -9,6 +9,7 @@ import (
 	"lyra/internal/invariant"
 	"lyra/internal/job"
 	"lyra/internal/metrics"
+	"lyra/internal/obs"
 )
 
 // Config parameterizes a simulation run. Zero values use the paper's
@@ -46,6 +47,12 @@ type Config struct {
 	// is a single nil check per event — see DESIGN.md for the measured
 	// overhead of each mode).
 	Audit bool
+	// Obs is the optional structured event recorder (internal/obs): when
+	// non-nil the engine and state emit the full decision-trace stream
+	// (job lifecycle, scheduler epoch summaries, counter samples on
+	// MetricsInterval). Nil keeps the hot path untouched — every emission
+	// site is behind a single nil check, same discipline as Audit.
+	Obs *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -173,6 +180,7 @@ func New(c *cluster.Cluster, jobs []*job.Job, horizon int64, sched Scheduler, or
 	if cfg.Audit {
 		e.audit = invariant.New()
 	}
+	e.st.Obs = cfg.Obs
 	e.trainUsage = metrics.NewTimeSeries(0, cfg.MetricsInterval)
 	e.overallUsage = metrics.NewTimeSeries(0, cfg.MetricsInterval)
 	e.onLoanUsage = metrics.NewTimeSeries(0, cfg.MetricsInterval)
@@ -202,7 +210,13 @@ func (e *Engine) refresh(j *job.Job) {
 	}
 	rt, ok := j.RemainingRuntime(e.st.Scaling)
 	if !ok {
-		panic(fmt.Sprintf("sim: running job %d has no throughput", j.ID))
+		invariant.Fail(fmt.Sprintf("sim:refresh t=%g job=%d", e.st.Now, j.ID), invariant.Violation{
+			Rule:     invariant.RuleThroughput,
+			Subject:  fmt.Sprintf("job %d", j.ID),
+			Expected: "a positive throughput for the current allocation",
+			Actual:   fmt.Sprintf("no throughput (%d workers, scaling %+v)", j.NumWorkers(), e.st.Scaling),
+			Detail:   "running job cannot make progress; allocation violates the throughput model's domain",
+		})
 	}
 	e.push(e.st.Now+rt, evFinish, j.ID, e.version[j.ID])
 }
@@ -245,6 +259,13 @@ func (e *Engine) Run() *Result {
 			if hour < len(e.hourlyArrived) {
 				e.hourlyArrived[hour]++
 			}
+			if rec := e.st.Obs; rec.Enabled() {
+				rec.Emit(obs.JobEv(e.st.Now, obs.KindJobSubmit, j.ID).WithF(obs.Fields{
+					"min_workers": j.MinWorkers, "max_workers": j.MaxWorkers,
+					"gpus_per_worker": j.GPUsPerWorker, "work": j.Work,
+				}))
+				rec.Add("sim.arrivals", 1)
+			}
 			e.st.enqueue(j, e.sched.Less)
 		case evFinish:
 			j := e.byID[ev.jobID]
@@ -271,9 +292,27 @@ func (e *Engine) Run() *Result {
 				e.push(e.st.Now+float64(e.cfg.OrchInterval), evOrch, 0, 0)
 			}
 		case evSched:
+			rec := e.st.Obs
+			var qBefore, startsBefore, preemptBefore, scaleBefore int
+			if rec.Enabled() {
+				qBefore, startsBefore = len(e.st.Pending), e.st.Starts
+				preemptBefore, scaleBefore = e.st.Preemptions, e.st.ScalingOps
+			}
+			e.st.Epoch++
 			e.sched.Schedule(e.st)
 			e.noteFirstTry()
 			e.drain()
+			if rec.Enabled() {
+				freeTrain, freeLoan := e.st.FreeSchedulableGPUs()
+				rec.Emit(obs.Ev(e.st.Now, obs.KindSchedEpoch).WithF(obs.Fields{
+					"epoch": e.st.Epoch, "queue_before": qBefore, "queue_after": len(e.st.Pending),
+					"running": len(e.st.Running), "started": e.st.Starts - startsBefore,
+					"preempted":   e.st.Preemptions - preemptBefore,
+					"scaling_ops": e.st.ScalingOps - scaleBefore,
+					"free_train":  freeTrain, "free_loan": freeLoan,
+					"on_loan_srv": e.st.Cluster.PoolSize(cluster.PoolOnLoan),
+				}))
+			}
 			if e.completed < len(e.jobs) {
 				e.push(e.st.Now+float64(e.cfg.SchedInterval), evSched, 0, 0)
 			}
@@ -282,6 +321,7 @@ func (e *Engine) Run() *Result {
 			// phase after the last arrival would otherwise dilute the
 			// means the paper reports over the measurement period.
 			e.sample()
+			e.st.Obs.EmitCounters(e.st.Now)
 			if next := e.st.Now + float64(e.cfg.MetricsInterval); next < float64(e.horizon) && next < maxTime {
 				e.push(next, evMetrics, 0, 0)
 			}

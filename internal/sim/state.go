@@ -11,7 +11,9 @@ import (
 	"sort"
 
 	"lyra/internal/cluster"
+	"lyra/internal/invariant"
 	"lyra/internal/job"
+	"lyra/internal/obs"
 )
 
 // Scheduler decides job allocation and placement. Schedule is invoked every
@@ -50,6 +52,24 @@ type State struct {
 	lastUpdate      map[int]float64
 	changed         map[int]*job.Job
 	preemptOverhead float64
+
+	// Obs is the optional structured event recorder (internal/obs). The
+	// nil value is the disabled fast path: every emission site pays one
+	// nil check and nothing else, the same discipline as the audit flag.
+	// State methods emit the job lifecycle stream (queue/start/preempt/
+	// scale/finish); the engine, orchestrator and testbed add their own
+	// decision events through the same recorder.
+	Obs *obs.Recorder
+	// Cause names the decider on whose behalf the current mutation runs
+	// ("reclaim", "phase2", "make-room", ...); it is recorded on preempt
+	// and re-queue events. Callers set it around a decision and clear it
+	// after; empty means the default cause for the event kind.
+	Cause string
+	// Epoch counts scheduler epochs (simulator) or ticks (testbed); start
+	// events record the deciding epoch.
+	Epoch int64
+	// Starts counts Start transitions, including resumes after preemption.
+	Starts int
 
 	// Counters surfaced in results.
 	Preemptions   int
@@ -104,6 +124,14 @@ func (st *State) enqueue(j *job.Job, less func(a, b *job.Job) bool) {
 	st.Pending = append(st.Pending, nil)
 	copy(st.Pending[i+1:], st.Pending[i:])
 	st.Pending[i] = j
+	if st.Obs.Enabled() {
+		cause := st.Cause
+		if cause == "" {
+			cause = "arrival"
+		}
+		st.Obs.Emit(obs.JobEv(st.Now, obs.KindJobQueue, j.ID).WithCause(cause).
+			WithF(obs.Fields{"pos": i, "depth": len(st.Pending)}))
+	}
 }
 
 // Start transitions a pending job to running with the given placed workers.
@@ -111,7 +139,12 @@ func (st *State) enqueue(j *job.Job, less func(a, b *job.Job) bool) {
 // code; Start records them on the job and accounts queuing time.
 func (st *State) Start(j *job.Job, workers []job.Worker) {
 	if j.State != job.Pending {
-		panic(fmt.Sprintf("sim: Start on %v job %d", j.State, j.ID))
+		invariant.Fail(fmt.Sprintf("sim:start t=%g job=%d", st.Now, j.ID), invariant.Violation{
+			Rule:     invariant.RuleLifecycle,
+			Subject:  fmt.Sprintf("job %d", j.ID),
+			Expected: "state pending at Start",
+			Actual:   fmt.Sprintf("state %v", j.State),
+		})
 	}
 	now := int64(st.Now)
 	j.QueueTime += now - j.LastEnqueue
@@ -123,19 +156,49 @@ func (st *State) Start(j *job.Job, workers []job.Worker) {
 	j.Workers = append(j.Workers[:0], workers...)
 	st.Running[j.ID] = j
 	st.lastUpdate[j.ID] = st.Now
+	st.Starts++
 	st.markChanged(j)
+	if st.Obs.Enabled() {
+		cause := "first"
+		if j.Preemptions > 0 {
+			cause = "resume"
+		}
+		gpus := 0
+		for _, w := range workers {
+			gpus += w.GPUs
+		}
+		st.Obs.Emit(obs.JobEv(st.Now, obs.KindJobStart, j.ID).WithCause(cause).WithF(obs.Fields{
+			"workers": len(workers), "gpus": gpus, "epoch": st.Epoch, "queue_time": j.QueueTime,
+		}))
+		st.Obs.Add("sim.starts", 1)
+	}
 }
 
 // AddWorkers scales a running job out by the given placed workers (already
 // allocated on the cluster).
 func (st *State) AddWorkers(j *job.Job, workers []job.Worker) {
 	if j.State != job.Running {
-		panic(fmt.Sprintf("sim: AddWorkers on %v job %d", j.State, j.ID))
+		invariant.Fail(fmt.Sprintf("sim:scale-out t=%g job=%d", st.Now, j.ID), invariant.Violation{
+			Rule:     invariant.RuleLifecycle,
+			Subject:  fmt.Sprintf("job %d", j.ID),
+			Expected: "state running at AddWorkers",
+			Actual:   fmt.Sprintf("state %v", j.State),
+		})
 	}
 	st.advance(j)
 	j.Workers = append(j.Workers, workers...)
 	st.ScalingOps++
 	st.markChanged(j)
+	if st.Obs.Enabled() {
+		gpus := 0
+		for _, w := range workers {
+			gpus += w.GPUs
+		}
+		st.Obs.Emit(obs.JobEv(st.Now, obs.KindJobScaleUp, j.ID).WithCause(st.Cause).WithF(obs.Fields{
+			"added": len(workers), "gpus": gpus, "workers": j.NumWorkers(),
+		}))
+		st.Obs.Add("sim.scale_ups", 1)
+	}
 }
 
 // RemoveFlexibleOnServer scales j in by removing all its flexible workers
@@ -195,7 +258,12 @@ func (st *State) removeFlexible(j *job.Job, sel func(int, job.Worker) bool) int 
 	for i, w := range j.Workers {
 		if w.Flexible && sel(i, w) {
 			if err := st.Cluster.Server(w.Server).Release(j.ID, w.GPUs); err != nil {
-				panic(fmt.Sprintf("sim: scale-in release: %v", err))
+				invariant.Fail(fmt.Sprintf("sim:scale-in t=%g job=%d", st.Now, j.ID), invariant.Violation{
+					Rule:     invariant.RuleGPUConservation,
+					Subject:  fmt.Sprintf("server %d / job %d", w.Server, j.ID),
+					Expected: fmt.Sprintf("release of %d flexible GPUs to succeed", w.GPUs),
+					Actual:   err.Error(),
+				})
 			}
 			removed++
 			continue
@@ -206,6 +274,12 @@ func (st *State) removeFlexible(j *job.Job, sel func(int, job.Worker) bool) int 
 	if removed > 0 {
 		st.ScalingOps++
 		st.markChanged(j)
+		if st.Obs.Enabled() {
+			st.Obs.Emit(obs.JobEv(st.Now, obs.KindJobScaleDown, j.ID).WithCause(st.Cause).WithF(obs.Fields{
+				"removed": removed, "workers": j.NumWorkers(),
+			}))
+			st.Obs.Add("sim.scale_downs", 1)
+		}
 	}
 	return removed
 }
@@ -215,9 +289,28 @@ func (st *State) removeFlexible(j *job.Job, sel func(int, job.Worker) bool) int 
 // pays the measured preemption overhead (§7.5: 63 s average).
 func (st *State) Preempt(j *job.Job, less func(a, b *job.Job) bool) {
 	if j.State != job.Running {
-		panic(fmt.Sprintf("sim: Preempt on %v job %d", j.State, j.ID))
+		invariant.Fail(fmt.Sprintf("sim:preempt t=%g job=%d", st.Now, j.ID), invariant.Violation{
+			Rule:     invariant.RuleLifecycle,
+			Subject:  fmt.Sprintf("job %d", j.ID),
+			Expected: "state running at Preempt",
+			Actual:   fmt.Sprintf("state %v", j.State),
+		})
 	}
 	st.advance(j)
+	if st.Obs.Enabled() {
+		cause := st.Cause
+		if cause == "" {
+			cause = "preempt"
+		}
+		held := 0
+		for _, w := range j.Workers {
+			held += w.GPUs
+		}
+		st.Obs.Emit(obs.JobEv(st.Now, obs.KindJobPreempt, j.ID).WithCause(cause).WithF(obs.Fields{
+			"held_gpus": held, "workers": len(j.Workers), "checkpoint": j.Checkpoint,
+		}))
+		st.Obs.Add("sim.preemptions", 1)
+	}
 	for _, w := range j.Workers {
 		st.Cluster.Server(w.Server).ReleaseJob(j.ID)
 	}
@@ -231,7 +324,13 @@ func (st *State) Preempt(j *job.Job, less func(a, b *job.Job) bool) {
 	j.Preemptions++
 	st.Preemptions++
 	delete(st.Running, j.ID)
+	// Re-queue under the preempting decider's cause, never "arrival".
+	saved := st.Cause
+	if st.Cause == "" {
+		st.Cause = "preempt"
+	}
 	st.enqueue(j, less)
+	st.Cause = saved
 	st.markChanged(j)
 }
 
@@ -249,6 +348,15 @@ func (st *State) finish(j *job.Job) {
 	delete(st.Running, j.ID)
 	delete(st.lastUpdate, j.ID)
 	st.markChanged(j)
+	if st.Obs.Enabled() {
+		jct := float64(j.FinishTime - j.Arrival)
+		st.Obs.Emit(obs.JobEv(st.Now, obs.KindJobFinish, j.ID).WithF(obs.Fields{
+			"jct": jct, "queue_time": j.QueueTime, "preemptions": j.Preemptions,
+		}))
+		st.Obs.Add("sim.finished", 1)
+		st.Obs.Observe("sim.jct", jct)
+		st.Obs.Observe("sim.queue_time", float64(j.QueueTime))
+	}
 }
 
 // CompactPending removes jobs that are no longer pending from the queue,

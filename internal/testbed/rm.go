@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"lyra/internal/obs"
 )
 
 // ContainerState tracks a container through its lifecycle.
@@ -45,6 +47,11 @@ type ResourceManager struct {
 	clock       *Clock
 	launchDelay float64 // simulated seconds from launch to ready
 
+	// Obs is the optional event recorder for container transitions. Set
+	// it before the first Launch; the readiness event is emitted from the
+	// container goroutine, which the recorder serializes.
+	Obs *obs.Recorder
+
 	mu         sync.Mutex
 	nextID     int
 	containers map[int]*Container
@@ -82,10 +89,21 @@ func (rm *ResourceManager) Launch(jobID, server, gpus int, flexible bool) *Conta
 	rm.launched++
 	rm.mu.Unlock()
 
+	if rm.Obs.Enabled() {
+		rm.Obs.Emit(obs.JobEv(rm.clock.Now(), obs.KindContainerLaunch, jobID).WithF(obs.Fields{
+			"container": c.ID, "server": server, "gpus": gpus, "flexible": flexible,
+		}))
+		rm.Obs.Add("testbed.containers_launched", 1)
+	}
 	go func() {
 		select {
 		case <-rm.clock.After(rm.launchDelay):
-			atomic.CompareAndSwapInt32(&c.state, int32(ContainerLaunching), int32(ContainerRunning))
+			if atomic.CompareAndSwapInt32(&c.state, int32(ContainerLaunching), int32(ContainerRunning)) &&
+				rm.Obs.Enabled() {
+				rm.Obs.Emit(obs.JobEv(rm.clock.Now(), obs.KindContainerReady, c.JobID).WithF(obs.Fields{
+					"container": c.ID, "server": c.Server,
+				}))
+			}
 		case <-c.done:
 		}
 	}()
@@ -102,6 +120,12 @@ func (rm *ResourceManager) Kill(id int) error {
 	}
 	rm.removeLocked(c, ContainerKilled)
 	rm.killed++
+	if rm.Obs.Enabled() {
+		rm.Obs.Emit(obs.JobEv(rm.clock.Now(), obs.KindContainerKill, c.JobID).WithF(obs.Fields{
+			"container": c.ID, "server": c.Server,
+		}))
+		rm.Obs.Add("testbed.containers_killed", 1)
+	}
 	return nil
 }
 
@@ -114,6 +138,11 @@ func (rm *ResourceManager) Release(id int) error {
 		return fmt.Errorf("testbed: release unknown container %d", id)
 	}
 	rm.removeLocked(c, ContainerDone)
+	if rm.Obs.Enabled() {
+		rm.Obs.Emit(obs.JobEv(rm.clock.Now(), obs.KindContainerRelease, c.JobID).WithF(obs.Fields{
+			"container": c.ID, "server": c.Server,
+		}))
+	}
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"lyra/internal/invariant"
 	"lyra/internal/job"
 	"lyra/internal/metrics"
+	"lyra/internal/obs"
 	"lyra/internal/orchestrator"
 	"lyra/internal/sim"
 	"lyra/internal/trace"
@@ -48,7 +49,14 @@ type Config struct {
 	// over the shared state, panicking with a structured report on the
 	// first violation. On in all tests, off by default.
 	Audit bool
-	Seed  int64
+	// Obs is the optional structured event recorder (internal/obs): the
+	// shared state emits the job lifecycle stream, the tick loop emits
+	// scheduler epoch summaries, and the resource manager emits container
+	// transitions (launch/ready/kill/release). Container readiness events
+	// are emitted from the launch goroutines; the recorder serializes
+	// them. Nil disables recording at the cost of one nil check per site.
+	Obs  *obs.Recorder
+	Seed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +155,8 @@ func New(cfg Config, tr *trace.Trace, sched sim.Scheduler, reclaimPolicy func(le
 	if cfg.Audit {
 		tb.audit = invariant.New()
 	}
+	tb.st.Obs = cfg.Obs
+	tb.rm.Obs = cfg.Obs
 	for _, j := range tr.Jobs {
 		tb.byID[j.ID] = j
 	}
@@ -190,8 +200,22 @@ func (tb *Testbed) Run(horizon int64) Result {
 			nextOrch = now + tb.cfg.OrchInterval
 			tb.reconcileWhitelists()
 		}
+		rec := tb.st.Obs
+		var qBefore, startsBefore, preemptBefore int
+		if rec.Enabled() {
+			qBefore, startsBefore, preemptBefore = len(tb.st.Pending), tb.st.Starts, tb.st.Preemptions
+		}
+		tb.st.Epoch++
 		tb.sched.Schedule(tb.st)
 		tb.reconcileContainers(now)
+		if rec.Enabled() {
+			rec.Emit(obs.Ev(now, obs.KindSchedEpoch).WithF(obs.Fields{
+				"epoch": tb.st.Epoch, "queue_before": qBefore, "queue_after": len(tb.st.Pending),
+				"running": len(tb.st.Running), "started": tb.st.Starts - startsBefore,
+				"preempted":  tb.st.Preemptions - preemptBefore,
+				"containers": tb.rm.Live(),
+			}))
+		}
 		if tb.audit != nil {
 			ctx := fmt.Sprintf("testbed:tick t=%g", now)
 			if err := tb.audit.Audit(tb.st.AuditView(ctx, tb.sched.Less)); err != nil {
@@ -232,7 +256,7 @@ func (tb *Testbed) tickProgress(now float64) {
 	for _, j := range finished {
 		for _, c := range tb.rm.JobContainers(j.ID) {
 			if err := tb.rm.Release(c.ID); err != nil {
-				panic(err)
+				tb.failContainer("release", j.ID, c.ID, err)
 			}
 		}
 		tb.retireController(j.ID)
@@ -277,7 +301,7 @@ func (tb *Testbed) reconcileContainers(now float64) {
 			for _, c := range rest {
 				ct.Depart(c.ID)
 				if err := tb.rm.Kill(c.ID); err != nil {
-					panic(err)
+					tb.failContainer("kill", j.ID, c.ID, err)
 				}
 			}
 		}
@@ -291,11 +315,22 @@ func (tb *Testbed) reconcileContainers(now float64) {
 		for _, c := range tb.rm.JobContainers(id) {
 			ct.Depart(c.ID)
 			if err := tb.rm.Kill(c.ID); err != nil {
-				panic(err)
+				tb.failContainer("kill", id, c.ID, err)
 			}
 		}
 		tb.retireController(id)
 	}
+}
+
+// failContainer raises a structured violation for a container operation
+// that should never fail under correct reconciliation bookkeeping.
+func (tb *Testbed) failContainer(op string, jobID, containerID int, err error) {
+	invariant.Fail(fmt.Sprintf("testbed:%s t=%g job=%d", op, tb.st.Now, jobID), invariant.Violation{
+		Rule:     invariant.RuleLifecycle,
+		Subject:  fmt.Sprintf("container %d (job %d)", containerID, jobID),
+		Expected: fmt.Sprintf("%s of a live container to succeed", op),
+		Actual:   err.Error(),
+	})
 }
 
 // retireController folds a finished controller's join/exit counts into the
@@ -318,17 +353,29 @@ func (tb *Testbed) reconcileWhitelists() {
 		switch {
 		case underLyra && !tb.lyraWL.Has(s.ID):
 			if err := TransferServer(s.ID, tb.infWL, tb.lyraWL); err != nil {
-				panic(fmt.Sprintf("testbed: loan handover: %v", err))
+				tb.failHandover("loan handover", s.ID, err.Error())
 			}
 		case !underLyra && !tb.infWL.Has(s.ID):
 			if s.Used() > 0 {
-				panic(fmt.Sprintf("testbed: returning busy server %d", s.ID))
+				tb.failHandover("reclaim handover", s.ID,
+					fmt.Sprintf("server still hosts %d used GPUs", s.Used()))
 			}
 			if err := TransferServer(s.ID, tb.lyraWL, tb.infWL); err != nil {
-				panic(fmt.Sprintf("testbed: reclaim handover: %v", err))
+				tb.failHandover("reclaim handover", s.ID, err.Error())
 			}
 		}
 	}
+}
+
+// failHandover raises a structured pool-membership violation for a §6
+// whitelist handover that cannot be completed legally.
+func (tb *Testbed) failHandover(op string, serverID int, actual string) {
+	invariant.Fail(fmt.Sprintf("testbed:%s t=%g", op, tb.st.Now), invariant.Violation{
+		Rule:     invariant.RulePoolMembership,
+		Subject:  fmt.Sprintf("server %d", serverID),
+		Expected: "an empty server transferable between whitelists",
+		Actual:   actual,
+	})
 }
 
 func (tb *Testbed) result() Result {

@@ -25,6 +25,7 @@
 package lyra
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -33,8 +34,10 @@ import (
 	"lyra/internal/alloc"
 	"lyra/internal/cluster"
 	"lyra/internal/inference"
+	"lyra/internal/invariant"
 	"lyra/internal/job"
 	"lyra/internal/metrics"
+	"lyra/internal/obs"
 	"lyra/internal/orchestrator"
 	"lyra/internal/predict"
 	"lyra/internal/reclaim"
@@ -243,6 +246,17 @@ type Config struct {
 	// are bit-identical either way (auditing only reads state).
 	Audit bool
 
+	// Events enables the structured event recorder (internal/obs): the
+	// run emits the full decision trace — job lifecycle with causes,
+	// orchestrator loan/reclaim instructions, scheduler epoch summaries,
+	// reclaim knapsack picks, counter samples — as deterministic JSONL in
+	// Report.Events. Events carry simulated time only, so two runs of the
+	// same config and trace produce byte-identical streams. Off by
+	// default; the disabled cost is a nil check per emission site, the
+	// same discipline as Audit. Results are bit-identical either way
+	// (recording only reads state).
+	Events bool
+
 	Seed int64
 
 	// DefaultsApplied records that Normalize has run: every "zero means
@@ -404,6 +418,12 @@ type Report struct {
 	Completed int
 	Total     int
 
+	// Events is the recorded JSONL event stream when Config.Events was
+	// set (nil otherwise): one deterministic JSON object per line, byte-
+	// identical across runs of the same config and trace. Decode it with
+	// obs.ReadJSONL or query it with cmd/lyra-events.
+	Events []byte
+
 	// Raw exposes the underlying simulator result for the experiments
 	// harness (usage time series, hourly queued ratios...).
 	Raw *sim.Result
@@ -414,11 +434,37 @@ type Report struct {
 // normalized (Normalize) and validated (Validate) first, so misconfigured
 // runs fail fast with the registered alternatives listed instead of
 // panicking mid-simulation.
-func Run(cfg Config, tr *Trace) (*Report, error) {
+//
+// Invariant violations (Config.Audit, or the always-on hot-path checks) are
+// returned as a *obs.ViolationError — the structured audit report plus,
+// when Config.Events is set, the tail of the event ring for the lead-up
+// context — instead of escaping as a raw panic.
+func Run(cfg Config, tr *Trace) (rep *Report, err error) {
 	cfg = cfg.Normalize()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+
+	var (
+		rec  *obs.Recorder
+		ring *obs.Ring
+		buf  bytes.Buffer
+	)
+	if cfg.Events {
+		ring = obs.NewRing(128)
+		rec = obs.NewRecorder(obs.NewJSONLWriter(&buf), ring)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ie, ok := r.(*invariant.Error)
+		if !ok {
+			panic(r)
+		}
+		rep, err = nil, &obs.ViolationError{Report: ie, Tail: ring.Tail(32)}
+	}()
 	tr = tr.Clone()
 	est := predict.WithError(cfg.FracWrongEstimate, cfg.MaxEstimateError, cfg.Seed+77)
 	est.Annotate(tr.Jobs)
@@ -456,9 +502,14 @@ func Run(cfg Config, tr *Trace) (*Report, error) {
 		Scaling:         cfg.Scaling,
 		InferenceUtil:   func(t int64) float64 { return infSched.UtilizationAt(t) },
 		Audit:           cfg.Audit,
+		Obs:             rec,
 	}
 	res := sim.New(c, tr.Jobs, tr.Horizon, s, orch, simCfg).Run()
-	return buildReport(res, tr), nil
+	rep = buildReport(res, tr)
+	if cfg.Events {
+		rep.Events = buf.Bytes()
+	}
+	return rep, nil
 }
 
 func buildReport(res *sim.Result, tr *Trace) *Report {

@@ -1,6 +1,7 @@
 package lyra
 
 import (
+	"fmt"
 	"testing"
 
 	"lyra/internal/job"
@@ -73,7 +74,7 @@ func TestRunDeterministic(t *testing.T) {
 	}
 	ra, rb := *a, *b
 	ra.Raw, rb.Raw = nil, nil
-	if ra != rb {
+	if fmt.Sprintf("%+v", ra) != fmt.Sprintf("%+v", rb) {
 		t.Errorf("same config diverged:\n%+v\n%+v", ra, rb)
 	}
 }

@@ -27,4 +27,7 @@ go test -race ./internal/...
 echo "== bench-smoke (runner memoization end to end)"
 ./scripts/bench_smoke.sh
 
+echo "== events-smoke (event-stream determinism end to end)"
+./scripts/events_smoke.sh
+
 echo "OK"
