@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench bench-smoke events-smoke fuzz
+.PHONY: all check fmt vet build test race bench bench-smoke events-smoke fault-smoke fuzz
 
 all: check
 
 # check is the default gate: formatting, vet, build, the full test suite
 # (every package runs with the invariant auditor on), the race detector
-# over the internal packages, and the runner-memoization and event-stream
-# smoke tests.
-check: fmt vet build test race bench-smoke events-smoke
+# over the internal packages, and the runner-memoization, event-stream and
+# fault-recovery smoke tests.
+check: fmt vet build test race bench-smoke events-smoke fault-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -39,6 +39,12 @@ bench-smoke:
 # JSONL, and lyra-events must reconstruct a complete job lifecycle from it.
 events-smoke:
 	@./scripts/events_smoke.sh
+
+# fault-smoke proves the fault layer end to end: crash-heavy simulator and
+# testbed runs with -audit -events must exit 0 with zero lost jobs, report
+# recoveries, and (simulator) stay byte-deterministic under faults.
+fault-smoke:
+	@./scripts/fault_smoke.sh
 
 # bench runs the audit-overhead and experiment benchmarks (audit off: the
 # numbers quoted in DESIGN.md come from BenchmarkEngineAudit).

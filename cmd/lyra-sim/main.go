@@ -11,6 +11,7 @@
 //	lyra-sim -scheme lyra -elastic=false -reclaim scf
 //	lyra-sim -trace trace.csv -scheme pollux -loaning=false
 //	lyra-sim -scheme lyra,fifo,gandiva,afs,pollux -parallel 4
+//	lyra-sim -scheme lyra -faults "mtbf=21600,mttr=600,straggler=0.1"
 package main
 
 import (
@@ -46,6 +47,8 @@ func main() {
 		audit     = flag.Bool("audit", false, "run the invariant auditor after every event (results are identical, runs slower)")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations when fanning out over schemes (0 = GOMAXPROCS)")
 		events    = flag.String("events", "", "write the deterministic JSONL event stream to this file (single scheme only; inspect with lyra-events)")
+		faults    = flag.String("faults", "", `fault-injection plan, e.g. "mtbf=21600,mttr=600,straggler=0.1" (keys: mtbf, mttr, straggler, slow, launchfail, retries, rpcerr, rpcdelay, seed)`)
+		faultSeed = flag.Int64("fault-seed", 0, "seed for the fault-injection streams (0 = use -seed)")
 	)
 	flag.Parse()
 
@@ -54,6 +57,20 @@ func main() {
 	kind := lyra.ScenarioKind(*scenario)
 	if !kind.Valid() {
 		fatal(fmt.Errorf("unknown scenario %q (valid: %v)", *scenario, lyra.Scenarios()))
+	}
+	var faultPlan lyra.FaultPlan
+	if *faults != "" {
+		fp, err := lyra.ParseFaultPlan(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		if fp.Seed == 0 {
+			fp.Seed = *faultSeed
+		}
+		if fp.Seed == 0 {
+			fp.Seed = *seed
+		}
+		faultPlan = fp
 	}
 	schemes := strings.Split(*scheme, ",")
 	if *events != "" && len(schemes) > 1 {
@@ -72,6 +89,7 @@ func main() {
 			InfoAgnostic:     *agnostic,
 			Audit:            *audit,
 			Events:           *events != "",
+			Faults:           faultPlan,
 			Seed:             *seed,
 		}
 		cfg.Scaling.PerWorkerLoss = *loss
@@ -153,6 +171,9 @@ func report(scheme string, labelled bool, rep *lyra.Report) {
 	fmt.Printf("dynamics preemptions=%d (%.2f%%) scaling-ops=%d collateral=%.2f%% flex-satisfied=%.1f%%\n",
 		rep.Preemptions, 100*rep.PreemptionRatio, rep.ScalingOps,
 		100*rep.CollateralDamage, 100*rep.FlexSatisfiedShare)
+	if rep.Crashes > 0 || rep.Recoveries > 0 {
+		fmt.Printf("faults   crashes=%d recoveries=%d\n", rep.Crashes, rep.Recoveries)
+	}
 }
 
 func fatal(err error) {

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"lyra/internal/cluster"
+	"lyra/internal/fault"
 	"lyra/internal/inference"
 	"lyra/internal/invariant"
 	"lyra/internal/job"
@@ -29,15 +30,38 @@ import (
 
 func main() {
 	var (
-		scheme  = flag.String("scheme", "lyra", "scheduler: lyra, fifo, gandiva, afs, pollux")
-		policy  = flag.String("reclaim", "lyra", "reclaim policy: lyra, random, scf, none")
-		speedup = flag.Float64("speedup", 4000, "simulated seconds per wall second")
-		seed    = flag.Int64("seed", 1, "random seed")
-		jobs    = flag.Int("jobs", 180, "number of jobs in the scaled trace")
-		audit   = flag.Bool("audit", false, "run the invariant auditor after every tick (slower; structured report on violation)")
-		events  = flag.String("events", "", "write the JSONL event stream (job lifecycle, tick epochs, container transitions) to this file")
+		scheme    = flag.String("scheme", "lyra", "scheduler: lyra, fifo, gandiva, afs, pollux")
+		policy    = flag.String("reclaim", "lyra", "reclaim policy: lyra, random, scf, none")
+		speedup   = flag.Float64("speedup", 4000, "simulated seconds per wall second")
+		seed      = flag.Int64("seed", 1, "random seed")
+		jobs      = flag.Int("jobs", 180, "number of jobs in the scaled trace")
+		audit     = flag.Bool("audit", false, "run the invariant auditor after every tick (slower; structured report on violation)")
+		events    = flag.String("events", "", "write the JSONL event stream (job lifecycle, tick epochs, container transitions) to this file")
+		faults    = flag.String("faults", "", `fault-injection plan, e.g. "mtbf=3600,mttr=300,launchfail=0.05,rpcerr=0.02" (keys: mtbf, mttr, straggler, slow, launchfail, retries, rpcerr, rpcdelay, seed)`)
+		faultSeed = flag.Int64("fault-seed", 0, "seed for the fault-injection streams (0 = use -seed)")
 	)
 	flag.Parse()
+
+	var faultPlan *fault.Plan
+	if *faults != "" {
+		fp, err := fault.ParsePlan(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lyra-testbed:", err)
+			os.Exit(2)
+		}
+		if fp.Seed == 0 {
+			fp.Seed = *faultSeed
+		}
+		if fp.Seed == 0 {
+			fp.Seed = *seed
+		}
+		fp = fp.Normalize()
+		if err := fp.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "lyra-testbed:", err)
+			os.Exit(2)
+		}
+		faultPlan = &fp
+	}
 
 	var s sim.Scheduler
 	switch *scheme {
@@ -91,7 +115,7 @@ func main() {
 
 	tbCfg := testbed.Config{
 		Cluster: cluster.TestbedConfig(), Speedup: *speedup, Seed: *seed,
-		Audit: *audit, Obs: rec,
+		Audit: *audit, Obs: rec, Faults: faultPlan,
 	}
 	var orchBuilder func(less func(a, b *job.Job) bool, inf *inference.Scheduler) *orchestrator.Orchestrator
 	if rp != nil {
@@ -113,6 +137,10 @@ func main() {
 		res.Preemptions, 100*res.PreemptionRatio, res.ScalingOps, 100*res.CollateralDamage)
 	fmt.Printf("runtime  containers launched=%d killed=%d; reclaim ops=%d\n",
 		res.ContainersLaunched, res.ContainersKilled, res.ReclaimOps)
+	if faultPlan.Enabled() {
+		fmt.Printf("faults   crashes=%d recoveries=%d launch-failures=%d\n",
+			res.Crashes, res.Recoveries, res.LaunchFailures)
+	}
 	lyraWL, infWL := tb.Whitelists()
 	fmt.Printf("whitelists at exit: lyra=%d servers, inference=%d servers\n", lyraWL.Len(), infWL.Len())
 }

@@ -1,0 +1,154 @@
+package lyra
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"lyra/internal/job"
+	"lyra/internal/obs"
+)
+
+// TestFaultRecoveryEndToEnd is the tentpole acceptance test for the fault
+// layer: a ~1k-job, 6-day trace runs under a crash-heavy plan with the
+// invariant auditor on after every event (quarantine-aware conservation).
+// The contract is zero lost jobs — every job is either completed, or still
+// legally pending/running at the horizon; a job that vanishes from the
+// books, or a violation panic from the auditor, fails the test.
+func TestFaultRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day trace")
+	}
+	tcfg := DefaultTraceConfig(3)
+	tcfg.Days = 6
+	tcfg.TrainingGPUs = 256
+	tr := GenerateTrace(tcfg)
+	if len(tr.Jobs) < 1000 {
+		t.Fatalf("trace has %d jobs, want >= 1000", len(tr.Jobs))
+	}
+
+	cfg := DefaultConfig()
+	cfg.Cluster = ClusterConfig{TrainingServers: 32, InferenceServers: 32}
+	cfg.Audit = true
+	cfg.Faults = FaultPlan{Seed: 11, ServerMTBF: 86400, ServerMTTR: 900, StragglerFrac: 0.1}
+
+	rep, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes == 0 || rep.Recoveries == 0 {
+		t.Fatalf("crashes=%d recoveries=%d, want both > 0 (64 servers, 6 days, MTBF 1 day)",
+			rep.Crashes, rep.Recoveries)
+	}
+	// Zero lost jobs: account for every single one.
+	res := rep.Raw
+	completed, pending, running := 0, 0, 0
+	for _, j := range res.Jobs {
+		switch j.State {
+		case job.Completed:
+			completed++
+		case job.Pending:
+			pending++
+		case job.Running:
+			running++
+		default:
+			t.Fatalf("job %d in impossible state %v", j.ID, j.State)
+		}
+	}
+	if completed+pending+running != len(tr.Jobs) {
+		t.Fatalf("books lost jobs: %d completed + %d pending + %d running != %d submitted",
+			completed, pending, running, len(tr.Jobs))
+	}
+	if completed != rep.Completed {
+		t.Errorf("report says %d completed, books say %d", rep.Completed, completed)
+	}
+	if rep.Completed < len(tr.Jobs)*9/10 {
+		t.Errorf("completed %d/%d jobs under faults, want >= 90%%", rep.Completed, len(tr.Jobs))
+	}
+	if rep.Preemptions == 0 {
+		t.Error("crash-heavy run recorded no preemptions; the checkpoint-restart path never ran")
+	}
+}
+
+// TestFaultedEventStreamDeterministic extends the event-stream determinism
+// contract to faulted runs: the crash/recovery timeline is pre-generated
+// from the plan seed, so two identical faulted runs record byte-identical
+// JSONL — including the new fault.crash / fault.recover / job.restart
+// kinds, which must all be present.
+func TestFaultedEventStreamDeterministic(t *testing.T) {
+	tr := smallTrace(9)
+	cfg := DefaultConfig()
+	cfg.Cluster = smallCluster()
+	cfg.Events = true
+	cfg.Audit = true
+	cfg.Faults = FaultPlan{Seed: 9, ServerMTBF: 28800, ServerMTTR: 600, StragglerFrac: 0.2}
+
+	a, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Events, b.Events) {
+		t.Fatal("two identical faulted runs recorded different event streams")
+	}
+	if a.Crashes == 0 || a.Recoveries == 0 {
+		t.Fatalf("crashes=%d recoveries=%d: the plan injected nothing, the test is vacuous",
+			a.Crashes, a.Recoveries)
+	}
+	events, err := obs.ReadJSONL(bytes.NewReader(a.Events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, counts := obs.CountByKind(events)
+	for _, kind := range []obs.Kind{obs.KindFaultCrash, obs.KindFaultRecover, obs.KindJobRestart} {
+		if counts[kind] == 0 {
+			t.Errorf("faulted stream has no %s events", kind)
+		}
+	}
+	if counts[obs.KindFaultCrash] != a.Crashes {
+		t.Errorf("stream records %d crashes, report says %d", counts[obs.KindFaultCrash], a.Crashes)
+	}
+	if counts[obs.KindFaultRecover] != a.Recoveries {
+		t.Errorf("stream records %d recoveries, report says %d", counts[obs.KindFaultRecover], a.Recoveries)
+	}
+}
+
+// TestDisabledFaultPlanIsIdentity is the faults-off acceptance guard: a
+// plan that injects nothing — even one carrying a stray seed — must leave a
+// run byte-identical to one with no plan at all, event stream included.
+// Combined with the fault-free rows of the faultsweep experiment (whose
+// registry output is diffed serial-vs-parallel), this pins "faults disabled
+// means pre-PR behavior, exactly".
+func TestDisabledFaultPlanIsIdentity(t *testing.T) {
+	tr := smallTrace(5)
+	base := DefaultConfig()
+	base.Cluster = smallCluster()
+	base.Events = true
+
+	seedOnly := base
+	seedOnly.Faults = FaultPlan{Seed: 1234}
+
+	a, err := Run(base, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(seedOnly, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Events, b.Events) {
+		t.Error("a disabled fault plan changed the event stream")
+	}
+	ra, rb := *a, *b
+	ra.Raw, rb.Raw = nil, nil
+	ra.Events, rb.Events = nil, nil
+	if fmt.Sprintf("%+v", ra) != fmt.Sprintf("%+v", rb) {
+		t.Errorf("a disabled fault plan changed the report:\n none: %+v\n seed: %+v", ra, rb)
+	}
+	if b.Crashes != 0 || b.Recoveries != 0 {
+		t.Errorf("disabled plan injected faults: crashes=%d recoveries=%d", b.Crashes, b.Recoveries)
+	}
+}

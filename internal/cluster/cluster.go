@@ -69,10 +69,13 @@ type Pool uint8
 
 // Server pools. Training and OnLoan servers are on the training scheduler's
 // whitelist; Inference servers are controlled by the inference scheduler.
+// Quarantine holds crashed servers: they belong to no scheduler until fault
+// recovery moves them back into service.
 const (
 	PoolTraining Pool = iota
 	PoolOnLoan
 	PoolInference
+	PoolQuarantine
 	numPools
 )
 
@@ -84,6 +87,8 @@ func (p Pool) String() string {
 		return "on-loan"
 	case PoolInference:
 		return "inference"
+	case PoolQuarantine:
+		return "quarantine"
 	}
 	return fmt.Sprintf("Pool(%d)", uint8(p))
 }
@@ -309,8 +314,9 @@ func (c *Cluster) PoolSize(p Pool) int { return len(c.byPool[p]) }
 
 // Move transfers a server between pools, implementing the whitelist update
 // of §6. Moving a server out of the training scheduler's control
-// (PoolOnLoan -> PoolInference) requires it to be empty: the orchestrator
-// must have preempted or scaled in its jobs first.
+// (PoolOnLoan -> PoolInference, or into quarantine after a crash) requires
+// it to be empty: the caller must have preempted or scaled in its jobs
+// first.
 func (c *Cluster) Move(id int, to Pool) error {
 	s := c.Server(id)
 	if s == nil {
@@ -319,8 +325,8 @@ func (c *Cluster) Move(id int, to Pool) error {
 	if s.Pool == to {
 		return nil
 	}
-	if to == PoolInference && s.Used() > 0 {
-		return fmt.Errorf("cluster: server %d still runs %d GPUs of training work, cannot return", id, s.Used())
+	if (to == PoolInference || to == PoolQuarantine) && s.Used() > 0 {
+		return fmt.Errorf("cluster: server %d still runs %d GPUs of training work, cannot move to %v", id, s.Used(), to)
 	}
 	delete(c.byPool[s.Pool], id)
 	s.Pool = to

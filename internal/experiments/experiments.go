@@ -148,6 +148,7 @@ func Registry() []Experiment {
 		{"table10", "Table 10: testbed-prototype results", Table10},
 		{"fig17", "Figure 17: testbed preemption and collateral damage", Fig17},
 		{"ablation", "Ablations: proactive reclaiming, info-agnostic order, MCKP knobs", Ablations},
+		{"faultsweep", "Robustness: queuing/JCT degradation under injected server failures", FaultSweep},
 	}
 }
 

@@ -1,0 +1,398 @@
+// Package fault is the deterministic fault-injection engine of the
+// reproduction. Lyra's whole design assumes borrowed capacity is unreliable
+// — loaned servers are reclaimed on short notice and preempted jobs restart
+// from checkpoints (§4, §6) — yet a perfectly reliable substrate never
+// exercises any of the recovery machinery. This package supplies the missing
+// churn: server crashes with timed recoveries, per-job straggler slowdowns,
+// container launch failures, and flaky/slow RPC in the testbed wire layer.
+//
+// Everything is described by a Plan, a pure-data value with its own random
+// seed. Two properties follow and are load-bearing for the rest of the repo:
+//
+//   - Determinism: the crash/recovery schedule is pre-generated from the
+//     plan's dedicated rand stream (Schedule), and straggler assignment is a
+//     pure hash of (seed, job ID) — neither depends on execution order, so
+//     a faulted simulation stays byte-identical across runs, processes and
+//     runner pool widths, exactly like an un-faulted one.
+//   - Memoizability: the Plan is part of lyra.Config, so internal/runner's
+//     content-addressed keys extend over it automatically; two runs with
+//     different fault plans never collide in the cache.
+//
+// The zero Plan (or one with only Seed set) disables every injection; the
+// consumers' fast path is a nil/Enabled check and nothing else, the same
+// discipline as the invariant auditor and the obs recorder.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Plan fully describes one fault-injection configuration. All fields are
+// plain data so the plan can be hashed into the experiment runner's
+// content-addressed keys and round-tripped through JSON.
+type Plan struct {
+	// Seed seeds the dedicated fault rand stream. It is independent of the
+	// scheme seed so the same workload can be replayed under different
+	// fault draws (and vice versa).
+	Seed int64
+
+	// ServerMTBF is the per-server mean time between crashes in simulated
+	// seconds (exponential inter-failure times, the standard reliability
+	// model). 0 disables server crashes.
+	ServerMTBF float64
+	// ServerMTTR is the mean repair time in simulated seconds; a crashed
+	// server rejoins its pool after an exponentially distributed downtime.
+	// Defaults to 600 when crashes are enabled.
+	ServerMTTR float64
+
+	// StragglerFrac is the fraction of jobs degraded to SlowFactor of
+	// their nominal throughput (per-job hash of Seed and job ID, so the
+	// assignment is order-independent). 0 disables stragglers.
+	StragglerFrac float64
+	// SlowFactor is the throughput multiplier applied to straggler jobs,
+	// in (0, 1]. Defaults to 0.5 when StragglerFrac is set.
+	SlowFactor float64
+
+	// LaunchFailProb is the probability that one container launch fails in
+	// the testbed resource manager. Failed launches are retried with
+	// capped exponential backoff; after MaxLaunchRetries consecutive
+	// failures the job is requeued through the checkpoint-restart path.
+	LaunchFailProb float64
+	// MaxLaunchRetries bounds consecutive launch failures per job before
+	// the terminal requeue. Defaults to 5 when LaunchFailProb is set.
+	MaxLaunchRetries int
+
+	// RPCErrProb is the probability that one testbed RPC call fails with
+	// ErrInjectedRPC (the client retries transient errors with capped
+	// exponential backoff). 0 disables flaky RPC.
+	RPCErrProb float64
+	// RPCDelay is an injected per-call service delay in wall-clock
+	// seconds (slow RPC). 0 disables it.
+	RPCDelay float64
+}
+
+// Enabled reports whether the plan injects anything at all. It is nil-safe:
+// consumers hold a *Plan and pay exactly this check on the disabled path.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.ServerMTBF > 0 || p.StragglerFrac > 0 || p.LaunchFailProb > 0 ||
+		p.RPCErrProb > 0 || p.RPCDelay > 0
+}
+
+// Normalize returns the plan with defaults applied to the dependent fields
+// of every enabled injection. It is idempotent, and every disabled plan —
+// including one carrying a stray seed or retry bound but no injection —
+// normalizes to the zero Plan, so "no faults" has exactly one canonical
+// form under the runner's content hashing and a leftover -fault-seed can
+// never split the memoization cache.
+func (p Plan) Normalize() Plan {
+	if !p.Enabled() {
+		return Plan{}
+	}
+	if p.ServerMTBF > 0 && p.ServerMTTR == 0 {
+		p.ServerMTTR = 600
+	}
+	if p.StragglerFrac > 0 && p.SlowFactor == 0 {
+		p.SlowFactor = 0.5
+	}
+	if p.LaunchFailProb > 0 && p.MaxLaunchRetries == 0 {
+		p.MaxLaunchRetries = 5
+	}
+	return p
+}
+
+// Validate reports the first out-of-domain field. It checks the raw fields
+// — not the normalized form — so a negative rate is rejected even though
+// Normalize would canonicalize such a disabled plan away; zero-valued
+// dependent fields (SlowFactor, MaxLaunchRetries) are fine because
+// Normalize fills their defaults.
+func (p Plan) Validate() error {
+	switch {
+	case p.ServerMTBF < 0:
+		return fmt.Errorf("fault: ServerMTBF %v negative", p.ServerMTBF)
+	case p.ServerMTTR < 0:
+		return fmt.Errorf("fault: ServerMTTR %v negative", p.ServerMTTR)
+	case p.StragglerFrac < 0 || p.StragglerFrac > 1:
+		return fmt.Errorf("fault: StragglerFrac %v outside [0, 1]", p.StragglerFrac)
+	case p.SlowFactor < 0 || p.SlowFactor > 1:
+		return fmt.Errorf("fault: SlowFactor %v outside [0, 1] (0 = default)", p.SlowFactor)
+	case p.LaunchFailProb < 0 || p.LaunchFailProb >= 1:
+		return fmt.Errorf("fault: LaunchFailProb %v outside [0, 1)", p.LaunchFailProb)
+	case p.MaxLaunchRetries < 0:
+		return fmt.Errorf("fault: MaxLaunchRetries %d negative", p.MaxLaunchRetries)
+	case p.RPCErrProb < 0 || p.RPCErrProb >= 1:
+		return fmt.Errorf("fault: RPCErrProb %v outside [0, 1)", p.RPCErrProb)
+	case p.RPCDelay < 0:
+		return fmt.Errorf("fault: RPCDelay %v negative", p.RPCDelay)
+	}
+	return nil
+}
+
+// ParsePlan decodes the CLI fault spec: a comma-separated key=value list,
+// e.g. "mtbf=21600,mttr=600,straggler=0.1,slow=0.5,launchfail=0.05,
+// rpcerr=0.05,rpcdelay=0.001,seed=7". Unknown keys are rejected with the
+// valid list; the result is normalized and validated.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return p, fmt.Errorf("fault: malformed spec entry %q (want key=value)", part)
+		}
+		key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		f, ferr := strconv.ParseFloat(val, 64)
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("fault: seed %q: %v", val, err)
+			}
+			p.Seed = n
+			continue
+		case "retries":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return p, fmt.Errorf("fault: retries %q: %v", val, err)
+			}
+			p.MaxLaunchRetries = n
+			continue
+		}
+		if ferr != nil {
+			return p, fmt.Errorf("fault: %s value %q: %v", key, val, ferr)
+		}
+		switch key {
+		case "mtbf":
+			p.ServerMTBF = f
+		case "mttr":
+			p.ServerMTTR = f
+		case "straggler":
+			p.StragglerFrac = f
+		case "slow":
+			p.SlowFactor = f
+		case "launchfail":
+			p.LaunchFailProb = f
+		case "rpcerr":
+			p.RPCErrProb = f
+		case "rpcdelay":
+			p.RPCDelay = f
+		default:
+			return p, fmt.Errorf("fault: unknown spec key %q (valid: mtbf, mttr, straggler, slow, launchfail, retries, rpcerr, rpcdelay, seed)", key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return p, err
+	}
+	return p.Normalize(), nil
+}
+
+// String renders the plan in ParsePlan's spec syntax (enabled knobs only).
+func (p Plan) String() string {
+	n := p.Normalize()
+	var parts []string
+	add := func(k string, v float64) { parts = append(parts, fmt.Sprintf("%s=%g", k, v)) }
+	if n.ServerMTBF > 0 {
+		add("mtbf", n.ServerMTBF)
+		add("mttr", n.ServerMTTR)
+	}
+	if n.StragglerFrac > 0 {
+		add("straggler", n.StragglerFrac)
+		add("slow", n.SlowFactor)
+	}
+	if n.LaunchFailProb > 0 {
+		add("launchfail", n.LaunchFailProb)
+		parts = append(parts, fmt.Sprintf("retries=%d", n.MaxLaunchRetries))
+	}
+	if n.RPCErrProb > 0 {
+		add("rpcerr", n.RPCErrProb)
+	}
+	if n.RPCDelay > 0 {
+		add("rpcdelay", n.RPCDelay)
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	parts = append(parts, fmt.Sprintf("seed=%d", n.Seed))
+	return strings.Join(parts, ",")
+}
+
+// Event is one scheduled server fault: a crash at T, or the matching
+// recovery (Recover true) that returns the server to service.
+type Event struct {
+	T       float64
+	Server  int
+	Recover bool
+}
+
+// Schedule pre-generates the full crash/recovery timeline for servers
+// [0, numServers) over the horizon. Each server draws an independent
+// alternating renewal process (exponential up-times with mean ServerMTBF,
+// exponential down-times with mean ServerMTTR, floored at one second so a
+// crash and its recovery never coincide) from a sub-seed derived from the
+// plan seed and the server ID. Generating the whole timeline up front —
+// rather than drawing lazily during execution — is what makes the schedule
+// independent of event-processing order: the same plan yields the same
+// timeline regardless of substrate, pool width or interleaving.
+//
+// Crash/recovery pairs never overlap per server by construction, and every
+// crash scheduled before the horizon carries its recovery even when that
+// recovery lands past the horizon (a crashed server must always come back,
+// or drain-phase jobs could starve). Events are returned sorted by time,
+// then server, with a crash ordered before a recovery at equal times.
+func Schedule(p Plan, numServers int, horizon int64) []Event {
+	p = p.Normalize()
+	if p.ServerMTBF <= 0 || numServers <= 0 || horizon <= 0 {
+		return nil
+	}
+	var out []Event
+	for sid := 0; sid < numServers; sid++ {
+		rng := rand.New(rand.NewSource(subSeed(p.Seed, sid)))
+		t := rng.ExpFloat64() * p.ServerMTBF
+		for t < float64(horizon) {
+			down := rng.ExpFloat64() * p.ServerMTTR
+			if down < 1 {
+				down = 1
+			}
+			out = append(out, Event{T: t, Server: sid}, Event{T: t + down, Server: sid, Recover: true})
+			t += down + rng.ExpFloat64()*p.ServerMTBF
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		if out[i].Server != out[j].Server {
+			return out[i].Server < out[j].Server
+		}
+		return !out[i].Recover && out[j].Recover
+	})
+	return out
+}
+
+// subSeed mixes the plan seed with a stream index through splitmix64, so
+// per-server (and per-job) streams are decorrelated even for adjacent IDs.
+func subSeed(seed int64, idx int) int64 {
+	z := uint64(seed) + uint64(idx)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// hash01 maps a (seed, index) pair to a uniform float in [0, 1) without any
+// stream state, so per-job draws are independent of evaluation order.
+func hash01(seed int64, idx int) float64 {
+	return float64(uint64(subSeed(seed, idx))>>11) / (1 << 53)
+}
+
+// SlowFactorFor returns the throughput multiplier fault injection assigns
+// to job id: p.SlowFactor for the StragglerFrac of jobs selected by the
+// (seed, id) hash, 1 for everything else. Nil-safe.
+func (p *Plan) SlowFactorFor(id int) float64 {
+	if p == nil || p.StragglerFrac <= 0 {
+		return 1
+	}
+	n := p.Normalize()
+	if hash01(n.Seed^0x5bf03635, id) < n.StragglerFrac {
+		return n.SlowFactor
+	}
+	return 1
+}
+
+// ErrInjectedRPC is the error an injected RPC fault returns. It crosses the
+// net/rpc boundary as a ServerError carrying this message, which IsInjected
+// recognizes on the client side as transient (retryable).
+var ErrInjectedRPC = errors.New("fault: injected rpc error")
+
+// ErrInjectedLaunch is the error an injected container-launch failure
+// returns from ResourceManager.Launch.
+var ErrInjectedLaunch = errors.New("fault: injected launch failure")
+
+// IsInjected reports whether err is (or wraps, possibly across an RPC
+// boundary that flattened it to a string) an injected fault.
+func IsInjected(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrInjectedRPC) || errors.Is(err, ErrInjectedLaunch) {
+		return true
+	}
+	return strings.Contains(err.Error(), "fault: injected")
+}
+
+// Injector draws launch-failure and RPC-fault decisions from the plan's
+// seeded stream. It is used by the testbed's live substrate, where calls
+// arrive from concurrent goroutines: the mutex serializes the stream, and
+// the draw order follows real execution order (the testbed is a measurement
+// substrate, excluded from the byte-identity guarantee — see DESIGN.md §6).
+// A nil Injector injects nothing.
+type Injector struct {
+	mu   chan struct{} // 1-buffered semaphore; avoids importing sync here
+	rng  *rand.Rand
+	plan Plan
+}
+
+// NewInjector returns an injector for the plan, or nil when the plan
+// injects neither launch failures nor RPC faults.
+func NewInjector(p *Plan) *Injector {
+	if p == nil {
+		return nil
+	}
+	n := p.Normalize()
+	if n.LaunchFailProb <= 0 && n.RPCErrProb <= 0 && n.RPCDelay <= 0 {
+		return nil
+	}
+	inj := &Injector{
+		mu:   make(chan struct{}, 1),
+		rng:  rand.New(rand.NewSource(subSeed(n.Seed, 0x1a47))),
+		plan: n,
+	}
+	inj.mu <- struct{}{}
+	return inj
+}
+
+// LaunchFails draws one container-launch failure decision. Nil-safe.
+func (in *Injector) LaunchFails() bool {
+	if in == nil || in.plan.LaunchFailProb <= 0 {
+		return false
+	}
+	<-in.mu
+	fail := in.rng.Float64() < in.plan.LaunchFailProb
+	in.mu <- struct{}{}
+	return fail
+}
+
+// RPCFault draws one RPC-call decision: an injected service delay in
+// wall-clock seconds (0 for none) and whether the call fails. Nil-safe.
+func (in *Injector) RPCFault() (delay float64, fail bool) {
+	if in == nil {
+		return 0, false
+	}
+	<-in.mu
+	defer func() { in.mu <- struct{}{} }()
+	if in.plan.RPCDelay > 0 {
+		delay = in.plan.RPCDelay * in.rng.Float64()
+	}
+	if in.plan.RPCErrProb > 0 {
+		fail = in.rng.Float64() < in.plan.RPCErrProb
+	}
+	return delay, fail
+}
+
+// MaxRetries exposes the normalized launch-retry bound. Nil-safe (returns
+// the default when no injector is installed — callers still bound retries
+// of real failures).
+func (in *Injector) MaxRetries() int {
+	if in == nil || in.plan.MaxLaunchRetries == 0 {
+		return 5
+	}
+	return in.plan.MaxLaunchRetries
+}

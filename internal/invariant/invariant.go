@@ -257,14 +257,31 @@ func checkConservation(v View, add func(Violation)) {
 	}
 
 	// Per-pool totals (rule 1's UsedGPUs clause and rule 5's returned-
-	// server clause: inference servers must be empty).
-	for _, p := range []cluster.Pool{cluster.PoolTraining, cluster.PoolOnLoan, cluster.PoolInference} {
+	// server clause: inference servers must be empty). Conservation holds
+	// over healthy + quarantined capacity: a crashed server keeps its GPUs
+	// on the books, it just must not be running anything.
+	for _, p := range []cluster.Pool{cluster.PoolTraining, cluster.PoolOnLoan, cluster.PoolInference, cluster.PoolQuarantine} {
 		if got, want := v.Cluster.UsedGPUs(p), expPoolUsed[p]; got != want {
 			add(Violation{
 				Rule:     RuleGPUConservation,
 				Subject:  fmt.Sprintf("pool %v", p),
 				Expected: fmt.Sprintf("UsedGPUs = %d (sum of workers placed there)", want),
 				Actual:   fmt.Sprintf("UsedGPUs = %d", got),
+			})
+		}
+	}
+
+	// Rule 5's crashed-server clause: quarantined servers are out of every
+	// scheduler's reach and must hold no allocations at all — crash handling
+	// preempts or scales in their jobs before the pool move.
+	for _, s := range v.Cluster.PoolServers(cluster.PoolQuarantine) {
+		if s.Used() > 0 {
+			add(Violation{
+				Rule:     RulePoolMembership,
+				Subject:  fmt.Sprintf("server %d", s.ID),
+				Expected: "no allocated GPUs while quarantined (crashed)",
+				Actual:   fmt.Sprintf("%d allocated GPUs", s.Used()),
+				Detail:   "crash handling must preempt or scale in every job before quarantining",
 			})
 		}
 	}

@@ -139,6 +139,12 @@ type Job struct {
 	// EstimatedRuntime is the (possibly erroneous, Table 9) runtime
 	// estimate the scheduler sorts on; seconds at max demand.
 	EstimatedRuntime float64
+
+	// SlowFactor degrades the job's throughput to model a straggler
+	// (injected by a fault.Plan). Values in (0, 1) multiply Throughput;
+	// 0 and 1 both mean "not a straggler". The scheduler does not see it —
+	// stragglers are discovered, not declared, matching real clusters.
+	SlowFactor float64
 }
 
 // New returns a pending job with Remaining = Work. durationAtMax is the
@@ -227,6 +233,9 @@ func (j *Job) Throughput(sm ScalingModel) float64 {
 	}
 	if j.Tuned && sm.TunedGain > 0 && len(j.Workers) > j.MinWorkers {
 		t *= 1 + sm.TunedGain
+	}
+	if j.SlowFactor > 0 && j.SlowFactor < 1 {
+		t *= j.SlowFactor
 	}
 	return t
 }

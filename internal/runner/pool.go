@@ -349,6 +349,10 @@ func runTestbed(spec TestbedSpec) (testbed.Result, error) {
 		Audit:         spec.Audit,
 		Seed:          spec.Seed,
 	}
+	if spec.Faults.Enabled() {
+		f := spec.Faults.Normalize()
+		cfg.Faults = &f
+	}
 	tr := trace.GenerateTestbed(spec.Seed, spec.Jobs)
 	tb := testbed.New(cfg, tr, s, orchBuilder)
 	return tb.Run(tr.Horizon), nil

@@ -50,6 +50,9 @@ func TestKeyEqualForSemanticallyEqualSpecs(t *testing.T) {
 		"reclaim default":   func() Spec { s := base; s.Config.Reclaim = lyra.ReclaimLyra; return s }(),
 		"tuning default":    func() Spec { s := base; s.Config.StabilityBonus = 1.08; s.Config.Phase2MaxItems = 8; return s }(),
 		"pre-normalized":    func() Spec { s := base; s.Config = s.Config.Normalize(); return s }(),
+		// A disabled fault plan (stray seed, no injection) canonicalizes to
+		// the zero plan: pre-PR cache entries and "no faults" runs collide.
+		"disabled faults": func() Spec { s := base; s.Config.Faults = lyra.FaultPlan{Seed: 42}; return s }(),
 	}
 	for name, s := range equal {
 		if k := mustKey(t, s); k != ref {
@@ -97,6 +100,12 @@ func TestKeyDiffersPerField(t *testing.T) {
 		"elastic frac":    base.WithElasticFrac(0.3, 9),
 		"checkpoint frac": base.WithCheckpointFrac(0.3, 9),
 		"bootstrap":       base.WithBootstrap(1, 10, 3, 11),
+		"fault plan":      func() Spec { s := base; s.Config.Faults = lyra.FaultPlan{ServerMTBF: 21600}; return s }(),
+		"fault seed": func() Spec {
+			s := base
+			s.Config.Faults = lyra.FaultPlan{Seed: 1, ServerMTBF: 21600}
+			return s
+		}(),
 	}
 	seen := map[string]string{ref: "base"}
 	for name, s := range mutations {

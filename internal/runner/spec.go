@@ -167,6 +167,11 @@ type TestbedSpec struct {
 	UtilCompress  int
 
 	Audit bool
+
+	// Faults optionally injects crashes, stragglers, launch failures and
+	// wire faults (lyra.FaultPlan). The zero plan injects nothing and keys
+	// identically to its absence.
+	Faults lyra.FaultPlan
 }
 
 // Key returns the testbed spec's content key.
@@ -181,6 +186,7 @@ func (s TestbedSpec) Key() (string, error) {
 	if !s.Loaning {
 		s.Reclaim = ""
 	}
+	s.Faults = s.Faults.Normalize()
 	return KeyOf("testbed", s)
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"lyra/internal/cluster"
+	"lyra/internal/fault"
 	"lyra/internal/invariant"
 	"lyra/internal/job"
 	"lyra/internal/metrics"
@@ -53,6 +54,13 @@ type Config struct {
 	// MetricsInterval). Nil keeps the hot path untouched — every emission
 	// site is behind a single nil check, same discipline as Audit.
 	Obs *obs.Recorder
+	// Faults is the optional deterministic fault-injection plan
+	// (internal/fault): server crash/recovery events enter the event queue
+	// pre-generated from the plan's seeded stream, and straggler jobs get
+	// their SlowFactor stamped at engine construction. Nil (or a disabled
+	// plan) costs one nil check at Run start and nothing per event — same
+	// discipline as Audit and Obs.
+	Faults *fault.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -80,13 +88,19 @@ func (c Config) withDefaults() Config {
 }
 
 // event kinds, in tie-break priority order at equal timestamps: arrivals
-// land first, completions free resources, the orchestrator moves servers,
-// then the scheduler runs with a current view, then metrics sample.
+// land first, completions free resources, injected crashes strike (after
+// finishes — a job done at t survives a crash at t) and recoveries return
+// capacity, the orchestrator moves servers, then the scheduler runs with a
+// current view, then metrics sample. Fault events only exist when a
+// fault.Plan is enabled, so inserting their kinds here cannot perturb an
+// un-faulted run's tie-breaks.
 type eventKind uint8
 
 const (
 	evArrival eventKind = iota
 	evFinish
+	evCrash
+	evRecover
 	evOrch
 	evSched
 	evMetrics
@@ -98,6 +112,10 @@ func (k eventKind) String() string {
 		return "arrival"
 	case evFinish:
 		return "finish"
+	case evCrash:
+		return "crash"
+	case evRecover:
+		return "recover"
 	case evOrch:
 		return "orch"
 	case evSched:
@@ -149,6 +167,10 @@ type Engine struct {
 	completed int
 	ranOnLoan map[int]bool
 	audit     *invariant.Auditor
+	// recoverTo routes each quarantined server home on recovery: crashed
+	// training servers return to training, but a server that died on loan
+	// goes back to the inference pool (the crash ended the loan).
+	recoverTo map[int]cluster.Pool
 
 	trainUsage   *metrics.TimeSeries
 	overallUsage *metrics.TimeSeries
@@ -179,6 +201,14 @@ func New(c *cluster.Cluster, jobs []*job.Job, horizon int64, sched Scheduler, or
 	}
 	if cfg.Audit {
 		e.audit = invariant.New()
+	}
+	if cfg.Faults.Enabled() {
+		e.recoverTo = make(map[int]cluster.Pool)
+		if cfg.Faults.StragglerFrac > 0 {
+			for _, j := range jobs {
+				j.SlowFactor = cfg.Faults.SlowFactorFor(j.ID)
+			}
+		}
 	}
 	e.st.Obs = cfg.Obs
 	e.trainUsage = metrics.NewTimeSeries(0, cfg.MetricsInterval)
@@ -244,6 +274,18 @@ func (e *Engine) Run() *Result {
 		e.push(0, evOrch, 0, 0)
 	}
 	e.push(0, evMetrics, 0, 0)
+	if e.cfg.Faults.Enabled() {
+		// The whole crash/recovery timeline is pre-generated from the
+		// plan's seeded stream, so it is identical regardless of how the
+		// run unfolds. The event's jobID field carries the server ID.
+		for _, fe := range fault.Schedule(*e.cfg.Faults, e.st.Cluster.NumServers(), e.horizon) {
+			kind := evCrash
+			if fe.Recover {
+				kind = evRecover
+			}
+			e.push(fe.T, kind, fe.Server, 0)
+		}
+	}
 	heap.Init(&e.events)
 
 	for e.events.Len() > 0 {
@@ -285,6 +327,20 @@ func (e *Engine) Run() *Result {
 			// The job can never run again: drop its stale-event version
 			// counter so long traces don't accumulate dead entries.
 			delete(e.version, j.ID)
+		case evCrash:
+			if origin, ok := e.st.CrashServer(ev.jobID, e.sched.Less); ok {
+				to := origin
+				if origin == cluster.PoolOnLoan {
+					to = cluster.PoolInference
+				}
+				e.recoverTo[ev.jobID] = to
+			}
+			e.drain()
+		case evRecover:
+			if to, ok := e.recoverTo[ev.jobID]; ok {
+				e.st.RecoverServer(ev.jobID, to)
+				delete(e.recoverTo, ev.jobID)
+			}
 		case evOrch:
 			e.orch.Epoch(e.st)
 			e.drain()

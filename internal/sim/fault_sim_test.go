@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+
+	"lyra/internal/cluster"
+	"lyra/internal/fault"
+	"lyra/internal/job"
+	"lyra/internal/place"
+)
+
+// TestCrashServerQuarantinesPreemptsAndRecovers exercises the state-level
+// crash path directly: a gang job on the crashed server is preempted through
+// the checkpoint-restart path, the server leaves every scheduler's reach
+// until recovery, and both transitions are idempotent against replays.
+func TestCrashServerQuarantinesPreemptsAndRecovers(t *testing.T) {
+	c := smallCluster(1, 0)
+	st := NewStateForTest(c, job.Linear, 63)
+	less := fifoSched{}.Less
+
+	j := job.New(1, 0, job.Generic, 4, 1, 1, 1000)
+	j.Checkpoint = true
+	ws, ok := place.Gang(c, j, j.MinWorkers, place.PreferTraining(true))
+	if !ok {
+		t.Fatal("gang placement failed on an empty cluster")
+	}
+	st.Start(j, ws)
+	sid := j.Workers[0].Server
+
+	origin, crashed := st.CrashServer(sid, less)
+	if !crashed || origin != cluster.PoolTraining {
+		t.Fatalf("CrashServer = (%v, %v), want (training, true)", origin, crashed)
+	}
+	if j.State != job.Pending || j.OverheadLeft != 63 {
+		t.Errorf("crashed job: state=%v overhead=%v, want pending with restart overhead", j.State, j.OverheadLeft)
+	}
+	if j.Preemptions != 1 || st.Crashes != 1 {
+		t.Errorf("counters: job preemptions=%d state crashes=%d", j.Preemptions, st.Crashes)
+	}
+	if got := c.Server(sid).Pool; got != cluster.PoolQuarantine {
+		t.Errorf("crashed server in pool %v, want quarantine", got)
+	}
+	// No scheduler may place on the quarantined server: the only server is
+	// down, so gang placement must fail outright.
+	if _, ok := place.Gang(c, j, j.MinWorkers, place.PreferTraining(true)); ok {
+		t.Error("gang placement succeeded on a quarantined server")
+	}
+	// A second crash of a down server is a no-op (the schedule may carry
+	// crash events for servers that are already quarantined).
+	if _, again := st.CrashServer(sid, less); again {
+		t.Error("crashing a quarantined server should be a no-op")
+	}
+
+	if !st.RecoverServer(sid, cluster.PoolTraining) {
+		t.Fatal("RecoverServer refused a quarantined server")
+	}
+	if got := c.Server(sid).Pool; got != cluster.PoolTraining {
+		t.Errorf("recovered server in pool %v, want training", got)
+	}
+	if st.RecoverServer(sid, cluster.PoolTraining) {
+		t.Error("recovering a healthy server should be a no-op")
+	}
+	if _, ok := place.Gang(c, j, j.MinWorkers, place.PreferTraining(true)); !ok {
+		t.Error("recovered server should accept placements again")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCrashServerScalesInFlexibleOnlyWorkers: when only a job's elastic
+// surplus lived on the crashed server, the job scales in and keeps running
+// instead of restarting.
+func TestCrashServerScalesInFlexibleOnlyWorkers(t *testing.T) {
+	c := smallCluster(2, 0)
+	st := NewStateForTest(c, job.Linear, 63)
+	less := fifoSched{}.Less
+
+	j := job.New(1, 0, job.Generic, 8, 1, 2, 1000)
+	j.Elastic = true
+	ws, ok := place.Gang(c, j, j.MinWorkers, place.PreferTraining(true))
+	if !ok {
+		t.Fatal("gang placement failed")
+	}
+	st.Start(j, ws)
+	base := j.Workers[0].Server
+	flex := place.UpTo(c, j, 1, place.Options{Flexible: true, AllowOther: true})
+	if len(flex) != 1 {
+		t.Fatalf("flexible scale-out placed %d workers, want 1", len(flex))
+	}
+	st.AddWorkers(j, flex)
+	flexSrv := flex[0].Server
+	if flexSrv == base {
+		t.Fatalf("flexible worker landed on the base server %d; the test needs them apart", base)
+	}
+
+	if _, ok := st.CrashServer(flexSrv, less); !ok {
+		t.Fatal("crash was a no-op")
+	}
+	if j.State != job.Running {
+		t.Errorf("job state = %v, want still running after losing only flexible workers", j.State)
+	}
+	if j.Preemptions != 0 || j.FlexibleWorkers() != 0 {
+		t.Errorf("after crash: preemptions=%d flexible=%d, want 0/0", j.Preemptions, j.FlexibleWorkers())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEngineFaultsCompleteAllJobs runs the full engine under a crash-heavy
+// plan with the auditor on: every job must still complete (requeued, never
+// lost), crashes and recoveries must both fire, and the books must balance.
+func TestEngineFaultsCompleteAllJobs(t *testing.T) {
+	c := smallCluster(4, 0)
+	jobs := make([]*job.Job, 0, 40)
+	for k := 0; k < 40; k++ {
+		j := job.New(k, int64(k*613%20000), job.Generic, 1+k%4, 1, 1, float64(400+131*k%2500))
+		j.Checkpoint = k%2 == 0
+		jobs = append(jobs, j)
+	}
+	plan := &fault.Plan{Seed: 9, ServerMTBF: 6000, ServerMTTR: 400, StragglerFrac: 0.2}
+	e := New(c, jobs, 400000, fifoSched{}, nil, Config{Audit: true, Faults: plan})
+	res := e.Run()
+	if res.Completed != len(jobs) {
+		t.Fatalf("completed %d/%d jobs under crashes", res.Completed, len(jobs))
+	}
+	if res.Crashes == 0 || res.Recoveries == 0 {
+		t.Errorf("crashes=%d recoveries=%d, want both > 0 (MTBF 6000 over 4 servers)", res.Crashes, res.Recoveries)
+	}
+	if res.Crashes < res.Recoveries {
+		t.Errorf("more recoveries (%d) than crashes (%d)", res.Recoveries, res.Crashes)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if used := c.UsedGPUs(cluster.PoolTraining) + c.UsedGPUs(cluster.PoolQuarantine); used != 0 {
+		t.Errorf("%d GPUs still allocated after all jobs completed", used)
+	}
+}
+
+// TestEngineFaultRunsAreDeterministic: the same plan and trace replayed
+// twice produce identical results — crash timelines are pre-generated from
+// the plan seed, never drawn from execution order.
+func TestEngineFaultRunsAreDeterministic(t *testing.T) {
+	run := func() *Result {
+		c := smallCluster(3, 0)
+		jobs := make([]*job.Job, 0, 30)
+		for k := 0; k < 30; k++ {
+			jobs = append(jobs, job.New(k, int64(k*401%10000), job.Generic, 1+k%3, 1, 1, float64(300+89*k%1800)))
+		}
+		plan := &fault.Plan{Seed: 4, ServerMTBF: 5000, ServerMTTR: 300, StragglerFrac: 0.3}
+		return New(c, jobs, 300000, fifoSched{}, nil, Config{Audit: true, Faults: plan}).Run()
+	}
+	a, b := run(), run()
+	if a.Crashes == 0 {
+		t.Fatal("plan injected no crashes; the determinism check is vacuous")
+	}
+	if a.Crashes != b.Crashes || a.Recoveries != b.Recoveries ||
+		a.Completed != b.Completed || a.Preemptions != b.Preemptions ||
+		a.JCTSummary() != b.JCTSummary() {
+		t.Errorf("faulted runs diverged:\n a: %+v\n b: %+v", a, b)
+	}
+}
+
+// FuzzFaultSchedules replays random fault plans — crash/recovery timelines,
+// straggler fractions — through the engine with the auditor on. The seed
+// corpus runs in the ordinary suite; `go test -fuzz=FuzzFaultSchedules
+// ./internal/sim/` explores further. A finding means some fault schedule
+// breaks state accounting or loses a job.
+func FuzzFaultSchedules(f *testing.F) {
+	f.Add(int64(1), uint16(5000), uint16(300), uint8(10), uint8(24))
+	f.Add(int64(7), uint16(900), uint16(60), uint8(0), uint8(40))
+	f.Add(int64(-3), uint16(20000), uint16(5), uint8(90), uint8(12))
+	f.Add(int64(42), uint16(1), uint16(1), uint8(50), uint8(8))
+	f.Fuzz(func(t *testing.T, seed int64, mtbf, mttr uint16, stragglerPct, njobs uint8) {
+		n := int(njobs%48) + 4
+		jobs := make([]*job.Job, 0, n)
+		for k := 0; k < n; k++ {
+			jobs = append(jobs, job.New(k, int64(k*271%8000), job.Generic, 1+k%4, 1, 1, float64(120+61*k%900)))
+			jobs[k].Checkpoint = k%3 == 0
+		}
+		plan := &fault.Plan{
+			Seed:          seed,
+			ServerMTBF:    float64(mtbf%30000) + 1,
+			ServerMTTR:    float64(mttr%2000) + 1,
+			StragglerFrac: float64(stragglerPct%101) / 100,
+		}
+		if err := plan.Normalize().Validate(); err != nil {
+			t.Skip(err)
+		}
+		c := cluster.New(cluster.Config{TrainingServers: 3, InferenceServers: 1})
+		e := New(c, jobs, 250000, fifoSched{}, nil, Config{Audit: true, Faults: plan})
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("invariant violation under fault schedule %+v: %v", *plan, r)
+			}
+		}()
+		res := e.Run()
+		if res.Completed != n {
+			t.Fatalf("lost jobs under faults: completed %d/%d (plan %+v)", res.Completed, n, *plan)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

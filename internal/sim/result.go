@@ -35,6 +35,11 @@ type Result struct {
 	ReclaimOps         int
 	ReclaimedServers   int
 
+	// Crashes / Recoveries count injected server failures applied and
+	// quarantined servers returned to service (zero without a fault.Plan).
+	Crashes    int
+	Recoveries int
+
 	// Usage series sampled every Config.MetricsInterval.
 	TrainUsage   *metrics.TimeSeries
 	OverallUsage *metrics.TimeSeries
@@ -54,6 +59,8 @@ func (e *Engine) result() *Result {
 		ScalingOps:       e.st.ScalingOps,
 		ReclaimOps:       e.st.ReclaimOps,
 		ReclaimedServers: e.st.ReclaimedSrv,
+		Crashes:          e.st.Crashes,
+		Recoveries:       e.st.Recoveries,
 		TrainUsage:       e.trainUsage,
 		OverallUsage:     e.overallUsage,
 		OnLoanUsage:      e.onLoanUsage,

@@ -79,6 +79,8 @@ type State struct {
 	VacatedGPUs   int // total GPUs vacated by reclaiming (incl. collateral)
 	DemandGPUs    int // total GPUs demanded by reclaiming
 	FlexSatisfied int // reclaim demand satisfied by flexible-only release, in servers
+	Crashes       int // injected server crashes applied
+	Recoveries    int // crashed servers returned to service
 }
 
 func newState(c *cluster.Cluster, scaling job.ScalingModel, preemptOverhead float64) *State {
@@ -357,6 +359,95 @@ func (st *State) finish(j *job.Job) {
 		st.Obs.Observe("sim.jct", jct)
 		st.Obs.Observe("sim.queue_time", float64(j.QueueTime))
 	}
+}
+
+// CrashServer applies an injected crash to server sid: every job with a
+// worker there is evicted — scaled in when only flexible workers were hit,
+// preempted through the checkpoint-restart path otherwise — and the empty
+// server is quarantined out of every scheduler's reach. It returns the pool
+// the server was in when it crashed (so recovery can route it home) and
+// false when the crash is a no-op (unknown or already-quarantined server).
+// less is the scheduler's queue priority for the re-queues.
+func (st *State) CrashServer(sid int, less func(a, b *job.Job) bool) (cluster.Pool, bool) {
+	s := st.Cluster.Server(sid)
+	if s == nil || s.Pool == cluster.PoolQuarantine {
+		return cluster.PoolQuarantine, false
+	}
+	origin := s.Pool
+	preempted, scaledIn := 0, 0
+	saved := st.Cause
+	st.Cause = "crash"
+	for _, id := range s.Jobs() {
+		j := st.Running[id]
+		if j == nil {
+			invariant.Fail(fmt.Sprintf("sim:crash t=%g server=%d", st.Now, sid), invariant.Violation{
+				Rule:     invariant.RuleGPUConservation,
+				Subject:  fmt.Sprintf("server %d / job %d", sid, id),
+				Expected: "every allocation to belong to a running job",
+				Actual:   "job not in the Running index",
+			})
+		}
+		if s.FlexibleGPUs(id) == s.JobGPUs(id) {
+			// Only elastic surplus workers died: scale in, keep running.
+			st.RemoveFlexibleOnServer(j, sid)
+			scaledIn++
+		} else {
+			// A base (gang) worker died: the whole job restarts from its
+			// last checkpoint, paying the usual preemption overhead.
+			st.Preempt(j, less)
+			preempted++
+			if st.Obs.Enabled() {
+				st.Obs.Emit(obs.JobEv(st.Now, obs.KindJobRestart, j.ID).WithCause("crash").
+					WithF(obs.Fields{"server": sid}))
+			}
+		}
+	}
+	st.Cause = saved
+	if err := st.Cluster.Move(sid, cluster.PoolQuarantine); err != nil {
+		invariant.Fail(fmt.Sprintf("sim:crash t=%g server=%d", st.Now, sid), invariant.Violation{
+			Rule:     invariant.RulePoolMembership,
+			Subject:  fmt.Sprintf("server %d", sid),
+			Expected: "crashed server empty and movable to quarantine",
+			Actual:   err.Error(),
+		})
+	}
+	st.Crashes++
+	if st.Obs.Enabled() {
+		st.Obs.Emit(obs.Ev(st.Now, obs.KindFaultCrash).WithF(obs.Fields{
+			"server": sid, "pool": origin.String(), "preempted": preempted, "scaled_in": scaledIn,
+		}))
+		st.Obs.Add("fault.crashes", 1)
+	}
+	return origin, true
+}
+
+// RecoverServer returns a quarantined server to pool `to`. Crashed training
+// servers go home; a server that crashed while on loan returns to the
+// inference pool instead — the failure ended the loan, and the orchestrator
+// will re-loan it on demand. No-op (false) if the server is not quarantined:
+// its scheduled recovery may race a crash that never happened because the
+// server was already down.
+func (st *State) RecoverServer(sid int, to cluster.Pool) bool {
+	s := st.Cluster.Server(sid)
+	if s == nil || s.Pool != cluster.PoolQuarantine {
+		return false
+	}
+	if err := st.Cluster.Move(sid, to); err != nil {
+		invariant.Fail(fmt.Sprintf("sim:recover t=%g server=%d", st.Now, sid), invariant.Violation{
+			Rule:     invariant.RulePoolMembership,
+			Subject:  fmt.Sprintf("server %d", sid),
+			Expected: fmt.Sprintf("quarantined server movable to %v", to),
+			Actual:   err.Error(),
+		})
+	}
+	st.Recoveries++
+	if st.Obs.Enabled() {
+		st.Obs.Emit(obs.Ev(st.Now, obs.KindFaultRecover).WithF(obs.Fields{
+			"server": sid, "to": to.String(),
+		}))
+		st.Obs.Add("fault.recoveries", 1)
+	}
+	return true
 }
 
 // CompactPending removes jobs that are no longer pending from the queue,

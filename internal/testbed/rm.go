@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"lyra/internal/fault"
 	"lyra/internal/obs"
 )
 
@@ -51,6 +52,10 @@ type ResourceManager struct {
 	// it before the first Launch; the readiness event is emitted from the
 	// container goroutine, which the recorder serializes.
 	Obs *obs.Recorder
+	// Injector optionally injects container-launch failures (and is shared
+	// with the RPC service for wire faults). Set it before the first
+	// Launch; nil injects nothing.
+	Injector *fault.Injector
 
 	mu         sync.Mutex
 	nextID     int
@@ -73,8 +78,19 @@ func NewResourceManager(clock *Clock, launchDelay float64) *ResourceManager {
 
 // Launch starts a container for jobID on server with the given GPUs. The
 // returned container becomes Running after the launch latency; ready is
-// closed at that point.
-func (rm *ResourceManager) Launch(jobID, server, gpus int, flexible bool) *Container {
+// closed at that point. With a fault injector installed, a launch may fail
+// (fault.ErrInjectedLaunch) — callers retry with backoff and eventually
+// requeue the job through the checkpoint-restart path.
+func (rm *ResourceManager) Launch(jobID, server, gpus int, flexible bool) (*Container, error) {
+	if rm.Injector.LaunchFails() {
+		if rm.Obs.Enabled() {
+			rm.Obs.Emit(obs.JobEv(rm.clock.Now(), obs.KindFaultLaunch, jobID).WithF(obs.Fields{
+				"server": server, "gpus": gpus,
+			}))
+			rm.Obs.Add("fault.launch_failures", 1)
+		}
+		return nil, fmt.Errorf("testbed: launch container for job %d on server %d: %w", jobID, server, fault.ErrInjectedLaunch)
+	}
 	rm.mu.Lock()
 	rm.nextID++
 	c := &Container{
@@ -107,7 +123,7 @@ func (rm *ResourceManager) Launch(jobID, server, gpus int, flexible bool) *Conta
 		case <-c.done:
 		}
 	}()
-	return c
+	return c, nil
 }
 
 // Kill terminates a container (preemption or scale-in).

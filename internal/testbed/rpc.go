@@ -1,10 +1,16 @@
 package testbed
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
+
+	"lyra/internal/fault"
+	"lyra/internal/obs"
 )
 
 // The prototype's resource-manager API is also exposed over net/rpc so
@@ -12,6 +18,13 @@ import (
 // the production deployment sits on YARN (§6). The in-process testbed uses
 // ResourceManager directly; RMService/RMClient carry the same operations
 // across a TCP connection.
+//
+// The wire layer is where the fault plan's flaky/slow RPC lands: the
+// service can inject a per-call delay or error (ServeRMWithFaults), and the
+// client recovers — every call has a deadline, transient failures (injected
+// faults, dead connections, timeouts) are retried with capped exponential
+// backoff over a fresh connection, and only genuine application errors
+// ("unknown container") surface to the caller.
 
 // LaunchArgs asks the resource manager to start one container.
 type LaunchArgs struct {
@@ -31,14 +44,42 @@ type ContainerInfo struct {
 	State    ContainerState
 }
 
-// RMService exposes a ResourceManager over net/rpc.
+// RMService exposes a ResourceManager over net/rpc. A non-nil injector
+// makes every method a potential fault site.
 type RMService struct {
-	rm *ResourceManager
+	rm  *ResourceManager
+	inj *fault.Injector
+}
+
+// injectFault applies the per-call fault draw: an optional service delay
+// (slow RPC) and an optional injected error (flaky RPC), recorded as a
+// fault.rpc event so runs can count wire faults.
+func (s *RMService) injectFault(method string) error {
+	delay, failCall := s.inj.RPCFault()
+	if delay > 0 {
+		time.Sleep(time.Duration(delay * float64(time.Second)))
+	}
+	if failCall {
+		if s.rm.Obs.Enabled() {
+			s.rm.Obs.Emit(obs.Ev(s.rm.clock.Now(), obs.KindFaultRPC).WithF(obs.Fields{
+				"method": method,
+			}))
+			s.rm.Obs.Add("fault.rpc_errors", 1)
+		}
+		return fault.ErrInjectedRPC
+	}
+	return nil
 }
 
 // Launch starts a container and returns its info.
 func (s *RMService) Launch(args LaunchArgs, reply *ContainerInfo) error {
-	c := s.rm.Launch(args.JobID, args.Server, args.GPUs, args.Flexible)
+	if err := s.injectFault("Launch"); err != nil {
+		return err
+	}
+	c, err := s.rm.Launch(args.JobID, args.Server, args.GPUs, args.Flexible)
+	if err != nil {
+		return err
+	}
 	*reply = ContainerInfo{
 		ID: c.ID, JobID: c.JobID, Server: c.Server, GPUs: c.GPUs,
 		Flexible: c.Flexible, State: c.State(),
@@ -46,14 +87,34 @@ func (s *RMService) Launch(args LaunchArgs, reply *ContainerInfo) error {
 	return nil
 }
 
-// Kill terminates a container.
-func (s *RMService) Kill(id int, _ *struct{}) error { return s.rm.Kill(id) }
+// Kill terminates a container. An unknown ID is an application error that
+// crosses the wire wrapped, not a panic in the service goroutine.
+func (s *RMService) Kill(id int, _ *struct{}) error {
+	if err := s.injectFault("Kill"); err != nil {
+		return err
+	}
+	if err := s.rm.Kill(id); err != nil {
+		return fmt.Errorf("rm: kill: %w", err)
+	}
+	return nil
+}
 
 // Release completes a container normally.
-func (s *RMService) Release(id int, _ *struct{}) error { return s.rm.Release(id) }
+func (s *RMService) Release(id int, _ *struct{}) error {
+	if err := s.injectFault("Release"); err != nil {
+		return err
+	}
+	if err := s.rm.Release(id); err != nil {
+		return fmt.Errorf("rm: release: %w", err)
+	}
+	return nil
+}
 
 // JobContainers lists the live containers of a job.
 func (s *RMService) JobContainers(jobID int, reply *[]ContainerInfo) error {
+	if err := s.injectFault("JobContainers"); err != nil {
+		return err
+	}
 	for _, c := range s.rm.JobContainers(jobID) {
 		*reply = append(*reply, ContainerInfo{
 			ID: c.ID, JobID: c.JobID, Server: c.Server, GPUs: c.GPUs,
@@ -65,96 +126,286 @@ func (s *RMService) JobContainers(jobID int, reply *[]ContainerInfo) error {
 
 // Live reports the number of live containers.
 func (s *RMService) Live(_ struct{}, reply *int) error {
+	if err := s.injectFault("Live"); err != nil {
+		return err
+	}
 	*reply = s.rm.Live()
 	return nil
 }
 
-// RMServer is a listening RPC endpoint around a ResourceManager.
+// RMServer is a listening RPC endpoint around a ResourceManager. It tracks
+// every accepted connection so Close tears the whole endpoint down —
+// listener and live connections — without leaking serving goroutines.
 type RMServer struct {
 	listener net.Listener
 	mu       sync.Mutex
 	closed   bool
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
 }
 
 // ServeRM starts serving rm on a TCP listener bound to addr (use
 // "127.0.0.1:0" for an ephemeral port) and returns the server. Connections
 // are served until Close.
 func ServeRM(rm *ResourceManager, addr string) (*RMServer, error) {
+	return ServeRMWithFaults(rm, addr, nil)
+}
+
+// ServeRMWithFaults is ServeRM with a fault injector applied to every call
+// (nil injects nothing).
+func ServeRMWithFaults(rm *ResourceManager, addr string, inj *fault.Injector) (*RMServer, error) {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("RM", &RMService{rm: rm}); err != nil {
+	if err := srv.RegisterName("RM", &RMService{rm: rm, inj: inj}); err != nil {
 		return nil, fmt.Errorf("testbed: register RM service: %w", err)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("testbed: listen: %w", err)
 	}
-	out := &RMServer{listener: ln}
+	out := &RMServer{listener: ln, conns: make(map[net.Conn]struct{})}
+	out.wg.Add(1)
 	go func() {
+		defer out.wg.Done()
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
 				return // listener closed
 			}
-			go srv.ServeConn(conn)
+			if !out.track(conn) {
+				conn.Close() // raced Close; refuse the connection
+				continue
+			}
+			out.wg.Add(1)
+			go func() {
+				defer out.wg.Done()
+				srv.ServeConn(conn)
+				out.untrack(conn)
+			}()
 		}
 	}()
 	return out, nil
 }
 
-// Addr returns the server's listen address.
-func (s *RMServer) Addr() string { return s.listener.Addr().String() }
-
-// Close stops accepting connections.
-func (s *RMServer) Close() error {
+func (s *RMServer) track(conn net.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *RMServer) untrack(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+	conn.Close()
+}
+
+// Addr returns the server's listen address.
+func (s *RMServer) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the endpoint: the listener and every accepted connection are
+// closed, and Close blocks until all serving goroutines have exited, so a
+// testbed shutdown cannot leak them. Idempotent.
+func (s *RMServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
-	return s.listener.Close()
+	err := s.listener.Close()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
 }
 
-// RMClient is the remote counterpart of ResourceManager.
+// Default client knobs: generous enough for a loaded CI machine, small
+// enough that a hung server cannot block a controller for long.
+const (
+	defaultRPCTimeout = 5 * time.Second
+	defaultRPCRetries = 4 // total attempts = 1 + retries
+	rpcBackoffBase    = 10 * time.Millisecond
+	rpcBackoffCap     = 500 * time.Millisecond
+)
+
+// RMClient is the remote counterpart of ResourceManager. Every call runs
+// under a per-call timeout; transient failures — injected wire faults, dead
+// or hung connections — are retried with capped exponential backoff over a
+// fresh connection, while application errors surface immediately. Close is
+// idempotent and safe to race with in-flight calls (they fail with
+// rpc.ErrShutdown and are not retried past the close).
 type RMClient struct {
-	c *rpc.Client
+	addr       string
+	timeout    time.Duration
+	maxRetries int
+
+	mu     sync.Mutex
+	c      *rpc.Client
+	closed bool
 }
+
+// errClientClosed reports a call attempted (or retried) after Close.
+var errClientClosed = errors.New("testbed: rm client closed")
 
 // DialRM connects to an RMServer.
 func DialRM(addr string) (*RMClient, error) {
-	c, err := rpc.Dial("tcp", addr)
-	if err != nil {
+	c := &RMClient{addr: addr, timeout: defaultRPCTimeout, maxRetries: defaultRPCRetries}
+	if _, err := c.conn(); err != nil {
 		return nil, fmt.Errorf("testbed: dial RM: %w", err)
 	}
-	return &RMClient{c: c}, nil
+	return c, nil
 }
 
-// Close tears down the connection.
-func (c *RMClient) Close() error { return c.c.Close() }
+// SetTimeout overrides the per-call deadline (default 5 s).
+func (c *RMClient) SetTimeout(d time.Duration) { c.timeout = d }
+
+// SetMaxRetries overrides the number of retries after the first attempt
+// (default 4; 0 disables retrying).
+func (c *RMClient) SetMaxRetries(n int) { c.maxRetries = n }
+
+// Close tears down the connection. Idempotent; concurrent in-flight calls
+// fail with rpc.ErrShutdown instead of hanging.
+func (c *RMClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.c != nil {
+		cc := c.c
+		c.c = nil
+		return cc.Close()
+	}
+	return nil
+}
+
+// conn returns the live connection, dialing a fresh one if needed.
+func (c *RMClient) conn() (*rpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errClientClosed
+	}
+	if c.c == nil {
+		nc, err := net.DialTimeout("tcp", c.addr, c.timeout)
+		if err != nil {
+			return nil, err
+		}
+		c.c = rpc.NewClient(nc)
+	}
+	return c.c, nil
+}
+
+// dropConn discards cli (closing it) if it is still the current connection,
+// forcing the next attempt to redial. Safe against a concurrent Close or a
+// racing dropConn from another call.
+func (c *RMClient) dropConn(cli *rpc.Client) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.c == cli {
+		c.c = nil
+		cli.Close()
+	}
+}
+
+// transientRPC classifies an error as retryable: injected wire faults,
+// connection-level failures (the server died, the connection was torn down
+// by a timeout) and timeouts. Application errors — which net/rpc flattens
+// into rpc.ServerError strings — are not transient unless injected.
+func transientRPC(err error) bool {
+	if err == nil {
+		return false
+	}
+	if fault.IsInjected(err) {
+		return true
+	}
+	if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var serverErr rpc.ServerError
+	if errors.As(err, &serverErr) {
+		return false // a real application error from the service
+	}
+	var netErr net.Error
+	return errors.As(err, &netErr)
+}
+
+// call runs one RPC under the client's timeout/retry policy.
+func (c *RMClient) call(method string, args, reply any) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.maxRetries; attempt++ {
+		if attempt > 0 {
+			backoff := rpcBackoffBase << (attempt - 1)
+			if backoff > rpcBackoffCap {
+				backoff = rpcBackoffCap
+			}
+			time.Sleep(backoff)
+		}
+		cli, err := c.conn()
+		if err != nil {
+			if errors.Is(err, errClientClosed) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		inflight := cli.Go(method, args, reply, make(chan *rpc.Call, 1))
+		timer := time.NewTimer(c.timeout)
+		select {
+		case <-timer.C:
+			// A hung server must not block the controller: tear down the
+			// connection (unblocking the pending call) and redial.
+			c.dropConn(cli)
+			lastErr = fmt.Errorf("testbed: %s timed out after %v", method, c.timeout)
+			continue
+		case done := <-inflight.Done:
+			timer.Stop()
+			err = done.Error
+		}
+		if err == nil {
+			return nil
+		}
+		if !transientRPC(err) {
+			return fmt.Errorf("testbed: %s: %w", method, err)
+		}
+		lastErr = err
+		if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			c.dropConn(cli)
+		}
+	}
+	return fmt.Errorf("testbed: %s failed after %d attempts: %w", method, c.maxRetries+1, lastErr)
+}
 
 // Launch starts a container remotely.
 func (c *RMClient) Launch(jobID, server, gpus int, flexible bool) (ContainerInfo, error) {
 	var info ContainerInfo
-	err := c.c.Call("RM.Launch", LaunchArgs{JobID: jobID, Server: server, GPUs: gpus, Flexible: flexible}, &info)
+	err := c.call("RM.Launch", LaunchArgs{JobID: jobID, Server: server, GPUs: gpus, Flexible: flexible}, &info)
 	return info, err
 }
 
 // Kill terminates a container remotely.
-func (c *RMClient) Kill(id int) error { return c.c.Call("RM.Kill", id, &struct{}{}) }
+func (c *RMClient) Kill(id int) error { return c.call("RM.Kill", id, &struct{}{}) }
 
 // Release completes a container remotely.
-func (c *RMClient) Release(id int) error { return c.c.Call("RM.Release", id, &struct{}{}) }
+func (c *RMClient) Release(id int) error { return c.call("RM.Release", id, &struct{}{}) }
 
 // JobContainers lists a job's live containers remotely.
 func (c *RMClient) JobContainers(jobID int) ([]ContainerInfo, error) {
 	var out []ContainerInfo
-	err := c.c.Call("RM.JobContainers", jobID, &out)
+	err := c.call("RM.JobContainers", jobID, &out)
 	return out, err
 }
 
 // Live reports the number of live containers remotely.
 func (c *RMClient) Live() (int, error) {
 	var n int
-	err := c.c.Call("RM.Live", struct{}{}, &n)
+	err := c.call("RM.Live", struct{}{}, &n)
 	return n, err
 }

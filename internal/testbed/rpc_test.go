@@ -1,9 +1,14 @@
 package testbed
 
 import (
+	"net"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"lyra/internal/fault"
 )
 
 func newRPCPair(t *testing.T) (*ResourceManager, *RMClient, func()) {
@@ -172,5 +177,224 @@ func TestServeRMCloseIdempotent(t *testing.T) {
 	}
 	if _, err := DialRM(srv.Addr()); err == nil {
 		t.Error("dialing a closed server should fail")
+	}
+}
+
+// waitGoroutines polls until the process goroutine count drops back to at
+// most want, failing the test if it never settles: the difference is a
+// leaked serving or container goroutine.
+func waitGoroutines(t *testing.T, want int, context string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("%s: %d goroutines still running, want <= %d\n%s",
+				context, runtime.NumGoroutine(), want, buf)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRMServerCloseStopsServingGoroutines is the goroutine-leak check for
+// the shutdown path: RMServer.Close must tear down the listener AND every
+// accepted connection, so a testbed shutdown with clients still attached
+// cannot leak serving goroutines.
+func TestRMServerCloseStopsServingGoroutines(t *testing.T) {
+	// Small slack: the runtime and the test framework start goroutines of
+	// their own; a leaked ServeConn per client would exceed it.
+	slack := 2
+	before := runtime.NumGoroutine()
+
+	rm := NewResourceManager(NewClock(50000), 1)
+	srv, err := ServeRM(rm, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*RMClient, 6)
+	for i := range clients {
+		c, err := DialRM(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		info, err := c.Launch(i, 0, 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Kill(info.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close the server FIRST, with all six client connections still open:
+	// only connection tracking can reap their serving goroutines.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range clients {
+		if err := c.Close(); err != nil {
+			t.Errorf("client close: %v", err)
+		}
+	}
+	waitGoroutines(t, before+slack, "after server+client close")
+}
+
+// TestRPCUnknownContainerErrors: Kill/Release on an unknown container ID
+// must cross the wire as a wrapped application error — surfaced immediately
+// (not retried as transient, not a service-goroutine panic), with the
+// service still alive for the next call.
+func TestRPCUnknownContainerErrors(t *testing.T) {
+	_, client, done := newRPCPair(t)
+	defer done()
+
+	start := time.Now()
+	err := client.Kill(12345)
+	if err == nil || !strings.Contains(err.Error(), "rm: kill") {
+		t.Errorf("Kill(unknown) error = %v, want wrapped \"rm: kill\"", err)
+	}
+	if err := client.Release(67890); err == nil || !strings.Contains(err.Error(), "rm: release") {
+		t.Errorf("Release(unknown) error = %v, want wrapped \"rm: release\"", err)
+	}
+	// Application errors are terminal, not transient: both calls must come
+	// back on the first attempt, well inside one backoff-retry cycle.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("unknown-ID errors took %v; they appear to have been retried", elapsed)
+	}
+	// The service goroutine survived both errors.
+	if _, err := client.Launch(1, 0, 1, false); err != nil {
+		t.Fatalf("service dead after unknown-ID errors: %v", err)
+	}
+}
+
+// TestRMClientCallTimeout: a hung server (accepts connections, never
+// answers) must not block the controller — the per-call deadline tears the
+// connection down and the call returns an error in bounded time.
+func TestRMClientCallTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { <-stop; conn.Close() }() // hold the conn, answer nothing
+		}
+	}()
+
+	client, err := DialRM(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.SetTimeout(100 * time.Millisecond)
+	client.SetMaxRetries(1)
+
+	start := time.Now()
+	_, err = client.Live()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call against a hung server returned nil")
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("error = %v, want a timeout", err)
+	}
+	// 2 attempts x 100 ms + one small backoff; generous bound for CI.
+	if elapsed > 3*time.Second {
+		t.Errorf("hung-server call took %v; the timeout did not bound it", elapsed)
+	}
+}
+
+// TestRMClientRetriesInjectedFaults: with the service injecting wire faults
+// on half of all calls, a client with retry budget completes every
+// operation, while a client with retrying disabled surfaces the injected
+// error.
+func TestRMClientRetriesInjectedFaults(t *testing.T) {
+	rm := NewResourceManager(NewClock(50000), 1)
+	inj := fault.NewInjector(&fault.Plan{Seed: 1, RPCErrProb: 0.5})
+	srv, err := ServeRMWithFaults(rm, "127.0.0.1:0", inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := DialRM(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.SetMaxRetries(30)
+	for i := 0; i < 25; i++ {
+		info, err := client.Launch(1, 0, 1, false)
+		if err != nil {
+			t.Fatalf("launch %d failed despite retries: %v", i, err)
+		}
+		if err := client.Kill(info.ID); err != nil {
+			t.Fatalf("kill %d failed despite retries: %v", i, err)
+		}
+	}
+
+	bare, err := DialRM(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	bare.SetMaxRetries(0)
+	sawInjected := false
+	for i := 0; i < 64 && !sawInjected; i++ {
+		if _, err := bare.Live(); err != nil {
+			if !fault.IsInjected(err) {
+				t.Fatalf("non-injected error from a healthy faulted server: %v", err)
+			}
+			sawInjected = true
+		}
+	}
+	if !sawInjected {
+		t.Error("64 unretried calls at 50% fault rate never surfaced an injected error")
+	}
+}
+
+// TestRMClientCloseConcurrentWithCalls: Close is idempotent and safe to
+// race with in-flight calls — they return (an error or their result), they
+// do not hang.
+func TestRMClientCloseConcurrentWithCalls(t *testing.T) {
+	_, client, done := newRPCPair(t)
+	defer done()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				if _, err := client.Live(); err != nil {
+					return // closed underneath us: expected
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := client.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := client.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(10 * time.Second):
+		t.Fatal("calls racing Close never returned")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"lyra/internal/cluster"
+	"lyra/internal/fault"
 	"lyra/internal/inference"
 	"lyra/internal/invariant"
 	"lyra/internal/job"
@@ -55,8 +56,14 @@ type Config struct {
 	// transitions (launch/ready/kill/release). Container readiness events
 	// are emitted from the launch goroutines; the recorder serializes
 	// them. Nil disables recording at the cost of one nil check per site.
-	Obs  *obs.Recorder
-	Seed int64
+	Obs *obs.Recorder
+	// Faults is the optional deterministic fault-injection plan
+	// (internal/fault). The crash/recovery timeline is pre-generated from
+	// the plan's seed; launch failures and RPC faults draw from the shared
+	// injector in real execution order (the testbed is a live, concurrent
+	// substrate — see DESIGN.md §8). Nil injects nothing.
+	Faults *fault.Plan
+	Seed   int64
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +112,13 @@ type Result struct {
 	ContainersKilled   int64
 	WorkerJoins        int
 	WorkerExits        int
+
+	// Crashes / Recoveries count injected server failures applied and
+	// quarantined servers returned to service; LaunchFailures counts
+	// injected container-launch failures the retry path absorbed.
+	Crashes        int
+	Recoveries     int
+	LaunchFailures int
 }
 
 // Testbed wires the prototype together. The scheduler and orchestrator are
@@ -131,6 +145,23 @@ type Testbed struct {
 	infWL  *Whitelist
 
 	audit *invariant.Auditor
+
+	// Fault machinery (nil / empty without a plan): the pre-generated
+	// crash/recovery timeline with a cursor, the recovery routing map, the
+	// per-job launch-retry state, and the shared launch/RPC injector.
+	faultEvents    []fault.Event
+	faultIdx       int
+	recoverTo      map[int]cluster.Pool
+	launchRetry    map[int]*launchRetry
+	injector       *fault.Injector
+	launchFailures int
+}
+
+// launchRetry tracks one job's consecutive container-launch failures and
+// the backoff deadline before the next attempt.
+type launchRetry struct {
+	attempts int
+	nextTry  float64 // simulated time before which no relaunch is tried
 }
 
 // New builds a testbed over the given trace and scheduler/orchestrator
@@ -155,8 +186,19 @@ func New(cfg Config, tr *trace.Trace, sched sim.Scheduler, reclaimPolicy func(le
 	if cfg.Audit {
 		tb.audit = invariant.New()
 	}
+	if cfg.Faults.Enabled() {
+		tb.recoverTo = make(map[int]cluster.Pool)
+		tb.launchRetry = make(map[int]*launchRetry)
+		tb.injector = fault.NewInjector(cfg.Faults)
+		if cfg.Faults.StragglerFrac > 0 {
+			for _, j := range tr.Jobs {
+				j.SlowFactor = cfg.Faults.SlowFactorFor(j.ID)
+			}
+		}
+	}
 	tb.st.Obs = cfg.Obs
 	tb.rm.Obs = cfg.Obs
+	tb.rm.Injector = tb.injector
 	for _, j := range tr.Jobs {
 		tb.byID[j.ID] = j
 	}
@@ -187,12 +229,16 @@ func (tb *Testbed) Run(horizon int64) Result {
 	if maxSim == 0 {
 		maxSim = 4 * float64(horizon)
 	}
+	if tb.cfg.Faults.Enabled() {
+		tb.faultEvents = fault.Schedule(*tb.cfg.Faults, tb.st.Cluster.NumServers(), horizon)
+	}
 	nextOrch := 0.0
 	for {
 		tb.clock.Sleep(tb.cfg.SchedInterval)
 		now := tb.clock.Now()
 		tb.mu.Lock()
 		tb.st.Now = now
+		tb.applyFaults(now)
 		tb.admitArrivals(now)
 		tb.tickProgress(now)
 		if tb.orch != nil && now >= nextOrch {
@@ -231,6 +277,40 @@ func (tb *Testbed) Run(horizon int64) Result {
 	return tb.result()
 }
 
+// applyFaults processes every scheduled crash/recovery whose time has
+// passed. Crashed servers are emptied through the checkpoint-restart /
+// scale-in paths and quarantined; their containers die with them (the
+// reconcile loop kills the containers of preempted jobs this same tick).
+// Recovered servers rejoin their home pool — except on-loan casualties,
+// which return to the inference pool since the crash ended the loan — and
+// the whitelists are re-mirrored so both schedulers see the change at once.
+func (tb *Testbed) applyFaults(now float64) {
+	applied := false
+	for tb.faultIdx < len(tb.faultEvents) && tb.faultEvents[tb.faultIdx].T <= now {
+		fe := tb.faultEvents[tb.faultIdx]
+		tb.faultIdx++
+		if fe.Recover {
+			if to, ok := tb.recoverTo[fe.Server]; ok {
+				tb.st.RecoverServer(fe.Server, to)
+				delete(tb.recoverTo, fe.Server)
+				applied = true
+			}
+			continue
+		}
+		if origin, ok := tb.st.CrashServer(fe.Server, tb.sched.Less); ok {
+			to := origin
+			if origin == cluster.PoolOnLoan {
+				to = cluster.PoolInference
+			}
+			tb.recoverTo[fe.Server] = to
+			applied = true
+		}
+	}
+	if applied {
+		tb.reconcileWhitelists()
+	}
+}
+
 // admitArrivals moves trace jobs whose arrival has passed into the queue.
 func (tb *Testbed) admitArrivals(now float64) {
 	for len(tb.pendingSrc) > 0 && float64(tb.pendingSrc[0].Arrival) <= now {
@@ -267,8 +347,13 @@ func (tb *Testbed) tickProgress(now float64) {
 
 // reconcileContainers aligns the resource manager's containers with each
 // running job's scheduler-assigned workers: launch what is missing, kill
-// what was removed, and keep the controller membership current.
+// what was removed, and keep the controller membership current. Injected
+// launch failures are retried with capped exponential backoff (in simulated
+// time, tick-aligned); a job whose launches keep failing past the retry
+// bound is requeued through the checkpoint-restart path rather than left
+// wedged — the terminal path is a structured obs event, not a panic.
 func (tb *Testbed) reconcileContainers(now float64) {
+	var terminal []*job.Job
 	for _, j := range tb.st.Running {
 		ct := tb.controllers[j.ID]
 		if ct == nil {
@@ -286,15 +371,49 @@ func (tb *Testbed) reconcileContainers(now float64) {
 			k := key{c.Server, c.Flexible}
 			live[k] = append(live[k], c)
 		}
-		// Launch missing workers.
+		// Launch missing workers (unless the job is in launch backoff —
+		// matching still runs so surviving containers are not reaped).
+		lr := tb.launchRetry[j.ID]
+		skipLaunch := lr != nil && now < lr.nextTry
+		failedThisTick := false
 		for _, w := range j.Workers {
 			k := key{w.Server, w.Flexible}
 			if n := len(live[k]); n > 0 {
 				live[k] = live[k][:n-1]
 				continue
 			}
-			c := tb.rm.Launch(j.ID, w.Server, w.GPUs, w.Flexible)
+			if skipLaunch || failedThisTick {
+				continue
+			}
+			c, err := tb.rm.Launch(j.ID, w.Server, w.GPUs, w.Flexible)
+			if err != nil {
+				if !fault.IsInjected(err) {
+					tb.failContainer("launch", j.ID, 0, err)
+				}
+				failedThisTick = true
+				continue
+			}
 			ct.Join(c)
+		}
+		switch {
+		case failedThisTick:
+			if lr == nil {
+				lr = &launchRetry{}
+				tb.launchRetry[j.ID] = lr
+			}
+			lr.attempts++
+			tb.launchFailures++
+			if lr.attempts > tb.injector.MaxRetries() {
+				terminal = append(terminal, j)
+			} else {
+				shift := lr.attempts - 1
+				if shift > 3 {
+					shift = 3
+				}
+				lr.nextTry = now + float64(int(1)<<shift)*tb.cfg.SchedInterval
+			}
+		case !skipLaunch && lr != nil:
+			delete(tb.launchRetry, j.ID) // a clean tick resets the count
 		}
 		// Kill leftovers (scale-ins and migrations).
 		for _, rest := range live {
@@ -304,6 +423,20 @@ func (tb *Testbed) reconcileContainers(now float64) {
 					tb.failContainer("kill", j.ID, c.ID, err)
 				}
 			}
+		}
+	}
+	// Jobs whose launches exhausted the retry budget restart from their
+	// last checkpoint: requeued (never lost), overhead charged, containers
+	// reaped by the non-running sweep just below.
+	for _, j := range terminal {
+		delete(tb.launchRetry, j.ID)
+		saved := tb.st.Cause
+		tb.st.Cause = "launch-failure"
+		tb.st.Preempt(j, tb.sched.Less)
+		tb.st.Cause = saved
+		if tb.st.Obs.Enabled() {
+			tb.st.Obs.Emit(obs.JobEv(now, obs.KindJobRestart, j.ID).WithCause("launch-failure").
+				WithF(obs.Fields{"attempts": tb.injector.MaxRetries() + 1}))
 		}
 	}
 	// Jobs no longer running (preempted) lose all containers.
@@ -342,17 +475,37 @@ func (tb *Testbed) retireController(id int) {
 		tb.exits += b
 	}
 	delete(tb.controllers, id)
+	delete(tb.launchRetry, id)
 }
 
 // reconcileWhitelists mirrors the cluster pools onto the two schedulers'
-// whitelists after an orchestrator epoch, performing the §6 handover for
-// every server that moved.
+// whitelists after an orchestrator epoch or a fault event, performing the
+// §6 handover for every server that moved. Quarantined (crashed) servers
+// belong to neither scheduler; on recovery they re-enter the whitelist of
+// the pool fault routing put them in — such servers come from quarantine
+// rather than the peer whitelist, so the handover is an Add, not a
+// transfer.
 func (tb *Testbed) reconcileWhitelists() {
 	for _, s := range tb.st.Cluster.Servers() {
+		if s.Pool == cluster.PoolQuarantine {
+			if tb.lyraWL.Has(s.ID) {
+				if err := tb.lyraWL.Remove(s.ID); err != nil {
+					tb.failHandover("quarantine", s.ID, err.Error())
+				}
+			}
+			if tb.infWL.Has(s.ID) {
+				if err := tb.infWL.Remove(s.ID); err != nil {
+					tb.failHandover("quarantine", s.ID, err.Error())
+				}
+			}
+			continue
+		}
 		underLyra := s.Pool == cluster.PoolTraining || s.Pool == cluster.PoolOnLoan
 		switch {
 		case underLyra && !tb.lyraWL.Has(s.ID):
-			if err := TransferServer(s.ID, tb.infWL, tb.lyraWL); err != nil {
+			if !tb.infWL.Has(s.ID) {
+				tb.lyraWL.Add(s.ID) // recovered from quarantine
+			} else if err := TransferServer(s.ID, tb.infWL, tb.lyraWL); err != nil {
 				tb.failHandover("loan handover", s.ID, err.Error())
 			}
 		case !underLyra && !tb.infWL.Has(s.ID):
@@ -360,7 +513,9 @@ func (tb *Testbed) reconcileWhitelists() {
 				tb.failHandover("reclaim handover", s.ID,
 					fmt.Sprintf("server still hosts %d used GPUs", s.Used()))
 			}
-			if err := TransferServer(s.ID, tb.lyraWL, tb.infWL); err != nil {
+			if !tb.lyraWL.Has(s.ID) {
+				tb.infWL.Add(s.ID) // recovered from quarantine
+			} else if err := TransferServer(s.ID, tb.lyraWL, tb.infWL); err != nil {
 				tb.failHandover("reclaim handover", s.ID, err.Error())
 			}
 		}
@@ -407,6 +562,9 @@ func (tb *Testbed) result() Result {
 		ContainersKilled:   killed,
 		WorkerJoins:        joins,
 		WorkerExits:        exits,
+		Crashes:            tb.st.Crashes,
+		Recoveries:         tb.st.Recoveries,
+		LaunchFailures:     tb.launchFailures,
 	}
 	if tb.total > 0 {
 		res.PreemptionRatio = float64(tb.st.Preemptions) / float64(tb.total)

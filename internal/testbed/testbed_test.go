@@ -35,7 +35,10 @@ func TestClockDefaultSpeedup(t *testing.T) {
 func TestContainerLifecycle(t *testing.T) {
 	clock := NewClock(10000)
 	rm := NewResourceManager(clock, 5)
-	c := rm.Launch(1, 0, 2, false)
+	c, err := rm.Launch(1, 0, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.State() != ContainerLaunching {
 		t.Errorf("fresh container state = %v", c.State())
 	}
@@ -66,9 +69,16 @@ func TestContainerLifecycle(t *testing.T) {
 
 func TestResourceManagerJobIndex(t *testing.T) {
 	rm := NewResourceManager(NewClock(10000), 1)
-	a := rm.Launch(1, 0, 2, false)
-	rm.Launch(1, 1, 2, true)
-	rm.Launch(2, 0, 4, false)
+	a, err := rm.Launch(1, 0, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rm.Launch(1, 1, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rm.Launch(2, 0, 4, false); err != nil {
+		t.Fatal(err)
+	}
 	if got := len(rm.JobContainers(1)); got != 2 {
 		t.Errorf("job 1 containers = %d", got)
 	}

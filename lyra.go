@@ -33,6 +33,7 @@ import (
 
 	"lyra/internal/alloc"
 	"lyra/internal/cluster"
+	"lyra/internal/fault"
 	"lyra/internal/inference"
 	"lyra/internal/invariant"
 	"lyra/internal/job"
@@ -59,7 +60,15 @@ type (
 	ScalingModel = job.ScalingModel
 	// Summary is the statistics bundle reported per metric.
 	Summary = metrics.Summary
+	// FaultPlan is the deterministic fault-injection plan (internal/fault):
+	// seeded server crashes with timed recoveries, straggler slowdowns, and
+	// (testbed) container-launch/RPC faults. The zero plan injects nothing.
+	FaultPlan = fault.Plan
 )
+
+// ParseFaultPlan decodes the CLI fault spec syntax, e.g.
+// "mtbf=21600,mttr=600,straggler=0.1" (see internal/fault.ParsePlan).
+func ParseFaultPlan(spec string) (FaultPlan, error) { return fault.ParsePlan(spec) }
 
 // GenerateTrace synthesizes a production-like trace (see internal/trace).
 func GenerateTrace(cfg TraceConfig) *Trace { return trace.Generate(cfg) }
@@ -257,6 +266,15 @@ type Config struct {
 	// (recording only reads state).
 	Events bool
 
+	// Faults is the deterministic fault-injection plan. The zero plan (the
+	// default) injects nothing and costs one check at engine start; an
+	// enabled plan adds seeded server crashes/recoveries to the event queue
+	// and stamps straggler slowdowns, all pre-generated from Faults.Seed so
+	// runs stay reproducible and memoizable. Normalize applies the plan's
+	// own defaults (e.g. MTTR 600 s when crashes are on); Validate rejects
+	// out-of-domain rates.
+	Faults FaultPlan
+
 	Seed int64
 
 	// DefaultsApplied records that Normalize has run: every "zero means
@@ -316,6 +334,7 @@ func (c Config) Normalize() Config {
 	if !c.Loaning {
 		c.Reclaim = ""
 	}
+	c.Faults = c.Faults.Normalize()
 	c.DefaultsApplied = true
 	return c
 }
@@ -365,6 +384,9 @@ func (c Config) Validate() error {
 	}
 	if n.Phase2MaxItems < 1 {
 		return fmt.Errorf("lyra: Phase2MaxItems %d must be at least 1", n.Phase2MaxItems)
+	}
+	if err := n.Faults.Validate(); err != nil {
+		return fmt.Errorf("lyra: %w", err)
 	}
 	return nil
 }
@@ -417,6 +439,11 @@ type Report struct {
 
 	Completed int
 	Total     int
+
+	// Crashes / Recoveries count injected server failures applied and
+	// quarantined servers returned to service (zero without a fault plan).
+	Crashes    int
+	Recoveries int
 
 	// Events is the recorded JSONL event stream when Config.Events was
 	// set (nil otherwise): one deterministic JSON object per line, byte-
@@ -504,6 +531,10 @@ func Run(cfg Config, tr *Trace) (rep *Report, err error) {
 		Audit:           cfg.Audit,
 		Obs:             rec,
 	}
+	if cfg.Faults.Enabled() {
+		p := cfg.Faults
+		simCfg.Faults = &p
+	}
 	res := sim.New(c, tr.Jobs, tr.Horizon, s, orch, simCfg).Run()
 	rep = buildReport(res, tr)
 	if cfg.Events {
@@ -528,6 +559,8 @@ func buildReport(res *sim.Result, tr *Trace) *Report {
 		FlexSatisfiedShare: res.FlexSatisfiedShare,
 		Completed:          res.Completed,
 		Total:              len(tr.Jobs),
+		Crashes:            res.Crashes,
+		Recoveries:         res.Recoveries,
 		Raw:                res,
 	}
 }

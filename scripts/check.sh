@@ -30,4 +30,7 @@ echo "== bench-smoke (runner memoization end to end)"
 echo "== events-smoke (event-stream determinism end to end)"
 ./scripts/events_smoke.sh
 
+echo "== fault-smoke (fault injection + recovery end to end)"
+./scripts/fault_smoke.sh
+
 echo "OK"

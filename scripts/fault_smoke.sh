@@ -1,0 +1,64 @@
+#!/bin/sh
+# fault_smoke.sh proves the fault layer's robustness contract end to end
+# through the real binaries: a crash-heavy simulator run and a crash-heavy
+# testbed run, both with -audit and -events, must exit 0 (no job lost, no
+# invariant violation), report recoveries, and record the new fault event
+# kinds in the stream. The simulator leg is additionally run twice: faulted
+# streams are part of the byte-determinism contract (DESIGN.md §8).
+set -eu
+cd "$(dirname "$0")/.."
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+echo "== fault-smoke: building lyra-sim and lyra-testbed"
+go build -o "$dir/lyra-sim" ./cmd/lyra-sim
+go build -o "$dir/lyra-testbed" ./cmd/lyra-testbed
+
+# Crash-heavy: per-server MTBF of 4 hours over 2 days means dozens of
+# crashes across 16 servers, plus stragglers.
+plan="mtbf=14400,mttr=600,straggler=0.1"
+
+run_sim() {
+	"$dir/lyra-sim" -scheme lyra -days 2 -training-servers 8 -inference-servers 8 \
+		-seed 7 -faults "$plan" -audit -events "$1"
+}
+
+echo "== fault-smoke: crash-heavy simulator run (audit on)"
+run_sim "$dir/a.jsonl" > "$dir/sim.out"
+cat "$dir/sim.out"
+
+recoveries=$(sed -n 's/^faults .*recoveries=\([0-9][0-9]*\).*/\1/p' "$dir/sim.out")
+if [ -z "$recoveries" ] || [ "$recoveries" -eq 0 ]; then
+	echo "fault-smoke FAILED: simulator reported no recoveries" >&2
+	exit 1
+fi
+for kind in fault.crash fault.recover job.restart; do
+	if ! grep -q "\"kind\":\"$kind\"" "$dir/a.jsonl"; then
+		echo "fault-smoke FAILED: no $kind events in the stream" >&2
+		exit 1
+	fi
+done
+echo "simulator recovered $recoveries times, all fault kinds present"
+
+echo "== fault-smoke: same faulted scenario twice (determinism)"
+run_sim "$dir/b.jsonl" >/dev/null
+if ! cmp -s "$dir/a.jsonl" "$dir/b.jsonl"; then
+	echo "fault-smoke FAILED: two identical faulted runs diverged" >&2
+	exit 1
+fi
+echo "faulted streams identical ($(wc -l < "$dir/a.jsonl") events)"
+
+echo "== fault-smoke: crash-heavy testbed run (audit on)"
+"$dir/lyra-testbed" -scheme lyra -jobs 30 -speedup 20000 -seed 7 \
+	-faults "mtbf=7200,mttr=300,launchfail=0.1,rpcerr=0.02" \
+	-audit -events "$dir/tb.jsonl" > "$dir/tb.out"
+cat "$dir/tb.out"
+tb_recoveries=$(sed -n 's/^faults .*recoveries=\([0-9][0-9]*\).*/\1/p' "$dir/tb.out")
+if [ -z "$tb_recoveries" ] || [ "$tb_recoveries" -eq 0 ]; then
+	echo "fault-smoke FAILED: testbed reported no recoveries" >&2
+	exit 1
+fi
+echo "testbed recovered $tb_recoveries times"
+
+echo "fault-smoke OK"
