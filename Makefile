@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench bench-smoke events-smoke fault-smoke fuzz
+.PHONY: all check fmt vet build test race bench bench-smoke events-smoke fault-smoke bench-scale bench-scale-smoke fuzz
 
 all: check
 
 # check is the default gate: formatting, vet, build, the full test suite
 # (every package runs with the invariant auditor on), the race detector
-# over the internal packages, and the runner-memoization, event-stream and
-# fault-recovery smoke tests.
-check: fmt vet build test race bench-smoke events-smoke fault-smoke
+# over the internal packages, and the runner-memoization, event-stream,
+# fault-recovery and scale-benchmark smoke tests.
+check: fmt vet build test race bench-smoke events-smoke fault-smoke bench-scale-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -45,6 +45,18 @@ events-smoke:
 # recoveries, and (simulator) stay byte-deterministic under faults.
 fault-smoke:
 	@./scripts/fault_smoke.sh
+
+# bench-scale runs BenchmarkBestFit / BenchmarkEpoch at 1x and 10x the
+# paper's server count and prints the results as JSON — the numbers recorded
+# in BENCH_cluster.json (the repo's perf trajectory for the indexed cluster
+# core). Append an entry there after intentional perf-relevant changes.
+bench-scale:
+	@./scripts/bench_scale.sh
+
+# bench-scale-smoke is the `check` wiring: one short run asserting the scale
+# benchmarks still complete and emit valid JSON.
+bench-scale-smoke:
+	@./scripts/bench_scale.sh -short /dev/null
 
 # bench runs the audit-overhead and experiment benchmarks (audit off: the
 # numbers quoted in DESIGN.md come from BenchmarkEngineAudit).

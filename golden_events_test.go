@@ -1,0 +1,72 @@
+package lyra_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lyra"
+)
+
+// TestGoldenEventStream replays a fixed audited scenario and requires the
+// obs event stream to be byte-identical to testdata/golden_events.jsonl,
+// which was generated before the indexed-cluster refactor. This is the
+// before/after equivalence proof for the maintain-on-write cluster core: a
+// single placement choice, capacity count, or loan decision differing from
+// the recompute-on-read implementation shifts at least one event and fails
+// the comparison. Regenerate the file only for an intentional behavior
+// change, by writing r.Events from the exact scenario below.
+func TestGoldenEventStream(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_events.jsonl"))
+	if err != nil {
+		t.Fatalf("read golden file: %v", err)
+	}
+
+	tcfg := lyra.DefaultTraceConfig(7)
+	tcfg.Days = 1
+	tcfg.TrainingGPUs = 64
+	tr := lyra.GenerateTrace(tcfg)
+
+	cfg := lyra.DefaultConfig()
+	cfg.Cluster = lyra.ClusterConfig{TrainingServers: 8, InferenceServers: 8}
+	cfg.Events = true
+	cfg.SchedInterval = 300
+	cfg.Audit = true
+
+	r, err := lyra.Run(cfg, tr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !bytes.Equal(r.Events, want) {
+		d := firstDiff(r.Events, want)
+		t.Fatalf("event stream diverged from pre-refactor golden output: got %d bytes, want %d; first difference at byte %d (context: %q vs %q)",
+			len(r.Events), len(want), d, window(r.Events, d), window(want, d))
+	}
+}
+
+// firstDiff returns the index of the first differing byte.
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// window returns a short slice of s around offset i for error context.
+func window(s []byte, i int) string {
+	lo, hi := i-40, i+40
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return string(s[lo:hi])
+}

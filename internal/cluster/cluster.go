@@ -4,6 +4,16 @@
 // the training scheduler's control). It provides the whitelist bookkeeping
 // the paper's orchestrator manipulates (§6, "Interface for capacity
 // loaning") and the free-GPU accounting the job scheduler allocates from.
+//
+// The cluster is maintain-on-write: every pool keeps an ID-ordered member
+// index, a free-count bucket index (servers grouped by free GPUs, the
+// best-fit index), and O(1) capacity counters (free/used/total/flexible
+// GPUs, empty/partial server counts, per-GPU-type splits), all updated
+// inside Allocate/Release/ReleaseJob/Move. Reads — placement lookups,
+// capacity counts, pool iteration — never rescan or re-sort the cluster;
+// AuditIndexes cross-checks every index against a from-scratch recount and
+// is wired into the invariant audit layer, so all tests continuously prove
+// the incremental bookkeeping equal to the naive one.
 package cluster
 
 import (
@@ -101,13 +111,19 @@ const DefaultGPUsPerServer = 8
 // Server is one physical machine. The basic unit of capacity loaning is a
 // whole server (§3), so a server is always wholly in one pool.
 type Server struct {
-	ID       int
-	GPU      GPUType
-	NumGPUs  int
-	Pool     Pool
-	free     int
-	alloc    map[int]int // job ID -> GPUs allocated on this server
-	flexible map[int]int // job ID -> GPUs belonging to flexible (elastic surplus) workers
+	ID      int
+	GPU     GPUType
+	NumGPUs int
+	Pool    Pool
+	free    int
+	// flexTotal caches the sum of the flexible map so TotalFlexible is O(1).
+	flexTotal int
+	alloc     map[int]int // job ID -> GPUs allocated on this server
+	flexible  map[int]int // job ID -> GPUs belonging to flexible (elastic surplus) workers
+	// owner is the cluster maintaining pool/bucket indexes over this
+	// server; every allocation change is mirrored into its counters. Nil
+	// for standalone servers (reclaim fixtures, unit tests).
+	owner *Cluster
 }
 
 // NewServer returns an empty server with all GPUs free.
@@ -148,12 +164,13 @@ func (s *Server) JobGPUs(id int) int { return s.alloc[id] }
 func (s *Server) FlexibleGPUs(id int) int { return s.flexible[id] }
 
 // TotalFlexible returns the GPUs held by flexible workers of any job.
-func (s *Server) TotalFlexible() int {
-	t := 0
-	for _, g := range s.flexible {
-		t += g
+func (s *Server) TotalFlexible() int { return s.flexTotal }
+
+// notify mirrors an allocation change into the owning cluster's indexes.
+func (s *Server) notify(oldFree, flexDelta int) {
+	if s.owner != nil {
+		s.owner.serverChanged(s, oldFree, flexDelta)
 	}
-	return t
 }
 
 // Allocate assigns gpus GPUs on this server to job id. flexible marks the
@@ -166,11 +183,16 @@ func (s *Server) Allocate(id, gpus int, flexible bool) error {
 	if gpus > s.free {
 		return fmt.Errorf("cluster: server %d has %d free GPUs, job %d wants %d", s.ID, s.free, id, gpus)
 	}
+	oldFree := s.free
 	s.free -= gpus
 	s.alloc[id] += gpus
+	flexDelta := 0
 	if flexible {
 		s.flexible[id] += gpus
+		s.flexTotal += gpus
+		flexDelta = gpus
 	}
+	s.notify(oldFree, flexDelta)
 	return nil
 }
 
@@ -181,21 +203,29 @@ func (s *Server) Release(id, gpus int) error {
 	if gpus > held {
 		return fmt.Errorf("cluster: job %d holds %d GPUs on server %d, released %d", id, held, s.ID, gpus)
 	}
+	oldFree := s.free
 	s.free += gpus
+	flexDelta := 0
 	if held == gpus {
 		delete(s.alloc, id)
-		delete(s.flexible, id)
-		return nil
-	}
-	s.alloc[id] = held - gpus
-	if f := s.flexible[id]; f > 0 {
-		nf := f - gpus
-		if nf <= 0 {
+		if f := s.flexible[id]; f > 0 {
+			flexDelta = -f
 			delete(s.flexible, id)
-		} else {
-			s.flexible[id] = nf
+		}
+	} else {
+		s.alloc[id] = held - gpus
+		if f := s.flexible[id]; f > 0 {
+			if nf := f - gpus; nf <= 0 {
+				flexDelta = -f
+				delete(s.flexible, id)
+			} else {
+				flexDelta = -gpus
+				s.flexible[id] = nf
+			}
 		}
 	}
+	s.flexTotal += flexDelta
+	s.notify(oldFree, flexDelta)
 	return nil
 }
 
@@ -205,18 +235,46 @@ func (s *Server) ReleaseJob(id int) int {
 	if held == 0 {
 		return 0
 	}
+	oldFree := s.free
 	s.free += held
 	delete(s.alloc, id)
-	delete(s.flexible, id)
+	flexDelta := 0
+	if f := s.flexible[id]; f > 0 {
+		flexDelta = -f
+		delete(s.flexible, id)
+	}
+	s.flexTotal += flexDelta
+	s.notify(oldFree, flexDelta)
 	return held
 }
 
 // Cluster is the combined training + inference infrastructure. All mutation
 // happens through methods so pool invariants (a server is in exactly one
-// pool; free counts match allocations) cannot be violated from outside.
+// pool; free counts match allocations; indexes match the servers) cannot be
+// violated from outside.
 type Cluster struct {
 	servers []*Server
-	byPool  [numPools]map[int]*Server
+	// pools[p] holds pool p's members in ascending ID order, maintained
+	// incrementally on addServer/Move — reads never sort.
+	pools [numPools][]*Server
+	// buckets[p][f] holds pool p's servers with exactly f free GPUs, each
+	// bucket in ascending ID order: the best-fit placement index. A
+	// server's allocation change moves it between buckets (see
+	// serverChanged).
+	buckets [numPools][][]*Server
+	// O(1) capacity counters per pool.
+	freeCnt  [numPools]int
+	usedCnt  [numPools]int
+	totalCnt [numPools]int
+	flexCnt  [numPools]int
+	// partialCnt / emptyCnt count servers with 0 < Used < NumGPUs and
+	// Used == 0. srvByType / freeByType split membership and free GPUs by
+	// GPU type (pools are homogeneous in practice; nothing here assumes
+	// it), giving O(1) NormalizedFreeCapacity and pool-GPU lookups.
+	partialCnt [numPools]int
+	emptyCnt   [numPools]int
+	srvByType  [numPools][numGPUTypes]int
+	freeByType [numPools][numGPUTypes]int
 }
 
 // Config sizes a cluster. Zero values fall back to the paper's production
@@ -264,9 +322,6 @@ func New(cfg Config) *Cluster {
 		cfg.InferenceGPU = T4
 	}
 	c := &Cluster{}
-	for i := range c.byPool {
-		c.byPool[i] = make(map[int]*Server)
-	}
 	id := 0
 	for i := 0; i < cfg.TrainingServers; i++ {
 		c.addServer(NewServer(id, cfg.TrainingGPU, cfg.GPUsPerServer, PoolTraining))
@@ -279,9 +334,107 @@ func New(cfg Config) *Cluster {
 	return c
 }
 
+// insertByID inserts s into an ID-ordered server list.
+func insertByID(list []*Server, s *Server) []*Server {
+	i := sort.Search(len(list), func(k int) bool { return list[k].ID >= s.ID })
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = s
+	return list
+}
+
+// removeByID removes s from an ID-ordered server list. A missing entry is
+// index corruption, which must fail loudly rather than silently desync.
+func removeByID(list []*Server, s *Server) []*Server {
+	i := sort.Search(len(list), func(k int) bool { return list[k].ID >= s.ID })
+	if i >= len(list) || list[i] != s {
+		panic(fmt.Sprintf("cluster: server %d missing from its index", s.ID))
+	}
+	copy(list[i:], list[i+1:])
+	return list[:len(list)-1]
+}
+
+func (c *Cluster) bucketInsert(p Pool, s *Server) {
+	for len(c.buckets[p]) <= s.free {
+		c.buckets[p] = append(c.buckets[p], nil)
+	}
+	c.buckets[p][s.free] = insertByID(c.buckets[p][s.free], s)
+}
+
+func (c *Cluster) bucketRemove(p Pool, s *Server, free int) {
+	c.buckets[p][free] = removeByID(c.buckets[p][free], s)
+}
+
+// enterPool adds s (whose Pool field is already p) to every per-pool index
+// and counter.
+func (c *Cluster) enterPool(p Pool, s *Server) {
+	c.pools[p] = insertByID(c.pools[p], s)
+	c.bucketInsert(p, s)
+	c.freeCnt[p] += s.free
+	c.usedCnt[p] += s.Used()
+	c.totalCnt[p] += s.NumGPUs
+	c.flexCnt[p] += s.flexTotal
+	c.srvByType[p][s.GPU]++
+	c.freeByType[p][s.GPU] += s.free
+	switch u := s.Used(); {
+	case u == 0:
+		c.emptyCnt[p]++
+	case u < s.NumGPUs:
+		c.partialCnt[p]++
+	}
+}
+
+// leavePool removes s from pool p's indexes and counters.
+func (c *Cluster) leavePool(p Pool, s *Server) {
+	c.pools[p] = removeByID(c.pools[p], s)
+	c.bucketRemove(p, s, s.free)
+	c.freeCnt[p] -= s.free
+	c.usedCnt[p] -= s.Used()
+	c.totalCnt[p] -= s.NumGPUs
+	c.flexCnt[p] -= s.flexTotal
+	c.srvByType[p][s.GPU]--
+	c.freeByType[p][s.GPU] -= s.free
+	switch u := s.Used(); {
+	case u == 0:
+		c.emptyCnt[p]--
+	case u < s.NumGPUs:
+		c.partialCnt[p]--
+	}
+}
+
+// serverChanged is the single write-path hook: a server whose free count
+// moved from oldFree to s.free (and whose flexible GPUs moved by flexDelta)
+// is re-bucketed and every affected counter is updated in O(log bucket).
+func (c *Cluster) serverChanged(s *Server, oldFree, flexDelta int) {
+	p := s.Pool
+	c.flexCnt[p] += flexDelta
+	if oldFree == s.free {
+		return
+	}
+	c.bucketRemove(p, s, oldFree)
+	c.bucketInsert(p, s)
+	d := s.free - oldFree
+	c.freeCnt[p] += d
+	c.usedCnt[p] -= d
+	c.freeByType[p][s.GPU] += d
+	switch oldUsed := s.NumGPUs - oldFree; {
+	case oldUsed == 0:
+		c.emptyCnt[p]--
+	case oldUsed < s.NumGPUs:
+		c.partialCnt[p]--
+	}
+	switch newUsed := s.Used(); {
+	case newUsed == 0:
+		c.emptyCnt[p]++
+	case newUsed < s.NumGPUs:
+		c.partialCnt[p]++
+	}
+}
+
 func (c *Cluster) addServer(s *Server) {
+	s.owner = c
 	c.servers = append(c.servers, s)
-	c.byPool[s.Pool][s.ID] = s
+	c.enterPool(s.Pool, s)
 }
 
 // Server returns the server with the given ID, or nil.
@@ -295,22 +448,45 @@ func (c *Cluster) Server(id int) *Server {
 // NumServers returns the total number of servers in all pools.
 func (c *Cluster) NumServers() int { return len(c.servers) }
 
-// Servers returns all servers (shared slice; callers must not mutate).
-func (c *Cluster) Servers() []*Server { return c.servers }
+// Servers returns a copy of all servers, in ID order. Use EachServer on hot
+// paths that only iterate.
+func (c *Cluster) Servers() []*Server {
+	return append([]*Server(nil), c.servers...)
+}
 
-// PoolServers returns the servers currently in pool p, sorted by ID.
-func (c *Cluster) PoolServers(p Pool) []*Server {
-	m := c.byPool[p]
-	out := make([]*Server, 0, len(m))
-	for _, s := range m {
-		out = append(out, s)
+// EachServer calls fn for every server in ascending ID order, stopping
+// early when fn returns false. The callback may change allocations but must
+// not move servers between pools.
+func (c *Cluster) EachServer(fn func(*Server) bool) {
+	for _, s := range c.servers {
+		if !fn(s) {
+			return
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+}
+
+// PoolServers returns a copy of the servers currently in pool p, sorted by
+// ID. The copy is safe to hold across pool moves; use EachPoolServer on hot
+// paths that only iterate.
+func (c *Cluster) PoolServers(p Pool) []*Server {
+	return append([]*Server(nil), c.pools[p]...)
+}
+
+// EachPoolServer calls fn for every server in pool p in ascending ID order,
+// stopping early when fn returns false. It iterates the live index without
+// allocating: the callback may change allocations (scale-ins, releases) but
+// must not move servers between pools — collect IDs first and move after
+// iterating.
+func (c *Cluster) EachPoolServer(p Pool, fn func(*Server) bool) {
+	for _, s := range c.pools[p] {
+		if !fn(s) {
+			return
+		}
+	}
 }
 
 // PoolSize returns the number of servers in pool p.
-func (c *Cluster) PoolSize(p Pool) int { return len(c.byPool[p]) }
+func (c *Cluster) PoolSize(p Pool) int { return len(c.pools[p]) }
 
 // Move transfers a server between pools, implementing the whitelist update
 // of §6. Moving a server out of the training scheduler's control
@@ -328,61 +504,56 @@ func (c *Cluster) Move(id int, to Pool) error {
 	if (to == PoolInference || to == PoolQuarantine) && s.Used() > 0 {
 		return fmt.Errorf("cluster: server %d still runs %d GPUs of training work, cannot move to %v", id, s.Used(), to)
 	}
-	delete(c.byPool[s.Pool], id)
+	c.leavePool(s.Pool, s)
 	s.Pool = to
-	c.byPool[to][id] = s
+	c.enterPool(to, s)
 	return nil
 }
 
 // SchedulableServers returns the servers the training scheduler may place
-// workers on: the training pool plus the on-loan pool, sorted by ID.
+// workers on: the training pool plus the on-loan pool, sorted by ID. The
+// two pool indexes are already ID-ordered, so this is a merge, not a sort.
 func (c *Cluster) SchedulableServers() []*Server {
-	out := make([]*Server, 0, len(c.byPool[PoolTraining])+len(c.byPool[PoolOnLoan]))
-	for _, s := range c.byPool[PoolTraining] {
-		out = append(out, s)
+	t, l := c.pools[PoolTraining], c.pools[PoolOnLoan]
+	out := make([]*Server, 0, len(t)+len(l))
+	for len(t) > 0 && len(l) > 0 {
+		if t[0].ID < l[0].ID {
+			out = append(out, t[0])
+			t = t[1:]
+		} else {
+			out = append(out, l[0])
+			l = l[1:]
+		}
 	}
-	for _, s := range c.byPool[PoolOnLoan] {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	out = append(out, t...)
+	return append(out, l...)
 }
 
-// FreeGPUs returns the number of free GPUs in pool p.
-func (c *Cluster) FreeGPUs(p Pool) int {
-	t := 0
-	for _, s := range c.byPool[p] {
-		t += s.Free()
-	}
-	return t
-}
+// FreeGPUs returns the number of free GPUs in pool p. O(1).
+func (c *Cluster) FreeGPUs(p Pool) int { return c.freeCnt[p] }
 
-// UsedGPUs returns the number of allocated GPUs in pool p.
-func (c *Cluster) UsedGPUs(p Pool) int {
-	t := 0
-	for _, s := range c.byPool[p] {
-		t += s.Used()
-	}
-	return t
-}
+// UsedGPUs returns the number of allocated GPUs in pool p. O(1).
+func (c *Cluster) UsedGPUs(p Pool) int { return c.usedCnt[p] }
 
-// TotalGPUs returns the number of GPUs in pool p.
-func (c *Cluster) TotalGPUs(p Pool) int {
-	t := 0
-	for _, s := range c.byPool[p] {
-		t += s.NumGPUs
-	}
-	return t
-}
+// TotalGPUs returns the number of GPUs in pool p. O(1).
+func (c *Cluster) TotalGPUs(p Pool) int { return c.totalCnt[p] }
+
+// FlexibleGPUs returns the GPUs held by flexible (elastic surplus) workers
+// in pool p — the capacity §5.2 counts as available for resizing. O(1).
+func (c *Cluster) FlexibleGPUs(p Pool) int { return c.flexCnt[p] }
+
+// BusyServers returns the number of pool p's servers hosting at least one
+// allocated GPU. O(1).
+func (c *Cluster) BusyServers(p Pool) int { return len(c.pools[p]) - c.emptyCnt[p] }
 
 // NormalizedFreeCapacity returns free GPUs in the training scheduler's
 // pools weighted by GPU speed, the normalization §5.2 applies to on-loan
-// inference GPUs when computing resource capacity.
+// inference GPUs when computing resource capacity. O(GPU types).
 func (c *Cluster) NormalizedFreeCapacity() float64 {
 	t := 0.0
 	for _, p := range []Pool{PoolTraining, PoolOnLoan} {
-		for _, s := range c.byPool[p] {
-			t += float64(s.Free()) * s.GPU.Speed()
+		for g := GPUType(0); g < numGPUTypes; g++ {
+			t += float64(c.freeByType[p][g]) * g.Speed()
 		}
 	}
 	return t
@@ -390,39 +561,97 @@ func (c *Cluster) NormalizedFreeCapacity() float64 {
 
 // Fragmentation counts schedulable servers that are partially allocated
 // (neither empty nor full) — the fragmentation the BFD placement of §5.3
-// tries to minimize.
+// tries to minimize. O(1).
 func (c *Cluster) Fragmentation() int {
-	n := 0
-	for _, p := range []Pool{PoolTraining, PoolOnLoan} {
-		for _, s := range c.byPool[p] {
-			if u := s.Used(); u > 0 && u < s.NumGPUs {
-				n++
+	return c.partialCnt[PoolTraining] + c.partialCnt[PoolOnLoan]
+}
+
+// BestFit returns the best-fit server in pool p for one worker that needs
+// need(gpu) GPUs on a server of type gpu, or nil. Preference order matches
+// the placement tie-break contract (place.fitBetter): non-empty servers
+// before empty ones, then least free GPUs, then lowest ID. fixed, when
+// non-nil, restricts candidates to one GPU type; exclude lists servers that
+// must not be used.
+//
+// The lookup walks the free-count bucket index upward from the smallest
+// possibly-fitting bucket: the first eligible non-empty server found is the
+// exact fitBetter winner (buckets ascend by free count and are ID-ordered),
+// and the first eligible empty server is remembered as the fallback. With
+// B = GPUs per server distinct free counts this is O(B + matches scanned)
+// instead of a full pool scan.
+func (c *Cluster) BestFit(p Pool, need func(GPUType) int, fixed *GPUType, exclude map[int]struct{}) *Server {
+	minNeed := -1
+	if fixed != nil {
+		if c.srvByType[p][*fixed] == 0 {
+			return nil
+		}
+		minNeed = need(*fixed)
+	} else {
+		for g := GPUType(0); g < numGPUTypes; g++ {
+			if c.srvByType[p][g] == 0 {
+				continue
+			}
+			if n := need(g); minNeed < 0 || n < minNeed {
+				minNeed = n
 			}
 		}
 	}
-	return n
+	if minNeed < 0 {
+		return nil // empty pool
+	}
+	if minNeed == 0 {
+		minNeed = 1 // a worker occupies at least one GPU
+	}
+	var bestEmpty *Server
+	for f := minNeed; f < len(c.buckets[p]); f++ {
+		for _, s := range c.buckets[p][f] {
+			if fixed != nil && s.GPU != *fixed {
+				continue
+			}
+			if s.free < need(s.GPU) {
+				continue
+			}
+			if _, excluded := exclude[s.ID]; excluded {
+				continue
+			}
+			if s.free < s.NumGPUs {
+				return s // non-empty: beats every empty server and any higher bucket
+			}
+			if bestEmpty == nil {
+				bestEmpty = s
+			}
+		}
+	}
+	return bestEmpty
 }
 
 // CheckInvariants verifies internal consistency and returns the first
 // violation found. It is used by tests and the simulator's debug mode.
+// Index/counter agreement with a from-scratch recount is checked separately
+// by AuditIndexes; the invariant audit layer runs both.
 func (c *Cluster) CheckInvariants() error {
 	seen := make(map[int]Pool)
 	for p := Pool(0); p < numPools; p++ {
-		for id, s := range c.byPool[p] {
+		prev := -1
+		for _, s := range c.pools[p] {
 			if s.Pool != p {
-				return fmt.Errorf("server %d indexed under %v but Pool=%v", id, p, s.Pool)
+				return fmt.Errorf("server %d indexed under %v but Pool=%v", s.ID, p, s.Pool)
 			}
-			if prev, dup := seen[id]; dup {
-				return fmt.Errorf("server %d in two pools: %v and %v", id, prev, p)
+			if s.ID <= prev {
+				return fmt.Errorf("pool %v index out of ID order at server %d", p, s.ID)
 			}
-			seen[id] = p
+			prev = s.ID
+			if dup, ok := seen[s.ID]; ok {
+				return fmt.Errorf("server %d in two pools: %v and %v", s.ID, dup, p)
+			}
+			seen[s.ID] = p
 		}
 	}
 	for _, s := range c.servers {
 		if _, ok := seen[s.ID]; !ok {
 			return fmt.Errorf("server %d missing from pool index", s.ID)
 		}
-		sum := 0
+		sum, flexSum := 0, 0
 		for id, g := range s.alloc {
 			if g <= 0 {
 				return fmt.Errorf("server %d: job %d holds %d GPUs", s.ID, id, g)
@@ -432,8 +661,79 @@ func (c *Cluster) CheckInvariants() error {
 			}
 			sum += g
 		}
+		for id, f := range s.flexible {
+			if f <= 0 {
+				return fmt.Errorf("server %d: job %d flexible entry %d", s.ID, id, f)
+			}
+			flexSum += f
+		}
 		if sum+s.free != s.NumGPUs {
 			return fmt.Errorf("server %d: alloc %d + free %d != %d GPUs", s.ID, sum, s.free, s.NumGPUs)
+		}
+		if flexSum != s.flexTotal {
+			return fmt.Errorf("server %d: flexible sum %d != cached total %d", s.ID, flexSum, s.flexTotal)
+		}
+	}
+	return nil
+}
+
+// AuditIndexes recounts every incrementally-maintained counter and index
+// from scratch — per-pool free/used/total/flexible GPUs, empty/partial
+// server counts, per-type splits, and free-count bucket membership — and
+// returns the first disagreement with the maintained values. It is the
+// equivalence oracle keeping the maintain-on-write fast paths honest: the
+// invariant audit layer calls it after every audited transition, so any
+// write path that forgets to update an index fails the whole test suite at
+// the transition that introduced the drift.
+func (c *Cluster) AuditIndexes() error {
+	for p := Pool(0); p < numPools; p++ {
+		var free, used, total, flex, empty, partial int
+		var byType, freeType [numGPUTypes]int
+		for _, s := range c.pools[p] {
+			free += s.free
+			used += s.Used()
+			total += s.NumGPUs
+			flex += s.flexTotal
+			byType[s.GPU]++
+			freeType[s.GPU] += s.free
+			switch u := s.Used(); {
+			case u == 0:
+				empty++
+			case u < s.NumGPUs:
+				partial++
+			}
+		}
+		if free != c.freeCnt[p] || used != c.usedCnt[p] || total != c.totalCnt[p] || flex != c.flexCnt[p] {
+			return fmt.Errorf("pool %v: counters free/used/total/flex = %d/%d/%d/%d, recount = %d/%d/%d/%d",
+				p, c.freeCnt[p], c.usedCnt[p], c.totalCnt[p], c.flexCnt[p], free, used, total, flex)
+		}
+		if empty != c.emptyCnt[p] || partial != c.partialCnt[p] {
+			return fmt.Errorf("pool %v: empty/partial counters = %d/%d, recount = %d/%d",
+				p, c.emptyCnt[p], c.partialCnt[p], empty, partial)
+		}
+		if byType != c.srvByType[p] || freeType != c.freeByType[p] {
+			return fmt.Errorf("pool %v: per-type counters %v/%v, recount %v/%v",
+				p, c.srvByType[p], c.freeByType[p], byType, freeType)
+		}
+		inBuckets := 0
+		for f, bucket := range c.buckets[p] {
+			prev := -1
+			for _, s := range bucket {
+				if s.free != f {
+					return fmt.Errorf("pool %v: server %d with %d free GPUs filed in bucket %d", p, s.ID, s.free, f)
+				}
+				if s.Pool != p {
+					return fmt.Errorf("pool %v bucket %d: server %d belongs to pool %v", p, f, s.ID, s.Pool)
+				}
+				if s.ID <= prev {
+					return fmt.Errorf("pool %v bucket %d out of ID order at server %d", p, f, s.ID)
+				}
+				prev = s.ID
+			}
+			inBuckets += len(bucket)
+		}
+		if inBuckets != len(c.pools[p]) {
+			return fmt.Errorf("pool %v: %d servers in buckets, %d in pool index", p, inBuckets, len(c.pools[p]))
 		}
 	}
 	return nil

@@ -288,6 +288,10 @@ func TestPropertyAllocationConservation(t *testing.T) {
 				t.Logf("invariant: %v", err)
 				return false
 			}
+			if err := c.AuditIndexes(); err != nil {
+				t.Logf("index audit: %v", err)
+				return false
+			}
 		}
 		// Total GPUs must be conserved across all pools.
 		total := c.TotalGPUs(PoolTraining) + c.TotalGPUs(PoolOnLoan) + c.TotalGPUs(PoolInference)

@@ -1,0 +1,326 @@
+package cluster_test
+
+// Randomized equivalence test for the maintain-on-write cluster core: a
+// naive reference model (recount + sort on every read) is driven with the
+// same random Allocate/Release/ReleaseJob/Move/crash sequence as the
+// indexed implementation, and every read — pool membership, all capacity
+// counters, fragmentation, busy-server counts, normalized capacity, and
+// the best-fit choice under random constraints — must agree at every step.
+// AuditIndexes and CheckInvariants run after each operation too, so the
+// test also exercises the audit layer's recount against states no
+// scheduler would naturally produce.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	. "lyra/internal/cluster"
+)
+
+// refServer is the reference model's view of one server: just the raw
+// allocation maps, no cached counters.
+type refServer struct {
+	id, numGPUs int
+	gpu         GPUType
+	pool        Pool
+	alloc       map[int]int
+	flex        map[int]int
+}
+
+func (r *refServer) free() int {
+	used := 0
+	for _, g := range r.alloc {
+		used += g
+	}
+	return r.numGPUs - used
+}
+
+func (r *refServer) used() int { return r.numGPUs - r.free() }
+
+func (r *refServer) flexTotal() int {
+	t := 0
+	for _, g := range r.flex {
+		t += g
+	}
+	return t
+}
+
+// refModel recomputes every read from scratch over a plain server list.
+type refModel struct {
+	servers []*refServer
+}
+
+func (m *refModel) poolIDs(p Pool) []int {
+	var ids []int
+	for _, s := range m.servers {
+		if s.pool == p {
+			ids = append(ids, s.id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func (m *refModel) counts(p Pool) (free, used, total, flex, empty, partial int) {
+	for _, s := range m.servers {
+		if s.pool != p {
+			continue
+		}
+		f := s.free()
+		free += f
+		used += s.used()
+		total += s.numGPUs
+		flex += s.flexTotal()
+		switch u := s.used(); {
+		case u == 0:
+			empty++
+		case u < s.numGPUs:
+			partial++
+		}
+	}
+	return
+}
+
+func (m *refModel) normalizedFree() float64 {
+	t := 0.0
+	for _, s := range m.servers {
+		if s.pool == PoolTraining || s.pool == PoolOnLoan {
+			t += float64(s.free()) * s.gpu.Speed()
+		}
+	}
+	return t
+}
+
+// bestFit is the reference placement: a full scan in ID order applying the
+// fitBetter preference (non-empty first, then least free, then lowest ID),
+// exactly as place.bestFit did before the bucket index existed.
+func (m *refModel) bestFit(p Pool, need func(GPUType) int, fixed *GPUType, exclude map[int]struct{}) int {
+	best := -1
+	var bestFree, bestUsed int
+	for _, s := range m.servers {
+		if s.pool != p {
+			continue
+		}
+		if fixed != nil && s.gpu != *fixed {
+			continue
+		}
+		n := need(s.gpu)
+		if n < 1 {
+			n = 1
+		}
+		if s.free() < n {
+			continue
+		}
+		if _, ex := exclude[s.id]; ex {
+			continue
+		}
+		better := false
+		switch {
+		case best < 0:
+			better = true
+		case (s.used() == 0) != (bestUsed == 0):
+			better = bestUsed == 0
+		case s.free() != bestFree:
+			better = s.free() < bestFree
+		default:
+			better = s.id < best
+		}
+		if better {
+			best, bestFree, bestUsed = s.id, s.free(), s.used()
+		}
+	}
+	return best
+}
+
+// apply mirrors one operation onto the model; ok says whether the indexed
+// cluster accepted it.
+func (m *refModel) move(id int, to Pool) error {
+	s := m.servers[id]
+	if s.pool == to {
+		return nil
+	}
+	if (to == PoolInference || to == PoolQuarantine) && s.used() > 0 {
+		return fmt.Errorf("busy")
+	}
+	s.pool = to
+	return nil
+}
+
+func buildPair(cfg Config) (*Cluster, *refModel) {
+	c := New(cfg)
+	m := &refModel{}
+	for _, s := range c.Servers() {
+		m.servers = append(m.servers, &refServer{
+			id: s.ID, numGPUs: s.NumGPUs, gpu: s.GPU, pool: s.Pool,
+			alloc: map[int]int{}, flex: map[int]int{},
+		})
+	}
+	return c, m
+}
+
+// compare checks every read the schedulers perform.
+func compare(t *testing.T, step int, c *Cluster, m *refModel) {
+	t.Helper()
+	for p := Pool(0); p < Pool(4); p++ {
+		wantIDs := m.poolIDs(p)
+		got := c.PoolServers(p)
+		if len(got) != len(wantIDs) {
+			t.Fatalf("step %d pool %v: %d servers, want %d", step, p, len(got), len(wantIDs))
+		}
+		for i, s := range got {
+			if s.ID != wantIDs[i] {
+				t.Fatalf("step %d pool %v: member[%d] = %d, want %d", step, p, i, s.ID, wantIDs[i])
+			}
+		}
+		free, used, total, flex, empty, partial := m.counts(p)
+		if c.FreeGPUs(p) != free || c.UsedGPUs(p) != used || c.TotalGPUs(p) != total || c.FlexibleGPUs(p) != flex {
+			t.Fatalf("step %d pool %v: counters free/used/total/flex = %d/%d/%d/%d, want %d/%d/%d/%d",
+				step, p, c.FreeGPUs(p), c.UsedGPUs(p), c.TotalGPUs(p), c.FlexibleGPUs(p), free, used, total, flex)
+		}
+		if c.BusyServers(p) != len(wantIDs)-empty {
+			t.Fatalf("step %d pool %v: busy = %d, want %d", step, p, c.BusyServers(p), len(wantIDs)-empty)
+		}
+		if p == PoolTraining {
+			if c.Fragmentation() != partial+func() int { _, _, _, _, _, lp := m.counts(PoolOnLoan); return lp }() {
+				t.Fatalf("step %d: fragmentation = %d", step, c.Fragmentation())
+			}
+		}
+	}
+	if got, want := c.NormalizedFreeCapacity(), m.normalizedFree(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("step %d: normalized free capacity = %g, want %g", step, got, want)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("step %d: %v", step, err)
+	}
+	if err := c.AuditIndexes(); err != nil {
+		t.Fatalf("step %d: %v", step, err)
+	}
+}
+
+// compareBestFit probes placement decisions under random constraints.
+func compareBestFit(t *testing.T, step int, rng *rand.Rand, c *Cluster, m *refModel) {
+	t.Helper()
+	for trial := 0; trial < 4; trial++ {
+		p := Pool(rng.Intn(2)) // training or on-loan, the schedulable pools
+		base := 1 + rng.Intn(8)
+		need := func(g GPUType) int {
+			if g == T4 {
+				return base * 2 // the memory-doubling shape of place.WorkerGPUs
+			}
+			return base
+		}
+		var fixed *GPUType
+		if rng.Intn(2) == 0 {
+			g := GPUType(rng.Intn(2)) // V100 or T4
+			fixed = &g
+		}
+		exclude := map[int]struct{}{}
+		for i := rng.Intn(4); i > 0; i-- {
+			exclude[rng.Intn(len(m.servers))] = struct{}{}
+		}
+		got := c.BestFit(p, need, fixed, exclude)
+		want := m.bestFit(p, need, fixed, exclude)
+		gotID := -1
+		if got != nil {
+			gotID = got.ID
+		}
+		if gotID != want {
+			t.Fatalf("step %d: BestFit(pool=%v base=%d fixed=%v excl=%d) = %d, want %d",
+				step, p, base, fixed, len(exclude), gotID, want)
+		}
+	}
+}
+
+func TestIndexedClusterMatchesReferenceModel(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := Config{TrainingServers: 6, InferenceServers: 6, GPUsPerServer: 8}
+			c, m := buildPair(cfg)
+			nextJob := 1
+			for step := 0; step < 600; step++ {
+				id := rng.Intn(len(m.servers))
+				s, r := c.Server(id), m.servers[id]
+				switch op := rng.Intn(10); {
+				case op < 4: // allocate
+					jid := nextJob
+					if rng.Intn(3) == 0 && len(r.alloc) > 0 {
+						jid = anyKey(rng, r.alloc) // grow an existing allocation
+					} else {
+						nextJob++
+					}
+					gpus := 1 + rng.Intn(5)
+					flexible := rng.Intn(3) == 0
+					err := s.Allocate(jid, gpus, flexible)
+					if wantErr := gpus > r.free(); (err != nil) != wantErr {
+						t.Fatalf("step %d: Allocate err=%v, model free=%d gpus=%d", step, err, r.free(), gpus)
+					}
+					if err == nil {
+						r.alloc[jid] += gpus
+						if flexible {
+							r.flex[jid] += gpus
+						}
+					}
+				case op < 6: // release part or all of one job
+					if len(r.alloc) == 0 {
+						continue
+					}
+					jid := anyKey(rng, r.alloc)
+					held := r.alloc[jid]
+					gpus := 1 + rng.Intn(held)
+					if err := s.Release(jid, gpus); err != nil {
+						t.Fatalf("step %d: Release: %v", step, err)
+					}
+					// Mirror the flexible-first release semantics.
+					if held == gpus {
+						delete(r.alloc, jid)
+						delete(r.flex, jid)
+					} else {
+						r.alloc[jid] = held - gpus
+						if f := r.flex[jid]; f > 0 {
+							if nf := f - gpus; nf <= 0 {
+								delete(r.flex, jid)
+							} else {
+								r.flex[jid] = nf
+							}
+						}
+					}
+				case op < 7: // release a whole job (preemption / finish)
+					if len(r.alloc) == 0 {
+						continue
+					}
+					jid := anyKey(rng, r.alloc)
+					if got := s.ReleaseJob(jid); got != r.alloc[jid] {
+						t.Fatalf("step %d: ReleaseJob = %d, want %d", step, got, r.alloc[jid])
+					}
+					delete(r.alloc, jid)
+					delete(r.flex, jid)
+				default: // move (loans, reclaims, crashes, recoveries)
+					to := Pool(rng.Intn(4))
+					err := c.Move(id, to)
+					werr := m.move(id, to)
+					if (err != nil) != (werr != nil) {
+						t.Fatalf("step %d: Move(%d,%v) err=%v, model err=%v", step, id, to, err, werr)
+					}
+				}
+				compare(t, step, c, m)
+				compareBestFit(t, step, rng, c, m)
+			}
+		})
+	}
+}
+
+// anyKey picks a deterministic pseudo-random key from a map by sorting the
+// keys first (map range order would poison reproducibility).
+func anyKey(rng *rand.Rand, m map[int]int) int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys[rng.Intn(len(keys))]
+}

@@ -31,6 +31,11 @@
 //     servers, returned inference servers are empty, and a
 //     non-heterogeneous job never spans GPU types (the illegal
 //     training/on-loan mix of §2.1).
+//  6. Index consistency — every incrementally-maintained cluster index
+//     (per-pool free/used/total/flexible counters, empty/partial server
+//     counts, per-type splits, the free-count bucket index) equals a
+//     from-scratch recount (cluster.AuditIndexes). This is the equivalence
+//     oracle for the maintain-on-write cluster core (DESIGN.md §9).
 package invariant
 
 import (
@@ -44,14 +49,15 @@ import (
 
 // Rule identifiers, stable strings tests can assert on.
 const (
-	RuleClusterInternal = "cluster-internal" // cluster.CheckInvariants failed
-	RuleGPUConservation = "gpu-conservation" // workers vs allocations vs pool totals
-	RuleLifecycle       = "lifecycle"        // job state vs workers vs queue membership
-	RuleQueueOrder      = "queue-order"      // Pending sortedness, duplicates, stale entries
-	RuleProgressBounds  = "progress-bounds"  // Remaining/OverheadLeft/queue-time bounds
-	RuleTimeMonotonic   = "time-monotonic"   // Now regressed between audits
-	RulePoolMembership  = "pool-membership"  // worker pool / GPU-type legality
-	RuleThroughput      = "throughput"       // running job must have a throughput model entry
+	RuleClusterInternal  = "cluster-internal"  // cluster.CheckInvariants failed
+	RuleIndexConsistency = "index-consistency" // cluster.AuditIndexes found counter/bucket drift
+	RuleGPUConservation  = "gpu-conservation"  // workers vs allocations vs pool totals
+	RuleLifecycle        = "lifecycle"         // job state vs workers vs queue membership
+	RuleQueueOrder       = "queue-order"       // Pending sortedness, duplicates, stale entries
+	RuleProgressBounds   = "progress-bounds"   // Remaining/OverheadLeft/queue-time bounds
+	RuleTimeMonotonic    = "time-monotonic"    // Now regressed between audits
+	RulePoolMembership   = "pool-membership"   // worker pool / GPU-type legality
+	RuleThroughput       = "throughput"        // running job must have a throughput model entry
 )
 
 // Fail panics with a structured *Error carrying the given violations. It is
@@ -169,13 +175,26 @@ func (a *Auditor) checkClock(v View, add func(Violation)) {
 
 // checkCluster folds the cluster's own internal consistency check (pool
 // index vs Pool fields, per-server alloc sums vs free counts) into the
-// report.
+// report, then cross-checks every incrementally-maintained counter and the
+// free-count bucket index against a from-scratch recount (AuditIndexes).
+// The recount is the equivalence oracle for the maintain-on-write cluster
+// core: because this runs after every audited transition, a write path
+// that forgets to update an index fails at the exact transition that
+// introduced the drift.
 func checkCluster(v View, add func(Violation)) {
 	if err := v.Cluster.CheckInvariants(); err != nil {
 		add(Violation{
 			Rule:     RuleClusterInternal,
 			Subject:  "cluster",
 			Expected: "internally consistent pool index and allocation maps",
+			Actual:   err.Error(),
+		})
+	}
+	if err := v.Cluster.AuditIndexes(); err != nil {
+		add(Violation{
+			Rule:     RuleIndexConsistency,
+			Subject:  "cluster",
+			Expected: "incremental counters and bucket index equal to a full recount",
 			Actual:   err.Error(),
 		})
 	}
@@ -205,7 +224,9 @@ func checkConservation(v View, add func(Violation)) {
 	}
 
 	// Walk every server allocation and match it against the workers.
-	for _, s := range v.Cluster.Servers() {
+	// EachServer iterates the live index without copying — this runs after
+	// every audited transition, so the per-audit allocation matters.
+	v.Cluster.EachServer(func(s *cluster.Server) bool {
 		for _, id := range s.Jobs() {
 			k := srvJob{s.ID, id}
 			if got, want := s.JobGPUs(id), expAlloc[k]; got != want {
@@ -232,7 +253,8 @@ func checkConservation(v View, add func(Violation)) {
 			delete(expAlloc, k)
 			delete(expFlex, k)
 		}
-	}
+		return true
+	})
 
 	// Leftovers are workers whose GPUs the cluster no longer accounts for:
 	// the double-release / phantom-worker class. Sorted for determinism.
@@ -274,7 +296,7 @@ func checkConservation(v View, add func(Violation)) {
 	// Rule 5's crashed-server clause: quarantined servers are out of every
 	// scheduler's reach and must hold no allocations at all — crash handling
 	// preempts or scales in their jobs before the pool move.
-	for _, s := range v.Cluster.PoolServers(cluster.PoolQuarantine) {
+	v.Cluster.EachPoolServer(cluster.PoolQuarantine, func(s *cluster.Server) bool {
 		if s.Used() > 0 {
 			add(Violation{
 				Rule:     RulePoolMembership,
@@ -284,7 +306,8 @@ func checkConservation(v View, add func(Violation)) {
 				Detail:   "crash handling must preempt or scale in every job before quarantining",
 			})
 		}
-	}
+		return true
+	})
 }
 
 // checkJobs enforces rules 2, 4 and 5 per job: lifecycle/worker legality,

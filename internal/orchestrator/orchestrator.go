@@ -94,15 +94,10 @@ func (o *Orchestrator) Epoch(st *sim.State) {
 }
 
 // busyOnLoanServers counts on-loan servers currently hosting any workers;
-// they are never trimmed voluntarily.
+// they are never trimmed voluntarily. O(1) off the cluster's maintained
+// empty-server counter.
 func (o *Orchestrator) busyOnLoanServers(st *sim.State) int {
-	n := 0
-	for _, s := range st.Cluster.PoolServers(cluster.PoolOnLoan) {
-		if s.Used() > 0 {
-			n++
-		}
-	}
-	return n
+	return st.Cluster.BusyServers(cluster.PoolOnLoan)
 }
 
 // demandServers estimates how many additional inference servers the
@@ -153,21 +148,28 @@ func (o *Orchestrator) demandServers(st *sim.State) int {
 // returnIdle hands back up to n empty on-loan servers — a voluntary trim,
 // so only servers with no workers qualify and nothing is preempted.
 func (o *Orchestrator) returnIdle(st *sim.State, n int) {
-	var moved []int
-	for _, s := range st.Cluster.PoolServers(cluster.PoolOnLoan) {
-		if n == 0 {
-			break
-		}
+	// Collect candidates first, then move: Move re-indexes pools, so it
+	// must not run inside a live pool iteration. Lowest IDs go first,
+	// matching the pre-index slice order.
+	if n <= 0 {
+		return
+	}
+	picked := make([]int, 0, n)
+	st.Cluster.EachPoolServer(cluster.PoolOnLoan, func(s *cluster.Server) bool {
 		if s.Used() > 0 {
-			continue
+			return true
 		}
-		if err := st.Cluster.Move(s.ID, cluster.PoolInference); err != nil {
-			failMove(st, "return idle", s.ID, cluster.PoolInference, err)
+		picked = append(picked, s.ID)
+		return len(picked) < n
+	})
+	var moved []int
+	for _, sid := range picked {
+		if err := st.Cluster.Move(sid, cluster.PoolInference); err != nil {
+			failMove(st, "return idle", sid, cluster.PoolInference, err)
 		}
 		if st.Obs.Enabled() {
-			moved = append(moved, s.ID)
+			moved = append(moved, sid)
 		}
-		n--
 	}
 	if len(moved) > 0 {
 		st.Obs.Emit(obs.Ev(st.Now, obs.KindOrchReturn).WithF(obs.Fields{
@@ -179,18 +181,24 @@ func (o *Orchestrator) returnIdle(st *sim.State, n int) {
 
 // loan moves n inference servers onto the training scheduler's whitelist.
 func (o *Orchestrator) loan(st *sim.State, n int) {
+	// Same collect-then-move discipline as returnIdle: lowest-ID inference
+	// servers are loaned first, as before.
+	if n <= 0 {
+		return
+	}
+	picked := make([]int, 0, n)
+	st.Cluster.EachPoolServer(cluster.PoolInference, func(s *cluster.Server) bool {
+		picked = append(picked, s.ID)
+		return len(picked) < n
+	})
 	var moved []int
-	for _, s := range st.Cluster.PoolServers(cluster.PoolInference) {
-		if n == 0 {
-			break
-		}
-		if err := st.Cluster.Move(s.ID, cluster.PoolOnLoan); err != nil {
-			failMove(st, "loan", s.ID, cluster.PoolOnLoan, err)
+	for _, sid := range picked {
+		if err := st.Cluster.Move(sid, cluster.PoolOnLoan); err != nil {
+			failMove(st, "loan", sid, cluster.PoolOnLoan, err)
 		}
 		if st.Obs.Enabled() {
-			moved = append(moved, s.ID)
+			moved = append(moved, sid)
 		}
-		n--
 	}
 	if len(moved) > 0 {
 		st.Obs.Emit(obs.Ev(st.Now, obs.KindOrchLoan).WithF(obs.Fields{
@@ -215,6 +223,8 @@ func failMove(st *sim.State, op string, sid int, to cluster.Pool, err error) {
 // cluster, recording preemption and collateral-damage accounting on the
 // state.
 func (o *Orchestrator) reclaim(st *sim.State, n int) {
+	// PoolServers returns a defensive copy, so the candidate snapshot stays
+	// valid while the plan's Moves re-index the pools below.
 	onLoan := st.Cluster.PoolServers(cluster.PoolOnLoan)
 	lookup := func(id int) *job.Job { return st.Running[id] }
 	plan := o.Policy.Plan(onLoan, lookup, n)

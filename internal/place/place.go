@@ -157,14 +157,16 @@ func poolOrder(opt Options) []cluster.Pool {
 
 // poolGPU returns the GPU type of pool p's servers, nil if the pool is
 // empty. Pools are homogeneous by construction (loaning moves whole
-// inference servers).
+// inference servers); the lowest-ID member is the representative, matching
+// the pre-index behavior of reading the head of the sorted pool slice.
 func poolGPU(c *cluster.Cluster, p cluster.Pool) *cluster.GPUType {
-	ss := c.PoolServers(p)
-	if len(ss) == 0 {
-		return nil
-	}
-	g := ss[0].GPU
-	return &g
+	var g *cluster.GPUType
+	c.EachPoolServer(p, func(s *cluster.Server) bool {
+		gpu := s.GPU
+		g = &gpu
+		return false
+	})
+	return g
 }
 
 // bestFit returns the server to host one worker of j under opt, or nil.
@@ -173,32 +175,27 @@ func poolGPU(c *cluster.Cluster, p cluster.Pool) *cluster.GPUType {
 // falling back to an empty server; ties broken by server ID for
 // determinism. The per-worker GPU requirement is evaluated per server GPU
 // type (see WorkerGPUs).
+//
+// The pool-internal order (fitBetter: non-empty, then least free, then
+// lowest ID) is resolved by the cluster's free-count bucket index in
+// O(buckets + log S) rather than a full pool scan; cluster.BestFit
+// documents the exact-equivalence argument, and the cluster property test
+// checks it against a naive fitBetter scan on random states.
 func bestFit(c *cluster.Cluster, j *job.Job, opt Options) *cluster.Server {
+	need := func(g cluster.GPUType) int { return WorkerGPUs(j, g) }
 	for _, pool := range poolOrder(opt) {
-		var best *cluster.Server
-		for _, s := range c.PoolServers(pool) {
-			if s.Free() < WorkerGPUs(j, s.GPU) {
-				continue
-			}
-			if opt.FixedGPU != nil && s.GPU != *opt.FixedGPU {
-				continue
-			}
-			if _, excluded := opt.Exclude[s.ID]; excluded {
-				continue
-			}
-			if best == nil || fitBetter(s, best) {
-				best = s
-			}
-		}
-		if best != nil {
-			return best
+		if s := c.BestFit(pool, need, opt.FixedGPU, opt.Exclude); s != nil {
+			return s
 		}
 	}
 	return nil
 }
 
 // fitBetter reports whether a is a better best-fit target than b: prefer
-// non-empty servers, then smaller free space, then lower ID.
+// non-empty servers, then smaller free space, then lower ID. This is the
+// placement tie-break contract; cluster.BestFit implements it on the bucket
+// index, and the property test in internal/cluster uses FitBetter as the
+// reference order.
 func fitBetter(a, b *cluster.Server) bool {
 	aEmpty, bEmpty := a.Used() == 0, b.Used() == 0
 	if aEmpty != bEmpty {
@@ -209,6 +206,10 @@ func fitBetter(a, b *cluster.Server) bool {
 	}
 	return a.ID < b.ID
 }
+
+// FitBetter exposes the placement preference order for reference-model
+// tests (see internal/cluster's property test).
+func FitBetter(a, b *cluster.Server) bool { return fitBetter(a, b) }
 
 // FitsOnLoan reports whether one worker of j can be hosted by an
 // inference-class server at all: with the memory-driven GPU doubling, a

@@ -1,0 +1,62 @@
+package place_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lyra/internal/cluster"
+	"lyra/internal/job"
+	. "lyra/internal/place"
+)
+
+// benchCluster builds a production-shaped cluster at the given scale
+// multiplier (1x = the paper's 443 training + 520 inference servers), loans
+// a quarter of the inference pool, and fills the training pool with a
+// deterministic mix of partial allocations so best-fit has real buckets to
+// discriminate between: servers at every free count, plus a band of empty
+// ones.
+func benchCluster(scale int) (*cluster.Cluster, cluster.Config) {
+	cfg := cluster.Config{TrainingServers: 443 * scale, InferenceServers: 520 * scale}
+	c := cluster.New(cfg)
+	for i := 0; i < cfg.InferenceServers/4; i++ {
+		if err := c.Move(cfg.TrainingServers+i, cluster.PoolOnLoan); err != nil {
+			panic(err)
+		}
+	}
+	id := 1
+	for i := 0; i < cfg.TrainingServers; i++ {
+		if i%5 == 4 {
+			continue // leave every fifth server empty
+		}
+		gpus := 1 + (i*3)%7 // free counts 1..7 spread across the pool
+		if err := c.Server(i).Allocate(id, gpus, i%3 == 0); err != nil {
+			panic(err)
+		}
+		id++
+	}
+	return c, cfg
+}
+
+// BenchmarkBestFit measures one best-fit placement (plus the matching
+// release, so the cluster state is identical every iteration) at 1x and 10x
+// the paper's server count. Recorded in BENCH_cluster.json.
+func BenchmarkBestFit(b *testing.B) {
+	for _, scale := range []int{1, 10} {
+		b.Run(fmt.Sprintf("%dx", scale), func(b *testing.B) {
+			c, _ := benchCluster(scale)
+			j := job.New(1000000, 0, job.Generic, 1, 1, 1, 3600)
+			opt := PreferTraining(true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ws := UpTo(c, j, 1, opt)
+				if len(ws) != 1 {
+					b.Fatalf("placed %d workers, want 1", len(ws))
+				}
+				if err := c.Server(ws[0].Server).Release(j.ID, ws[0].GPUs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

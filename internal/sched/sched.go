@@ -78,9 +78,11 @@ func (pp poolPolicy) options(j *job.Job, flexible bool) place.Options {
 // caller runs a second pass for heterogeneous jobs after everything else
 // (§6: they get the lowest priority).
 func startBase(st *sim.State, policy func(*job.Job) poolPolicy, heteroPass bool) []*job.Job {
+	// Both free and flexible counts are O(1) reads of the cluster's
+	// maintained counters; no scan.
 	availT, availL := st.FreeSchedulableGPUs()
-	availT += flexibleGPUs(st, cluster.PoolTraining)
-	availL += flexibleGPUs(st, cluster.PoolOnLoan)
+	availT += st.Cluster.FlexibleGPUs(cluster.PoolTraining)
+	availL += st.Cluster.FlexibleGPUs(cluster.PoolOnLoan)
 	var chosen []*job.Job
 	for _, j := range st.Pending {
 		if j.Hetero != heteroPass {
@@ -131,15 +133,6 @@ func startBase(st *sim.State, policy func(*job.Job) poolPolicy, heteroPass bool)
 	return started
 }
 
-// flexibleGPUs counts GPUs held by flexible workers in a pool.
-func flexibleGPUs(st *sim.State, pool cluster.Pool) int {
-	total := 0
-	for _, s := range st.Cluster.PoolServers(pool) {
-		total += s.TotalFlexible()
-	}
-	return total
-}
-
 // reclaimFlexible scales elastic jobs in until roughly j's base demand
 // worth of flexible GPUs has been released in j's eligible pools, returning
 // the GPUs freed.
@@ -158,16 +151,18 @@ func reclaimFlexible(st *sim.State, j *job.Job, pp poolPolicy) int {
 		if pool == cluster.PoolOnLoan && !pp.allowOnLoan {
 			continue
 		}
-		for _, s := range st.Cluster.PoolServers(pool) {
+		// Scale-ins only release GPUs — they never move servers between
+		// pools — so iterating the live pool index is safe here.
+		st.Cluster.EachPoolServer(pool, func(s *cluster.Server) bool {
 			if freed >= want {
-				return freed
+				return false
 			}
 			if s.TotalFlexible() == 0 {
-				continue
+				return true
 			}
 			for _, id := range s.Jobs() {
 				if freed >= want {
-					return freed
+					return false
 				}
 				if s.FlexibleGPUs(id) == 0 {
 					continue
@@ -179,6 +174,10 @@ func reclaimFlexible(st *sim.State, j *job.Job, pp poolPolicy) int {
 				removed := st.RemoveFlexibleOnServer(victim, s.ID)
 				freed += removed * victim.GPUsPerWorker
 			}
+			return true
+		})
+		if freed >= want {
+			return freed
 		}
 	}
 	return freed

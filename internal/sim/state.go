@@ -220,8 +220,11 @@ func (st *State) RemoveFlexibleWorkers(j *job.Job, n int) int {
 		return 0
 	}
 	// Rank candidate flexible workers by ascending hosting-server load
-	// (measured before any removal), breaking ties by server ID then
-	// worker order for determinism.
+	// (measured before any removal). Tie-break keys, in order: server load,
+	// server ID, worker index in j.Workers. The explicit idx key makes the
+	// comparator total, so plain sort.Slice reproduces exactly what the
+	// previous SliceStable sort produced by stability — and the decision
+	// order is now spelled out instead of implied.
 	type cand struct {
 		idx, load, srv int
 	}
@@ -231,11 +234,14 @@ func (st *State) RemoveFlexibleWorkers(j *job.Job, n int) int {
 			cands = append(cands, cand{idx: i, load: st.Cluster.Server(w.Server).Used(), srv: w.Server})
 		}
 	}
-	sort.SliceStable(cands, func(a, b int) bool {
+	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].load != cands[b].load {
 			return cands[a].load < cands[b].load
 		}
-		return cands[a].srv < cands[b].srv
+		if cands[a].srv != cands[b].srv {
+			return cands[a].srv < cands[b].srv
+		}
+		return cands[a].idx < cands[b].idx
 	})
 	if n > len(cands) {
 		n = len(cands)

@@ -202,12 +202,14 @@ func New(cfg Config, tr *trace.Trace, sched sim.Scheduler, reclaimPolicy func(le
 	for _, j := range tr.Jobs {
 		tb.byID[j.ID] = j
 	}
-	for _, s := range c.PoolServers(cluster.PoolTraining) {
+	c.EachPoolServer(cluster.PoolTraining, func(s *cluster.Server) bool {
 		tb.lyraWL.Add(s.ID)
-	}
-	for _, s := range c.PoolServers(cluster.PoolInference) {
+		return true
+	})
+	c.EachPoolServer(cluster.PoolInference, func(s *cluster.Server) bool {
 		tb.infWL.Add(s.ID)
-	}
+		return true
+	})
 	if reclaimPolicy != nil {
 		full := inference.GenerateUtilization(
 			inference.DefaultUtilizationConfig(cfg.Seed+13),
@@ -486,7 +488,10 @@ func (tb *Testbed) retireController(id int) {
 // rather than the peer whitelist, so the handover is an Add, not a
 // transfer.
 func (tb *Testbed) reconcileWhitelists() {
-	for _, s := range tb.st.Cluster.Servers() {
+	// Reconciliation only mutates whitelists, never pool membership, so it
+	// iterates the cluster's live server index (no per-call copy — this
+	// runs after every orchestrator epoch and fault event).
+	tb.st.Cluster.EachServer(func(s *cluster.Server) bool {
 		if s.Pool == cluster.PoolQuarantine {
 			if tb.lyraWL.Has(s.ID) {
 				if err := tb.lyraWL.Remove(s.ID); err != nil {
@@ -498,7 +503,7 @@ func (tb *Testbed) reconcileWhitelists() {
 					tb.failHandover("quarantine", s.ID, err.Error())
 				}
 			}
-			continue
+			return true
 		}
 		underLyra := s.Pool == cluster.PoolTraining || s.Pool == cluster.PoolOnLoan
 		switch {
@@ -519,7 +524,8 @@ func (tb *Testbed) reconcileWhitelists() {
 				tb.failHandover("reclaim handover", s.ID, err.Error())
 			}
 		}
-	}
+		return true
+	})
 }
 
 // failHandover raises a structured pool-membership violation for a §6

@@ -1,0 +1,41 @@
+package lyra_test
+
+// Scale benchmarks for the indexed cluster core: BenchmarkEpoch drives the
+// full Lyra scheduler (epoch loop, placement, loaning) over a one-day trace
+// at 1x and 10x server/job counts. Together with BenchmarkBestFit
+// (internal/place) these are the perf-trajectory points recorded in
+// BENCH_cluster.json; `make bench-scale` regenerates them.
+
+import (
+	"fmt"
+	"testing"
+
+	"lyra"
+)
+
+// BenchmarkEpoch runs one complete simulation per iteration. The 1x point
+// is a 44+52-server cluster with a trace sized to its training GPUs; the
+// 10x point multiplies both servers and trace load by ten, so the epoch
+// loop faces 10x the jobs over 10x the servers.
+func BenchmarkEpoch(b *testing.B) {
+	for _, scale := range []int{1, 10} {
+		b.Run(fmt.Sprintf("%dx", scale), func(b *testing.B) {
+			tcfg := lyra.DefaultTraceConfig(1)
+			tcfg.Days = 1
+			tcfg.TrainingGPUs = 352 * scale
+			tr := lyra.GenerateTrace(tcfg)
+			cfg := lyra.DefaultConfig()
+			cfg.Cluster = lyra.ClusterConfig{
+				TrainingServers:  44 * scale,
+				InferenceServers: 52 * scale,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := lyra.Run(cfg, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+#!/bin/sh
+# bench_scale.sh runs the scale benchmarks for the indexed cluster core —
+# BenchmarkBestFit (internal/place) and BenchmarkEpoch (root) at 1x and 10x
+# the paper's server count — and emits the numbers as JSON, the format of
+# the perf-trajectory entries in BENCH_cluster.json.
+#
+# Usage: bench_scale.sh [-short] [output.json]
+#   -short       smoke mode: 1x scale only, one iteration each — asserts
+#                the benchmarks still complete and the JSON pipeline works
+#                (wired into `make check` / scripts/check.sh).
+#   output.json  write JSON there instead of stdout.
+set -eu
+cd "$(dirname "$0")/.."
+
+short=0
+out=""
+for a in "$@"; do
+	case "$a" in
+	-short) short=1 ;;
+	*) out="$a" ;;
+	esac
+done
+
+if [ "$short" = 1 ]; then
+	bf_filter='BenchmarkBestFit/1x$'
+	ep_filter='BenchmarkEpoch/1x$'
+	bf_time=100x
+	ep_time=1x
+else
+	bf_filter='BenchmarkBestFit'
+	ep_filter='BenchmarkEpoch'
+	bf_time=2s
+	ep_time=3x
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+go test -run '^$' -bench "$bf_filter" -benchtime "$bf_time" ./internal/place/ >"$tmp"
+go test -run '^$' -bench "$ep_filter" -benchtime "$ep_time" . >>"$tmp"
+
+# Benchmark lines look like:
+#   BenchmarkBestFit/1x-8  123456  218.0 ns/op  33 B/op  2 allocs/op
+json=$(awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7
+}
+END { printf "\n" }
+' "$tmp")
+
+if [ -z "$json" ]; then
+	echo "bench_scale: no benchmark output parsed" >&2
+	cat "$tmp" >&2
+	exit 1
+fi
+
+doc=$(printf '{\n  "generated_by": "scripts/bench_scale.sh",\n  "results": [\n%s  ]\n}\n' "$json")
+
+# Emitting invalid JSON should fail the gate, not poison the trajectory.
+printf '%s' "$doc" | jq -e '.results | length > 0' >/dev/null
+
+if [ -n "$out" ]; then
+	printf '%s' "$doc" >"$out"
+	echo "bench_scale: wrote $out"
+else
+	printf '%s' "$doc"
+fi

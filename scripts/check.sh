@@ -33,4 +33,7 @@ echo "== events-smoke (event-stream determinism end to end)"
 echo "== fault-smoke (fault injection + recovery end to end)"
 ./scripts/fault_smoke.sh
 
+echo "== bench-scale-smoke (scale benchmarks complete and emit JSON)"
+./scripts/bench_scale.sh -short /dev/null
+
 echo "OK"
