@@ -46,15 +46,17 @@ events-smoke:
 fault-smoke:
 	@./scripts/fault_smoke.sh
 
-# bench-scale runs BenchmarkBestFit / BenchmarkEpoch at 1x and 10x the
-# paper's server count and prints the results as JSON — the numbers recorded
+# bench-scale runs BenchmarkBestFit / BenchmarkEpoch at the 1x/10x/100x
+# tiers (100x = one hundred times the paper's production cluster, a capped
+# window of epochs) and prints the results as JSON — the numbers recorded
 # in BENCH_cluster.json (the repo's perf trajectory for the indexed cluster
 # core). Append an entry there after intentional perf-relevant changes.
 bench-scale:
 	@./scripts/bench_scale.sh
 
-# bench-scale-smoke is the `check` wiring: one short run asserting the scale
-# benchmarks still complete and emit valid JSON.
+# bench-scale-smoke is the `check` wiring: one short run (1x plus a short
+# 100x window) asserting the scale benchmarks still complete, the 100x tier
+# stays feasible, and the JSON pipeline works.
 bench-scale-smoke:
 	@./scripts/bench_scale.sh -short /dev/null
 
@@ -63,7 +65,9 @@ bench-scale-smoke:
 bench:
 	$(GO) test -run NONE -bench BenchmarkEngineAudit -benchtime 10x ./internal/sim/
 
-# fuzz explores random start/scale/preempt/reclaim interleavings beyond the
-# seed corpus that already runs under `make test`.
+# fuzz explores random start/scale/preempt/reclaim interleavings and
+# incremental-vs-rescan differential workloads beyond the seed corpora that
+# already run under `make test`.
 fuzz:
 	$(GO) test -fuzz FuzzChaosInterleavings -fuzztime 60s ./internal/sim/
+	$(GO) test -fuzz FuzzIncrementalVsRescan -fuzztime 60s ./internal/sched/

@@ -44,7 +44,7 @@ func workedExamples() {
 
 	// Phase 2 solves the MCKP: with 4 spare GPUs the best move is A+1
 	// (value 50) plus B+2 (value 30).
-	got := alloc.Phase2([]*job.Job{a4, b}, 4, job.Linear, alloc.Tuning{})
+	got := alloc.Phase2([]*job.Job{a4, b}, 4, job.Linear, alloc.Tuning{}, nil)
 	fmt.Println("\nPhase-2 MCKP decision with 4 spare GPUs:")
 	for _, e := range got {
 		fmt.Printf("  job %d gets %d extra worker(s)\n", e.ID, e.Extra)

@@ -70,6 +70,58 @@ func JCTReduction(j *job.Job, extra int, sm job.ScalingModel) float64 {
 	return j.Remaining/base - j.Remaining/more
 }
 
+// ThroughputCache memoizes per-job nominal-throughput tables. A job's
+// nominal throughput at w workers depends only on immutable job fields
+// (worker shape, scaling exponent) and the run's ScalingModel — never on
+// progress, placement or tuning state — so the table over the job's whole
+// worker range [MinWorkers, MaxWorkers] is computed once per job per run
+// and reused by every phase-2 / AFS epoch, instead of re-evaluating the
+// model O(items) times per candidate per epoch. Cached values come from the
+// same NominalThroughput calls, so decisions are bit-identical with and
+// without the cache — the differential fuzz target and the golden stream
+// both pin this. One cache belongs to one scheduler instance (one run); it
+// is not safe for concurrent use.
+type ThroughputCache struct {
+	sm  job.ScalingModel
+	tbl map[int][]float64 // job ID → throughput at MinWorkers+k for k in [0, FlexRange]
+}
+
+// NewThroughputCache returns an empty cache for one run's scaling model.
+func NewThroughputCache(sm job.ScalingModel) *ThroughputCache {
+	return &ThroughputCache{sm: sm, tbl: make(map[int][]float64)}
+}
+
+func (c *ThroughputCache) table(j *job.Job) []float64 {
+	if t, ok := c.tbl[j.ID]; ok {
+		return t
+	}
+	t := make([]float64, j.FlexRange()+1)
+	for k := range t {
+		t[k] = j.NominalThroughput(j.MinWorkers+k, cluster.V100, c.sm)
+	}
+	c.tbl[j.ID] = t
+	return t
+}
+
+// nominal returns j's nominal throughput at w workers, from the table when
+// w is inside the job's worker range.
+func (c *ThroughputCache) nominal(j *job.Job, w int) float64 {
+	if k := w - j.MinWorkers; k >= 0 && k <= j.FlexRange() {
+		return c.table(j)[k]
+	}
+	return j.NominalThroughput(w, cluster.V100, c.sm)
+}
+
+// jctReduction is JCTReduction served from the cache.
+func (c *ThroughputCache) jctReduction(j *job.Job, extra int) float64 {
+	t := c.table(j)
+	base, more := t[0], c.nominal(j, j.MinWorkers+extra)
+	if base <= 0 || more <= 0 {
+		return 0
+	}
+	return j.Remaining/base - j.Remaining/more
+}
+
 // itemExtras returns the candidate extra-worker counts for one job: all of
 // 1..FlexRange when small, otherwise maxItems evenly spaced values always
 // including FlexRange. current (the job's present extra workers) is always
@@ -117,8 +169,10 @@ var StabilityBonus = 1.08
 // candidate extra-worker count), weights are GPUs, values are JCT
 // reductions, and the capacity is the number of GPUs available for flexible
 // workers. It returns the target extra workers per job (jobs absent from
-// the result get zero).
-func Phase2(jobs []*job.Job, capacityGPUs int, sm job.ScalingModel, tune Tuning) []Extra {
+// the result get zero). cache, when non-nil, serves the throughput lookups
+// from per-job memoized tables (same values, fewer model evaluations); nil
+// evaluates the model directly.
+func Phase2(jobs []*job.Job, capacityGPUs int, sm job.ScalingModel, tune Tuning, cache *ThroughputCache) []Extra {
 	if capacityGPUs <= 0 || len(jobs) == 0 {
 		return nil
 	}
@@ -167,7 +221,12 @@ func Phase2(jobs []*job.Job, capacityGPUs int, sm job.ScalingModel, tune Tuning)
 		ks := itemExtras(fr, cur, maxItems)
 		items := make([]knapsack.Item, len(ks))
 		for i, k := range ks {
-			v := JCTReduction(j, k, sm)
+			var v float64
+			if cache != nil {
+				v = cache.jctReduction(j, k)
+			} else {
+				v = JCTReduction(j, k, sm)
+			}
 			if k == cur {
 				v *= bonus
 			}
@@ -202,8 +261,9 @@ func gcd(a, b int) int {
 // more worker to the job with the largest marginal throughput gain per GPU
 // until the capacity is exhausted. Ties favor the job with the most
 // remaining work — the greedy bias toward big throughput consumers that
-// costs AFS average JCT (§7.4).
-func AFS(jobs []*job.Job, capacityGPUs int, sm job.ScalingModel) []Extra {
+// costs AFS average JCT (§7.4). cache follows the Phase2 contract: non-nil
+// serves throughput lookups from memoized tables, nil evaluates the model.
+func AFS(jobs []*job.Job, capacityGPUs int, sm job.ScalingModel, cache *ThroughputCache) []Extra {
 	type state struct {
 		j     *job.Job
 		extra int
@@ -224,8 +284,13 @@ func AFS(jobs []*job.Job, capacityGPUs int, sm job.ScalingModel) []Extra {
 				continue
 			}
 			w := s.j.MinWorkers + s.extra
-			gain := (s.j.NominalThroughput(w+1, cluster.V100, sm) - s.j.NominalThroughput(w, cluster.V100, sm)) /
-				float64(s.j.GPUsPerWorker)
+			var gain float64
+			if cache != nil {
+				gain = (cache.nominal(s.j, w+1) - cache.nominal(s.j, w)) / float64(s.j.GPUsPerWorker)
+			} else {
+				gain = (s.j.NominalThroughput(w+1, cluster.V100, sm) - s.j.NominalThroughput(w, cluster.V100, sm)) /
+					float64(s.j.GPUsPerWorker)
+			}
 			switch {
 			case best == nil || gain > bestGain+1e-12:
 				best, bestGain = s, gain

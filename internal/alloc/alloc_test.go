@@ -71,7 +71,7 @@ func TestPhase2PicksMaxTotalReduction(t *testing.T) {
 	a := job.New(1, 0, job.Generic, 2, 2, 3, 100)
 	a.Elastic = true
 	_, b := table4Jobs()
-	got := Phase2([]*job.Job{a, b}, 4, job.Linear, Tuning{})
+	got := Phase2([]*job.Job{a, b}, 4, job.Linear, Tuning{}, nil)
 	// Options: A+1 (2 GPUs, 50) + B+2 (2 GPUs, 30) = 80 beats B+4 (40)
 	// and A+1 + B+1 (70).
 	want := map[int]int{1: 1, 2: 2}
@@ -87,7 +87,7 @@ func TestPhase2PicksMaxTotalReduction(t *testing.T) {
 
 func TestPhase2EverythingFitsShortcut(t *testing.T) {
 	a, b := tableJobs2()
-	got := Phase2([]*job.Job{a, b}, 100, job.Linear, Tuning{})
+	got := Phase2([]*job.Job{a, b}, 100, job.Linear, Tuning{}, nil)
 	if len(got) != 2 || got[0].Extra != a.FlexRange() || got[1].Extra != b.FlexRange() {
 		t.Errorf("abundant capacity should max everyone: %v", got)
 	}
@@ -95,7 +95,7 @@ func TestPhase2EverythingFitsShortcut(t *testing.T) {
 
 func TestPhase2ZeroCapacity(t *testing.T) {
 	a, b := tableJobs2()
-	if got := Phase2([]*job.Job{a, b}, 0, job.Linear, Tuning{}); got != nil {
+	if got := Phase2([]*job.Job{a, b}, 0, job.Linear, Tuning{}, nil); got != nil {
 		t.Errorf("zero capacity: %v", got)
 	}
 }
@@ -104,7 +104,7 @@ func TestPhase2RespectsCapacity(t *testing.T) {
 	a, b := tableJobs2()
 	a.GPUsPerWorker, b.GPUsPerWorker = 2, 2
 	for _, capGPUs := range []int{1, 2, 3, 5, 7, 9} {
-		got := Phase2([]*job.Job{a, b}, capGPUs, job.Linear, Tuning{})
+		got := Phase2([]*job.Job{a, b}, capGPUs, job.Linear, Tuning{}, nil)
 		total := 0
 		for _, e := range got {
 			total += e.Extra * 2
@@ -126,7 +126,7 @@ func TestPhase2StabilityBonusPreventsChurn(t *testing.T) {
 		{Server: 0, GPUs: 1}, {Server: 0, GPUs: 1},
 		{Server: 1, GPUs: 1, Flexible: true},
 	}
-	got := Phase2([]*job.Job{a, b}, 1, job.Linear, Tuning{})
+	got := Phase2([]*job.Job{a, b}, 1, job.Linear, Tuning{}, nil)
 	if len(got) != 1 || got[0].ID != b.ID || got[0].Extra != 1 {
 		t.Errorf("churn: %v, want job %d to keep its flexible worker", got, b.ID)
 	}
@@ -167,7 +167,7 @@ func TestAFSGreedyMarginalGain(t *testing.T) {
 	// 0.8 gain per GPU for 1-GPU-per-worker jobs; ties go to the job with
 	// more remaining work.
 	a, b := tableJobs2() // A has work 300, B has work 120
-	got := AFS([]*job.Job{a, b}, 2, job.Imperfect)
+	got := AFS([]*job.Job{a, b}, 2, job.Imperfect, nil)
 	if len(got) != 1 || got[0].ID != a.ID || got[0].Extra != 2 {
 		t.Errorf("AFS = %v, want A getting both workers (larger remaining)", got)
 	}
@@ -182,7 +182,7 @@ func TestAFSPerGPUNormalization(t *testing.T) {
 	big.Elastic = true
 	small := job.New(2, 0, job.Generic, 1, 1, 3, 10)
 	small.Elastic = true
-	got := AFS([]*job.Job{big, small}, 4, job.Linear)
+	got := AFS([]*job.Job{big, small}, 4, job.Linear, nil)
 	if len(got) == 0 || got[0].ID != big.ID {
 		t.Errorf("AFS = %v, want the big job favored on ties", got)
 	}
@@ -190,7 +190,7 @@ func TestAFSPerGPUNormalization(t *testing.T) {
 
 func TestAFSRespectsCapacityAndRange(t *testing.T) {
 	a, b := tableJobs2()
-	got := AFS([]*job.Job{a, b}, 100, job.Linear)
+	got := AFS([]*job.Job{a, b}, 100, job.Linear, nil)
 	for _, e := range got {
 		if e.Extra > 4 {
 			t.Errorf("job %d got %d extras beyond range", e.ID, e.Extra)

@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"sort"
-
 	"lyra/internal/alloc"
 	"lyra/internal/job"
 	"lyra/internal/place"
@@ -20,6 +18,9 @@ type FIFO struct {
 
 // Less implements sim.Scheduler.
 func (f *FIFO) Less(a, b *job.Job) bool { return lessByArrival(a, b) }
+
+// Memoryless implements sim.MemorylessScheduler.
+func (f *FIFO) Memoryless() bool { return true }
 
 // Schedule implements sim.Scheduler.
 func (f *FIFO) Schedule(st *sim.State) {
@@ -41,6 +42,9 @@ type Gandiva struct{}
 // Less implements sim.Scheduler.
 func (g *Gandiva) Less(a, b *job.Job) bool { return lessByArrival(a, b) }
 
+// Memoryless implements sim.MemorylessScheduler.
+func (g *Gandiva) Memoryless() bool { return true }
+
 // Schedule implements sim.Scheduler.
 func (g *Gandiva) Schedule(st *sim.State) {
 	// Opportunistic growth is revoked on demand inside startBase: waiting
@@ -57,7 +61,7 @@ func (g *Gandiva) Schedule(st *sim.State) {
 	grew := true
 	for grew {
 		grew = false
-		for _, j := range sortedRunning(st) {
+		for _, j := range st.RunningOrdered() {
 			if !j.Elastic || j.FlexibleWorkers() >= j.FlexRange() {
 				continue
 			}
@@ -72,30 +76,35 @@ func (g *Gandiva) Schedule(st *sim.State) {
 // AFS models Elastic Resource Sharing as adapted in §7.1: every job gets
 // its base demand first (in arrival order), then one worker at a time goes
 // to the job with the largest marginal throughput gain per GPU.
-type AFS struct{}
+type AFS struct {
+	// cache memoizes per-job marginal-gain inputs (alloc.ThroughputCache:
+	// pure memoization, bit-identical decisions, per-instance).
+	cache *alloc.ThroughputCache
+}
 
 // Less implements sim.Scheduler.
 func (a *AFS) Less(x, y *job.Job) bool { return lessByArrival(x, y) }
+
+// Memoryless implements sim.MemorylessScheduler.
+func (a *AFS) Memoryless() bool { return true }
 
 // Schedule implements sim.Scheduler.
 func (a *AFS) Schedule(st *sim.State) {
 	startBase(st, defaultPoolPolicy, false)
 	startBase(st, defaultPoolPolicy, true)
-	cands := make([]*job.Job, 0)
-	flexGPUs := 0
 	// ID order, not map order: candidate order decides who wins marginal-
-	// gain ties, which must not vary run to run.
-	for _, j := range sortedRunning(st) {
-		if j.Elastic && j.FlexRange() > 0 {
-			cands = append(cands, j)
-			flexGPUs += j.FlexibleWorkers() * j.GPUsPerWorker
-		}
-	}
+	// gain ties, which must not vary run to run. Both the candidate set
+	// and the flexible-GPU count are maintained views.
+	cands := st.ElasticOrdered()
 	if len(cands) == 0 {
 		return
 	}
+	flexGPUs := st.FlexNominalGPUs()
 	freeT, freeL := st.FreeSchedulableGPUs()
-	targets := alloc.AFS(cands, freeT+freeL+flexGPUs, st.Scaling)
+	if a.cache == nil && !st.Rescan {
+		a.cache = alloc.NewThroughputCache(st.Scaling)
+	}
+	targets := alloc.AFS(cands, freeT+freeL+flexGPUs, st.Scaling, a.cache)
 	applyExtraTargets(st, cands, targets, false, "afs")
 }
 
@@ -124,15 +133,4 @@ func applyExtraTargets(st *sim.State, cands []*job.Job, targets []alloc.Extra, n
 			st.AddWorkers(j, ws)
 		}
 	}
-}
-
-// sortedRunning returns running jobs in ascending ID order for
-// deterministic iteration.
-func sortedRunning(st *sim.State) []*job.Job {
-	out := make([]*job.Job, 0, len(st.Running))
-	for _, j := range st.Running {
-		out = append(out, j)
-	}
-	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
-	return out
 }

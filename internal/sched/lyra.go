@@ -40,10 +40,22 @@ type Lyra struct {
 	// than package-global so concurrent simulations can sweep them
 	// independently.
 	Tuning alloc.Tuning
+
+	// cache memoizes per-job nominal-throughput tables for the phase-2
+	// MCKP (see alloc.ThroughputCache: pure memoization, bit-identical
+	// decisions). p2target is the per-epoch target map, reused across
+	// epochs. Both are per-instance — scheduler factories build a fresh
+	// instance per run, so concurrent simulations stay independent.
+	cache    *alloc.ThroughputCache
+	p2target map[int]int
 }
 
 // NewLyra returns the full Lyra scheduler (elastic scaling on).
 func NewLyra() *Lyra { return &Lyra{Elastic: true} }
+
+// Memoryless implements sim.MemorylessScheduler: Schedule is a pure
+// function of the state (the throughput cache is memoization, not memory).
+func (l *Lyra) Memoryless() bool { return true }
 
 // Less implements sim.Scheduler: SJF over estimated runtime, or
 // least-attained-service when running information-agnostic.
@@ -82,23 +94,21 @@ func (l *Lyra) Schedule(st *sim.State) {
 // being used by flexible workers for resizing"), and the MCKP picks the
 // extra-worker allocation maximizing total JCT reduction.
 func (l *Lyra) phase2(st *sim.State) {
-	var cands []*job.Job
-	flexGPUs := 0
-	// Iterate in ID order: the candidate order is the MCKP group order,
-	// and map order would make tie-breaks (and thus results) vary run to
-	// run.
-	for _, j := range sortedRunning(st) {
-		if j.Elastic && j.FlexRange() > 0 {
-			cands = append(cands, j)
-			flexGPUs += j.FlexibleWorkers() * j.GPUsPerWorker
-		}
-	}
+	// ElasticOrdered iterates in ID order: the candidate order is the MCKP
+	// group order, and map order would make tie-breaks (and thus results)
+	// vary run to run. Both the candidate set and the flexible-GPU count
+	// are maintained views — no per-epoch rescan of the running set.
+	cands := st.ElasticOrdered()
 	if len(cands) == 0 {
 		return
 	}
+	flexGPUs := st.FlexNominalGPUs()
 	freeT, freeL := st.FreeSchedulableGPUs()
 	capacity := freeT + freeL + flexGPUs
-	targets := alloc.Phase2(cands, capacity, st.Scaling, l.Tuning)
+	if l.cache == nil && !st.Rescan {
+		l.cache = alloc.NewThroughputCache(st.Scaling)
+	}
+	targets := alloc.Phase2(cands, capacity, st.Scaling, l.Tuning, l.cache)
 	if st.Obs.Enabled() {
 		tf := make([]obs.Fields, 0, len(targets))
 		for _, e := range targets {
@@ -109,7 +119,12 @@ func (l *Lyra) phase2(st *sim.State) {
 			"flex_gpus": flexGPUs, "candidates": len(cands), "targets": tf,
 		}))
 	}
-	target := make(map[int]int, len(targets))
+	if l.p2target == nil {
+		l.p2target = make(map[int]int, len(targets))
+	} else {
+		clear(l.p2target)
+	}
+	target := l.p2target
 	for _, e := range targets {
 		target[e.ID] = e.Extra
 	}

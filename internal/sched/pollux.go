@@ -34,16 +34,17 @@ func (p *Pollux) Schedule(st *sim.State) {
 	p.epoch++
 	freeT, freeL := st.FreeSchedulableGPUs()
 	running := make(map[int]bool)
-	var cands []*job.Job
 	heldGPUs := 0 // all GPUs held by resizable running jobs: the GA re-decides their whole allocation
 	// ID order, not map order: cands seeds the GA's search population, so
-	// its order must not vary run to run.
-	for _, j := range sortedRunning(st) {
-		if j.Elastic && j.FlexRange() > 0 {
-			running[j.ID] = true
-			cands = append(cands, j)
-			heldGPUs += j.GPUsHeld()
-		}
+	// its order must not vary run to run. Copy the maintained view: cands
+	// grows with the pending queue below, and appending to the state-owned
+	// slice is forbidden.
+	elastic := st.ElasticOrdered()
+	cands := make([]*job.Job, 0, len(elastic)+len(st.Pending))
+	for _, j := range elastic {
+		running[j.ID] = true
+		cands = append(cands, j)
+		heldGPUs += j.GPUsHeld()
 	}
 	byID := make(map[int]*job.Job, len(cands)+len(st.Pending))
 	for _, j := range cands {

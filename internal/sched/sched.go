@@ -74,60 +74,79 @@ func (pp poolPolicy) options(j *job.Job, flexible bool) place.Options {
 // elastic jobs in on demand to make room for base demands, which always
 // take priority over flexible ones.
 //
+// Selection and placement run in passes. A make-room reclaim frees GPUs
+// that the counts taken before it already promised to other chosen jobs,
+// and the freed capacity can land fragmented across servers the failed
+// gang never saw — so counting once per epoch double-counts that capacity
+// and a placement failure after someone else's reclaim silently loses a
+// whole epoch for the job. After any pass that both reclaimed and failed,
+// the counts are retaken (O(1) reads of the cluster's maintained counters)
+// and the survivors get another pass. Flexible stock strictly shrinks on
+// every continuing pass, so this terminates.
+//
 // When heteroPass is false only non-heterogeneous jobs are considered; the
 // caller runs a second pass for heterogeneous jobs after everything else
 // (§6: they get the lowest priority).
 func startBase(st *sim.State, policy func(*job.Job) poolPolicy, heteroPass bool) []*job.Job {
-	// Both free and flexible counts are O(1) reads of the cluster's
-	// maintained counters; no scan.
-	availT, availL := st.FreeSchedulableGPUs()
-	availT += st.Cluster.FlexibleGPUs(cluster.PoolTraining)
-	availL += st.Cluster.FlexibleGPUs(cluster.PoolOnLoan)
+	var started []*job.Job
 	var chosen []*job.Job
-	for _, j := range st.Pending {
-		if j.Hetero != heteroPass {
-			continue
+	for {
+		availT, availL := st.FreeSchedulableGPUs()
+		availT += st.Cluster.FlexibleGPUs(cluster.PoolTraining)
+		availL += st.Cluster.FlexibleGPUs(cluster.PoolOnLoan)
+		chosen = chosen[:0]
+		for _, j := range st.Pending {
+			// Jobs started by an earlier pass stay in the queue slice
+			// until the final compaction; skip them by state.
+			if j.Hetero != heteroPass || j.State != job.Pending {
+				continue
+			}
+			if availT <= 0 && availL <= 0 {
+				break
+			}
+			pp := policy(j)
+			d := j.BaseGPUs()
+			switch {
+			case j.Hetero && pp.allowTraining && pp.allowOnLoan && d <= availT+availL:
+				take := d
+				if take > availT {
+					availL -= take - availT
+					take = availT
+				}
+				availT -= take
+			case pp.allowOnLoan && pp.prefer == cluster.PoolOnLoan && d <= availL:
+				availL -= d
+			case pp.allowTraining && d <= availT:
+				availT -= d
+			case pp.allowOnLoan && d <= availL:
+				availL -= d
+			default:
+				continue
+			}
+			chosen = append(chosen, j)
 		}
-		if availT <= 0 && availL <= 0 {
+		place.SortByDemand(chosen)
+		freed, failures := 0, 0
+		for _, j := range chosen {
+			pp := policy(j)
+			ws, ok := place.Gang(st.Cluster, j, j.MinWorkers, pp.options(j, false))
+			if !ok {
+				// Make room by scaling elastic jobs in, then retry.
+				if f := reclaimFlexible(st, j, pp); f > 0 {
+					freed += f
+					ws, ok = place.Gang(st.Cluster, j, j.MinWorkers, pp.options(j, false))
+				}
+			}
+			if !ok {
+				failures++
+				continue // fragmentation or type constraints
+			}
+			st.Start(j, ws)
+			started = append(started, j)
+		}
+		if failures == 0 || freed == 0 {
 			break
 		}
-		pp := policy(j)
-		d := j.BaseGPUs()
-		switch {
-		case j.Hetero && pp.allowTraining && pp.allowOnLoan && d <= availT+availL:
-			take := d
-			if take > availT {
-				availL -= take - availT
-				take = availT
-			}
-			availT -= take
-		case pp.allowOnLoan && pp.prefer == cluster.PoolOnLoan && d <= availL:
-			availL -= d
-		case pp.allowTraining && d <= availT:
-			availT -= d
-		case pp.allowOnLoan && d <= availL:
-			availL -= d
-		default:
-			continue
-		}
-		chosen = append(chosen, j)
-	}
-	place.SortByDemand(chosen)
-	var started []*job.Job
-	for _, j := range chosen {
-		pp := policy(j)
-		ws, ok := place.Gang(st.Cluster, j, j.MinWorkers, pp.options(j, false))
-		if !ok {
-			// Make room by scaling elastic jobs in, then retry once.
-			if reclaimFlexible(st, j, pp) > 0 {
-				ws, ok = place.Gang(st.Cluster, j, j.MinWorkers, pp.options(j, false))
-			}
-		}
-		if !ok {
-			continue // fragmentation or type constraints; retry next epoch
-		}
-		st.Start(j, ws)
-		started = append(started, j)
 	}
 	st.CompactPending()
 	return started

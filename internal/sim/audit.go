@@ -31,6 +31,12 @@ func (e *Engine) auditAfter(ev event) {
 	if err := e.audit.Audit(e.st.AuditView(ctx, e.sched.Less)); err != nil {
 		panic(err)
 	}
+	// Recount oracle for the dirty-set layer: the maintained ordered views
+	// and the flexible-GPU counter must match a from-scratch recount after
+	// every event.
+	if err := e.st.AuditIncremental(); err != nil {
+		panic(fmt.Errorf("%s: incremental bookkeeping diverged: %w", ctx, err))
+	}
 }
 
 // BookkeepingSizes reports the sizes of the engine's and state's internal

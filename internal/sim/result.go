@@ -40,6 +40,13 @@ type Result struct {
 	Crashes    int
 	Recoveries int
 
+	// SchedEpochs counts scheduler epochs processed; SkippedSchedEpochs of
+	// those were quiescent epochs the engine proved identical to the
+	// previous pass and skipped (the dirty-set fast path — zero in Rescan
+	// mode, with a stateful scheduler, or when recording events).
+	SchedEpochs        int64
+	SkippedSchedEpochs int64
+
 	// Usage series sampled every Config.MetricsInterval.
 	TrainUsage   *metrics.TimeSeries
 	OverallUsage *metrics.TimeSeries
@@ -52,18 +59,20 @@ type Result struct {
 
 func (e *Engine) result() *Result {
 	r := &Result{
-		Jobs:             e.jobs,
-		Completed:        e.completed,
-		RanOnLoan:        e.ranOnLoan,
-		Preemptions:      e.st.Preemptions,
-		ScalingOps:       e.st.ScalingOps,
-		ReclaimOps:       e.st.ReclaimOps,
-		ReclaimedServers: e.st.ReclaimedSrv,
-		Crashes:          e.st.Crashes,
-		Recoveries:       e.st.Recoveries,
-		TrainUsage:       e.trainUsage,
-		OverallUsage:     e.overallUsage,
-		OnLoanUsage:      e.onLoanUsage,
+		Jobs:               e.jobs,
+		Completed:          e.completed,
+		RanOnLoan:          e.ranOnLoan,
+		Preemptions:        e.st.Preemptions,
+		ScalingOps:         e.st.ScalingOps,
+		ReclaimOps:         e.st.ReclaimOps,
+		ReclaimedServers:   e.st.ReclaimedSrv,
+		Crashes:            e.st.Crashes,
+		Recoveries:         e.st.Recoveries,
+		SchedEpochs:        e.st.Epoch,
+		SkippedSchedEpochs: e.skippedEpochs,
+		TrainUsage:         e.trainUsage,
+		OverallUsage:       e.overallUsage,
+		OnLoanUsage:        e.onLoanUsage,
 	}
 	if n := len(e.jobs); n > 0 {
 		r.PreemptionRatio = float64(e.st.Preemptions) / float64(n)

@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"lyra/internal/cluster"
@@ -52,6 +53,39 @@ type State struct {
 	lastUpdate      map[int]float64
 	changed         map[int]*job.Job
 	preemptOverhead float64
+
+	// Rescan selects the retained full-rescan reference paths: the ordered
+	// running-job views are rebuilt from the Running map on every read and
+	// the flexible-GPU count is recounted, exactly as before the dirty-set
+	// layer (DESIGN.md §10). The differential fuzz target runs every
+	// scenario through both modes and asserts identical decisions.
+	Rescan bool
+
+	// version counts scheduler-visible mutations (queue, lifecycle,
+	// allocation, progress, pool moves). The engine snapshots it around
+	// Schedule calls: when a memoryless scheduler last ran against this
+	// exact version and changed nothing, the epoch is quiescent and the
+	// pass is skipped (engine.go).
+	version uint64
+
+	// Maintained ordered views over Running (DESIGN.md §10). Start appends
+	// to runningNew; Preempt/finish flip idxDirty; the next ordered read
+	// merges runningNew into the ID-sorted runningIdx, dropping entries no
+	// longer in Running, and refilters elasticIdx — so membership churn
+	// costs O(changed · log changed) amortized instead of O(R log R) per
+	// epoch per scheduler.
+	runningNew     []*job.Job
+	runningIdx     []*job.Job
+	elasticIdx     []*job.Job
+	mergeScratch   []*job.Job
+	idxDirty       bool
+	changedScratch []*job.Job
+
+	// flexNominal is Σ FlexibleWorkers × GPUsPerWorker over running elastic
+	// candidates (Elastic && FlexRange > 0) — the flexible capacity term of
+	// phase 2 / AFS, maintained at every worker add/remove instead of
+	// recounted per epoch.
+	flexNominal int
 
 	// Obs is the optional structured event recorder (internal/obs). The
 	// nil value is the disabled fast path: every emission site pays one
@@ -107,6 +141,10 @@ func (st *State) advance(j *job.Job) {
 	if dt <= 0 || j.State != job.Running {
 		return
 	}
+	// Progress (Remaining, OverheadLeft) is a scheduler-visible input: JCT
+	// reductions and marginal gains read it, so retiring work ends any
+	// quiescent window.
+	st.bump()
 	if j.OverheadLeft > 0 {
 		if dt <= j.OverheadLeft {
 			j.OverheadLeft -= dt
@@ -120,8 +158,198 @@ func (st *State) advance(j *job.Job) {
 
 func (st *State) markChanged(j *job.Job) { st.changed[j.ID] = j }
 
+// bump records a scheduler-visible state mutation; see the version field.
+func (st *State) bump() { st.version++ }
+
+// Version returns the mutation counter. Two reads returning the same value
+// bracket a window in which no scheduler-visible input changed.
+func (st *State) Version() uint64 { return st.version }
+
+// MarkExternalChange bumps the version on behalf of components that mutate
+// the cluster directly instead of through State methods (the orchestrator
+// moves servers between pools via Cluster.Move).
+func (st *State) MarkExternalChange() { st.bump() }
+
+// elasticCandidate reports whether j participates in flexible-demand
+// allocation (phase 2, AFS, Pollux resizing). Both fields are immutable
+// after trace generation.
+func elasticCandidate(j *job.Job) bool { return j.Elastic && j.FlexRange() > 0 }
+
+// noteFlexAdded / noteFlexRemoved maintain flexNominal as flexible workers
+// are placed and released.
+func (st *State) noteFlexAdded(j *job.Job, workers []job.Worker) {
+	if !elasticCandidate(j) {
+		return
+	}
+	for _, w := range workers {
+		if w.Flexible {
+			st.flexNominal += j.GPUsPerWorker
+		}
+	}
+}
+
+func (st *State) noteFlexRemoved(j *job.Job, workers int) {
+	if !elasticCandidate(j) || workers == 0 {
+		return
+	}
+	st.flexNominal -= workers * j.GPUsPerWorker
+}
+
+// compactRunning merges jobs started since the last compaction into the
+// ID-sorted runningIdx, dropping entries that left Running, and rebuilds
+// the elastic-candidate subset. Scratch buffers ping-pong so steady-state
+// compaction allocates nothing.
+func (st *State) compactRunning() {
+	if !st.idxDirty {
+		return
+	}
+	st.idxDirty = false
+	nw := st.runningNew
+	slices.SortFunc(nw, func(a, b *job.Job) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	old := st.runningIdx
+	out := st.mergeScratch[:0]
+	i, k := 0, 0
+	for i < len(old) || k < len(nw) {
+		var j *job.Job
+		switch {
+		case i >= len(old):
+			j, k = nw[k], k+1
+		case k >= len(nw):
+			j, i = old[i], i+1
+		case old[i].ID <= nw[k].ID:
+			j, i = old[i], i+1
+		default:
+			j, k = nw[k], k+1
+		}
+		// A job preempted and restarted between compactions appears in both
+		// lists (and can appear in runningNew more than once); emit it once.
+		for i < len(old) && old[i].ID == j.ID {
+			i++
+		}
+		for k < len(nw) && nw[k].ID == j.ID {
+			k++
+		}
+		if st.Running[j.ID] == j {
+			out = append(out, j)
+		}
+	}
+	st.mergeScratch = st.runningIdx[:0]
+	st.runningIdx = out
+	for i := range st.runningNew {
+		st.runningNew[i] = nil
+	}
+	st.runningNew = st.runningNew[:0]
+	el := st.elasticIdx[:0]
+	for _, j := range out {
+		if elasticCandidate(j) {
+			el = append(el, j)
+		}
+	}
+	st.elasticIdx = el
+}
+
+// RunningOrdered returns the running jobs in ascending ID order — the
+// deterministic iteration order every scheduler uses. The returned slice is
+// owned by the state and valid until the next lifecycle mutation; callers
+// must not append to or retain it.
+func (st *State) RunningOrdered() []*job.Job {
+	if st.Rescan {
+		out := make([]*job.Job, 0, len(st.Running))
+		for _, j := range st.Running {
+			out = append(out, j)
+		}
+		sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+		return out
+	}
+	st.compactRunning()
+	return st.runningIdx
+}
+
+// ElasticOrdered returns the running elastic candidates (Elastic &&
+// FlexRange > 0) in ascending ID order, under the same ownership rules as
+// RunningOrdered.
+func (st *State) ElasticOrdered() []*job.Job {
+	if st.Rescan {
+		var out []*job.Job
+		for _, j := range st.RunningOrdered() {
+			if elasticCandidate(j) {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	st.compactRunning()
+	return st.elasticIdx
+}
+
+// FlexNominalGPUs returns Σ FlexibleWorkers × GPUsPerWorker over the
+// running elastic candidates: the GPUs phase 2 may reassign on top of the
+// idle ones (§5.2 counts "GPUs being used by flexible workers" as
+// available).
+func (st *State) FlexNominalGPUs() int {
+	if st.Rescan {
+		sum := 0
+		for _, j := range st.Running {
+			if elasticCandidate(j) {
+				sum += j.FlexibleWorkers() * j.GPUsPerWorker
+			}
+		}
+		return sum
+	}
+	return st.flexNominal
+}
+
+// AuditIncremental recounts every maintained dirty-set structure from the
+// Running map — the recount oracle for the incremental layer, run by the
+// engine after every event when auditing is on. Rescan mode has nothing
+// maintained to check.
+func (st *State) AuditIncremental() error {
+	if st.Rescan {
+		return nil
+	}
+	wantFlex := 0
+	for _, j := range st.Running {
+		if elasticCandidate(j) {
+			wantFlex += j.FlexibleWorkers() * j.GPUsPerWorker
+		}
+	}
+	if wantFlex != st.flexNominal {
+		return fmt.Errorf("flexNominal=%d, recount=%d", st.flexNominal, wantFlex)
+	}
+	got := st.RunningOrdered()
+	if len(got) != len(st.Running) {
+		return fmt.Errorf("runningIdx has %d jobs, Running map has %d", len(got), len(st.Running))
+	}
+	elastic := 0
+	for i, j := range got {
+		if st.Running[j.ID] != j {
+			return fmt.Errorf("runningIdx[%d] job %d not live in Running", i, j.ID)
+		}
+		if i > 0 && got[i-1].ID >= j.ID {
+			return fmt.Errorf("runningIdx unsorted at %d: %d >= %d", i, got[i-1].ID, j.ID)
+		}
+		if elasticCandidate(j) {
+			elastic++
+		}
+	}
+	el := st.ElasticOrdered()
+	if len(el) != elastic {
+		return fmt.Errorf("elasticIdx has %d jobs, recount %d", len(el), elastic)
+	}
+	return nil
+}
+
 // enqueue inserts j into Pending at its priority position.
 func (st *State) enqueue(j *job.Job, less func(a, b *job.Job) bool) {
+	st.bump()
 	i := sort.Search(len(st.Pending), func(k int) bool { return less(j, st.Pending[k]) })
 	st.Pending = append(st.Pending, nil)
 	copy(st.Pending[i+1:], st.Pending[i:])
@@ -159,6 +387,10 @@ func (st *State) Start(j *job.Job, workers []job.Worker) {
 	st.Running[j.ID] = j
 	st.lastUpdate[j.ID] = st.Now
 	st.Starts++
+	st.bump()
+	st.runningNew = append(st.runningNew, j)
+	st.idxDirty = true
+	st.noteFlexAdded(j, workers)
 	st.markChanged(j)
 	if st.Obs.Enabled() {
 		cause := "first"
@@ -190,6 +422,8 @@ func (st *State) AddWorkers(j *job.Job, workers []job.Worker) {
 	st.advance(j)
 	j.Workers = append(j.Workers, workers...)
 	st.ScalingOps++
+	st.bump()
+	st.noteFlexAdded(j, workers)
 	st.markChanged(j)
 	if st.Obs.Enabled() {
 		gpus := 0
@@ -281,6 +515,8 @@ func (st *State) removeFlexible(j *job.Job, sel func(int, job.Worker) bool) int 
 	j.Workers = kept
 	if removed > 0 {
 		st.ScalingOps++
+		st.bump()
+		st.noteFlexRemoved(j, removed)
 		st.markChanged(j)
 		if st.Obs.Enabled() {
 			st.Obs.Emit(obs.JobEv(st.Now, obs.KindJobScaleDown, j.ID).WithCause(st.Cause).WithF(obs.Fields{
@@ -319,6 +555,7 @@ func (st *State) Preempt(j *job.Job, less func(a, b *job.Job) bool) {
 		}))
 		st.Obs.Add("sim.preemptions", 1)
 	}
+	st.noteFlexRemoved(j, j.FlexibleWorkers())
 	for _, w := range j.Workers {
 		st.Cluster.Server(w.Server).ReleaseJob(j.ID)
 	}
@@ -331,7 +568,9 @@ func (st *State) Preempt(j *job.Job, less func(a, b *job.Job) bool) {
 	j.LastEnqueue = int64(st.Now)
 	j.Preemptions++
 	st.Preemptions++
+	st.bump()
 	delete(st.Running, j.ID)
+	st.idxDirty = true
 	// Re-queue under the preempting decider's cause, never "arrival".
 	saved := st.Cause
 	if st.Cause == "" {
@@ -347,13 +586,16 @@ func (st *State) Preempt(j *job.Job, less func(a, b *job.Job) bool) {
 // not accumulate dead map entries for completed jobs.
 func (st *State) finish(j *job.Job) {
 	st.advance(j)
+	st.noteFlexRemoved(j, j.FlexibleWorkers())
 	for _, w := range j.Workers {
 		st.Cluster.Server(w.Server).ReleaseJob(j.ID)
 	}
 	j.Workers = j.Workers[:0]
 	j.State = job.Completed
 	j.FinishTime = int64(st.Now)
+	st.bump()
 	delete(st.Running, j.ID)
+	st.idxDirty = true
 	delete(st.lastUpdate, j.ID)
 	st.markChanged(j)
 	if st.Obs.Enabled() {
@@ -418,6 +660,7 @@ func (st *State) CrashServer(sid int, less func(a, b *job.Job) bool) (cluster.Po
 		})
 	}
 	st.Crashes++
+	st.bump() // quarantine removes schedulable capacity even with no evictions
 	if st.Obs.Enabled() {
 		st.Obs.Emit(obs.Ev(st.Now, obs.KindFaultCrash).WithF(obs.Fields{
 			"server": sid, "pool": origin.String(), "preempted": preempted, "scaled_in": scaledIn,
@@ -447,6 +690,7 @@ func (st *State) RecoverServer(sid int, to cluster.Pool) bool {
 		})
 	}
 	st.Recoveries++
+	st.bump() // returned capacity may unlock pending work
 	if st.Obs.Enabled() {
 		st.Obs.Emit(obs.Ev(st.Now, obs.KindFaultRecover).WithF(obs.Fields{
 			"server": sid, "to": to.String(),
@@ -465,10 +709,14 @@ func (st *State) CompactPending() {
 			kept = append(kept, j)
 		}
 	}
+	if len(kept) == len(st.Pending) {
+		return // nothing started: the queue (and the version) are unchanged
+	}
 	for i := len(kept); i < len(st.Pending); i++ {
 		st.Pending[i] = nil
 	}
 	st.Pending = kept
+	st.bump()
 }
 
 // FreeSchedulableGPUs returns free GPU counts on training and on-loan
@@ -479,18 +727,28 @@ func (st *State) FreeSchedulableGPUs() (training, onLoan int) {
 
 // drainChanged returns and clears the set of jobs whose throughput or
 // lifecycle changed since the last drain; the engine refreshes their
-// completion events.
+// completion events. The returned slice is a scratch buffer owned by the
+// state — it is only valid until the next drain, which is exactly the
+// engine's use (iterate once, immediately). Fault-heavy runs drain several
+// times per event, so reusing the buffer keeps the hot loop allocation-free.
 func (st *State) drainChanged() []*job.Job {
 	if len(st.changed) == 0 {
 		return nil
 	}
-	out := make([]*job.Job, 0, len(st.changed))
+	out := st.changedScratch[:0]
 	for _, j := range st.changed {
 		out = append(out, j)
 	}
-	for id := range st.changed {
-		delete(st.changed, id)
-	}
-	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	clear(st.changed)
+	slices.SortFunc(out, func(a, b *job.Job) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	st.changedScratch = out
 	return out
 }

@@ -231,6 +231,11 @@ type Config struct {
 	// meaningless and rejected by Validate (the Zero sentinel too).
 	SchedInterval int64
 	OrchInterval  int64
+	// MaxTime hard-caps simulated seconds; the run stops there even with
+	// jobs outstanding. 0 means the simulator default (4x the trace
+	// horizon). The scale benchmarks use it to time a fixed number of
+	// scheduling epochs on clusters too large to drain.
+	MaxTime float64
 	// PreemptOverhead is the fixed restart cost of a preempted job. Zero
 	// value defaults to the measured 63 s; PreemptOverhead: Zero makes
 	// preemption free.
@@ -360,6 +365,9 @@ func (c Config) Validate() error {
 	}
 	if n.OrchInterval <= 0 {
 		return fmt.Errorf("lyra: OrchInterval %d must be positive (zero value selects the 300 s default)", n.OrchInterval)
+	}
+	if n.MaxTime < 0 {
+		return fmt.Errorf("lyra: MaxTime %v negative (0 means the simulator default)", n.MaxTime)
 	}
 	if n.Headroom < 0 || n.Headroom > 1 {
 		return fmt.Errorf("lyra: Headroom %v outside [0, 1] (use lyra.Zero for an explicit zero)", n.Headroom)
@@ -525,6 +533,7 @@ func Run(cfg Config, tr *Trace) (rep *Report, err error) {
 	simCfg := sim.Config{
 		SchedInterval:   cfg.SchedInterval,
 		OrchInterval:    cfg.OrchInterval,
+		MaxTime:         cfg.MaxTime,
 		PreemptOverhead: preempt,
 		Scaling:         cfg.Scaling,
 		InferenceUtil:   func(t int64) float64 { return infSched.UtilizationAt(t) },

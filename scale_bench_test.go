@@ -2,39 +2,64 @@ package lyra_test
 
 // Scale benchmarks for the indexed cluster core: BenchmarkEpoch drives the
 // full Lyra scheduler (epoch loop, placement, loaning) over a one-day trace
-// at 1x and 10x server/job counts. Together with BenchmarkBestFit
-// (internal/place) these are the perf-trajectory points recorded in
-// BENCH_cluster.json; `make bench-scale` regenerates them.
+// at three scales. Together with BenchmarkBestFit (internal/place) these
+// are the perf-trajectory points recorded in BENCH_cluster.json;
+// `make bench-scale` regenerates them.
 
 import (
-	"fmt"
 	"testing"
 
 	"lyra"
 )
 
-// BenchmarkEpoch runs one complete simulation per iteration. The 1x point
-// is a 44+52-server cluster with a trace sized to its training GPUs; the
-// 10x point multiplies both servers and trace load by ten, so the epoch
-// loop faces 10x the jobs over 10x the servers.
+// BenchmarkEpoch runs one simulation per iteration and reports ns/epoch —
+// wall time per scheduling epoch, the number the dirty-set scheduling layer
+// is accountable for. The 1x and 10x tiers are historical (44+52 and
+// 440+520 servers, one tenth and one times the paper's production cluster)
+// and run to completion. The 100x tier is one hundred times the paper's
+// 443+520-server production cluster — 44,300 training plus 52,000 inference
+// servers, ~770k GPUs, with the offered load calibrated to its 354,400
+// training GPUs — far too large to drain, so MaxTime caps it at a fixed
+// window of simulated epochs; the target is sub-second per epoch.
 func BenchmarkEpoch(b *testing.B) {
-	for _, scale := range []int{1, 10} {
-		b.Run(fmt.Sprintf("%dx", scale), func(b *testing.B) {
+	tiers := []struct {
+		name                 string
+		training, inference  int
+		traceGPUs            int
+		maxTime, maxTimeShrt float64
+	}{
+		{"1x", 44, 52, 352, 0, 0},
+		{"10x", 440, 520, 3520, 0, 0},
+		{"100x", 44300, 52000, 354400, 7200, 1800},
+	}
+	for _, tier := range tiers {
+		b.Run(tier.name, func(b *testing.B) {
+			maxTime := tier.maxTime
+			if testing.Short() && tier.maxTimeShrt > 0 {
+				maxTime = tier.maxTimeShrt
+			}
 			tcfg := lyra.DefaultTraceConfig(1)
 			tcfg.Days = 1
-			tcfg.TrainingGPUs = 352 * scale
+			tcfg.TrainingGPUs = tier.traceGPUs
 			tr := lyra.GenerateTrace(tcfg)
 			cfg := lyra.DefaultConfig()
 			cfg.Cluster = lyra.ClusterConfig{
-				TrainingServers:  44 * scale,
-				InferenceServers: 52 * scale,
+				TrainingServers:  tier.training,
+				InferenceServers: tier.inference,
 			}
+			cfg.MaxTime = maxTime
 			b.ReportAllocs()
 			b.ResetTimer()
+			var epochs int64
 			for i := 0; i < b.N; i++ {
-				if _, err := lyra.Run(cfg, tr); err != nil {
+				rep, err := lyra.Run(cfg, tr)
+				if err != nil {
 					b.Fatal(err)
 				}
+				epochs += rep.Raw.SchedEpochs
+			}
+			if epochs > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(epochs), "ns/epoch")
 			}
 		})
 	}
