@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench bench-smoke events-smoke fault-smoke bench-scale bench-scale-smoke fuzz
+.PHONY: all check fmt vet build test race bench bench-smoke events-smoke fault-smoke bench-scale bench-scale-smoke matrix-smoke fuzz
 
 all: check
 
 # check is the default gate: formatting, vet, build, the full test suite
 # (every package runs with the invariant auditor on), the race detector
 # over the internal packages, and the runner-memoization, event-stream,
-# fault-recovery and scale-benchmark smoke tests.
-check: fmt vet build test race bench-smoke events-smoke fault-smoke bench-scale-smoke
+# fault-recovery, scale-benchmark and scenario-matrix smoke tests.
+check: fmt vet build test race bench-smoke events-smoke fault-smoke bench-scale-smoke matrix-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -59,6 +59,14 @@ bench-scale:
 # stays feasible, and the JSON pipeline works.
 bench-scale-smoke:
 	@./scripts/bench_scale.sh -short /dev/null
+
+# matrix-smoke proves the declarative scenario harness end to end: the
+# shipped pack (testdata/scenarios/) dry-compiles, the smoke spec's
+# scenario×scheme matrix meets its SLO assertions through the real
+# lyra-matrix binary, and the same matrix with bounds tightened 100x fails
+# with the violations spelled out (the gate demonstrably can fail).
+matrix-smoke:
+	@./scripts/matrix_smoke.sh
 
 # bench runs the audit-overhead and experiment benchmarks (audit off: the
 # numbers quoted in DESIGN.md come from BenchmarkEngineAudit).

@@ -58,8 +58,8 @@ func TestRunDeterministicAcrossProcesses(t *testing.T) {
 		cfg.Days = 2
 		cfg.TrainingGPUs = 128
 		tr := GenerateTrace(cfg)
-		ApplyScenario(tr, Basic, 101)
-		run := Scenario(Basic, DefaultConfig())
+		run := DefaultConfig()
+		Basic.Apply(&run, tr, 101)
 		run.Cluster = smallCluster()
 		rep, err := Run(run, tr)
 		if err != nil {

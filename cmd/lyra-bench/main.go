@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"lyra/internal/cliflags"
 	"lyra/internal/experiments"
 	"lyra/internal/obs"
 	"lyra/internal/runner"
@@ -44,12 +45,14 @@ type benchStats struct {
 }
 
 func main() {
+	g := cliflags.New("lyra-bench", flag.CommandLine)
+	g.SeedFlag("random seed for trace synthesis and tie-breaking")
+	g.ParallelFlag("simulations")
+	g.SpecFlag("as a scheme matrix through the memoizing pool instead of the experiment registry")
 	var (
 		exp       = flag.String("exp", "all", "experiment name (see -list) or 'all'")
 		full      = flag.Bool("full", false, "run at the paper's production scale")
 		list      = flag.Bool("list", false, "list available experiments")
-		seed      = flag.Int64("seed", 1, "random seed for trace synthesis and tie-breaking")
-		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		repeat    = flag.Int("repeat", 1, "run the selection this many times (later passes hit the memo cache)")
 		stats     = flag.Bool("stats", false, "print pool statistics (simulations executed, cache hits, wall time) to stderr")
 		statsJSON = flag.String("stats-json", "", "also write the pool statistics as JSON to this file")
@@ -63,14 +66,36 @@ func main() {
 		return
 	}
 
+	if g.SpecPath != "" {
+		// Declarative path: run the spec's scenario×scheme matrix through
+		// a bench pool (same memoization economics, -stats applies).
+		cells, err := cliflags.LoadMatrix([]string{g.SpecPath}, false, 1)
+		if err != nil {
+			g.Fatal(err)
+		}
+		pool := runner.New(g.Parallel)
+		start := time.Now()
+		m := pool.Matrix(cells)
+		m.WriteTable(os.Stdout)
+		if *stats {
+			fmt.Fprintf(os.Stderr, "[pool: %s; %d workers; %d cells in %s]\n",
+				pool.Stats(), pool.Parallelism(), len(m.Cells), time.Since(start).Round(time.Millisecond))
+		}
+		if !m.OK() {
+			fmt.Fprintf(os.Stderr, "lyra-bench: %d of %d cells failed their SLOs\n", m.Failures(), len(m.Cells))
+			os.Exit(1)
+		}
+		return
+	}
+
 	params := experiments.Small()
 	scale := "small"
 	if *full {
 		params = experiments.Full()
 		scale = "full"
 	}
-	params.Seed = *seed
-	pool := runner.New(*parallel)
+	params.Seed = g.Seed
+	pool := runner.New(g.Parallel)
 	params.Pool = pool
 	// The obs registry mirrors the pool's memoization counters and folds
 	// per-run simulator totals, so -stats prints one merged table.

@@ -20,8 +20,13 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"lyra/internal/cliflags"
 	"lyra/internal/obs"
 )
+
+// flags is the shared error-rendering layer; lyra-events registers none of
+// the standard scheme/fault flags but keeps the standard fatal path.
+var flags = cliflags.New("lyra-events", flag.CommandLine)
 
 func main() {
 	var (
@@ -168,7 +173,4 @@ func diffStreams(pa, pb string) {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lyra-events:", err)
-	os.Exit(1)
-}
+func fatal(err error) { flags.Fatal(err) }

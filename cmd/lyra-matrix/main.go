@@ -1,0 +1,165 @@
+// Command lyra-matrix runs declarative scenario specs as scenario×scheme
+// matrices with SLO gating: each spec file (YAML or JSON, see
+// testdata/scenarios/) declares a cluster shape, a synthesized workload, an
+// optional fault plan, a scheme matrix and SLO assertions; lyra-matrix
+// compiles every spec through the same Config path hand-built experiments
+// use, fans the cells out over the parallel memoizing runner, and exits
+// non-zero if any cell errors or breaks an SLO bound — the repository's
+// perf/SLO regression gate (`make matrix-smoke`).
+//
+// Usage:
+//
+//	lyra-matrix -spec testdata/scenarios/smoke.yaml
+//	lyra-matrix -spec testdata/scenarios -parallel 8        # every *.yaml in the directory
+//	lyra-matrix -spec smoke.yaml -dry                       # list compiled cells, run nothing
+//	lyra-matrix -spec smoke.yaml -tighten 0.01              # prove the failure path
+//	lyra-matrix -spec smoke.yaml -json report.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"lyra/internal/cliflags"
+	"lyra/internal/runner"
+)
+
+func main() {
+	g := cliflags.New("lyra-matrix", flag.CommandLine)
+	g.SpecFlag("(or every *.yaml/*.json in the directory)")
+	g.ParallelFlag("simulations")
+	g.AuditFlag("simulator event")
+	var (
+		dry      = flag.Bool("dry", false, "compile and list the matrix cells without running them")
+		tighten  = flag.Float64("tighten", 1, "scale every SLO upper bound by this factor (CI uses <1 to prove the harness fails on regressions)")
+		jsonPath = flag.String("json", "", "also write the structured matrix report as JSON to this file")
+	)
+	flag.Parse()
+
+	if g.SpecPath == "" {
+		g.Usage("-spec is required (a spec file or a directory of them)")
+	}
+	paths, err := specPaths(g.SpecPath)
+	if err != nil {
+		g.Fatal(err)
+	}
+	cells, err := cliflags.LoadMatrix(paths, g.Audit, *tighten)
+	if err != nil {
+		g.Fatal(err)
+	}
+	if len(cells) == 0 {
+		g.Fatal(fmt.Errorf("no cells compiled from %s", g.SpecPath))
+	}
+
+	if *dry {
+		for _, c := range cells {
+			slo := "no SLO"
+			if !c.SLO.Empty() {
+				slo = "SLO gated"
+			}
+			fmt.Printf("%-40s scheduler=%-8s scenario=%-6s %s\n",
+				c.Label(), c.Config.Normalize().Scheduler, orDash(string(c.Scenario)), slo)
+		}
+		return
+	}
+
+	pool := runner.New(g.Parallel)
+	m := cliflags.RunMatrix(pool, cells, os.Stdout)
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, m); err != nil {
+			g.Fatal(err)
+		}
+	}
+	if !m.OK() {
+		fmt.Fprintf(os.Stderr, "lyra-matrix: %d of %d cells failed\n", m.Failures(), len(m.Cells))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "lyra-matrix: %d cells, all SLOs met\n", len(m.Cells))
+}
+
+// specPaths expands a file or directory argument into the sorted list of
+// spec files to run.
+func specPaths(path string) ([]string, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{path}, nil
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch strings.ToLower(filepath.Ext(e.Name())) {
+		case ".yaml", ".yml", ".json":
+			out = append(out, filepath.Join(path, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no *.yaml/*.yml/*.json spec files in %s", path)
+	}
+	return out, nil
+}
+
+// matrixJSON is the -json document: one entry per cell with the headline
+// metrics and the violated bounds.
+type matrixJSON struct {
+	Cells    []cellJSON `json:"cells"`
+	Failures int        `json:"failures"`
+}
+
+type cellJSON struct {
+	Spec        string  `json:"spec"`
+	Cell        string  `json:"cell"`
+	Key         string  `json:"key"`
+	Pass        bool    `json:"pass"`
+	Error       string  `json:"error,omitempty"`
+	Completed   int     `json:"completed"`
+	Total       int     `json:"total"`
+	QueuingP99H float64 `json:"queuing_p99_hours"`
+	JCTP99H     float64 `json:"jct_p99_hours"`
+	WallMS      int64   `json:"wall_ms"`
+	Violations  []any   `json:"violations,omitempty"`
+}
+
+func writeJSON(path string, m *runner.MatrixReport) error {
+	doc := matrixJSON{Failures: m.Failures()}
+	for _, c := range m.Cells {
+		cj := cellJSON{Spec: c.Spec, Cell: c.Cell, Key: c.Key, Pass: c.Pass(), WallMS: c.Wall.Milliseconds()}
+		if c.Err != nil {
+			cj.Error = c.Err.Error()
+		} else {
+			cj.Completed, cj.Total = c.Report.Completed, c.Report.Total
+			cj.QueuingP99H = c.Report.Queue.P99 / 3600
+			cj.JCTP99H = c.Report.JCT.P99 / 3600
+		}
+		for _, v := range c.Violations {
+			cj.Violations = append(cj.Violations, v)
+		}
+		doc.Cells = append(doc.Cells, cj)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

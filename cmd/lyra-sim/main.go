@@ -4,6 +4,12 @@
 // before any trace is synthesized or loaded, so a typo in -scheme,
 // -reclaim or -scenario fails in milliseconds with the valid values listed.
 //
+// With -spec the whole run is declared in a scenario-spec file (cluster,
+// trace, workload mix, fault plan, scheme matrix, SLO assertions) instead
+// of flags; lyra-sim then prints the per-cell reports and exits non-zero
+// if any SLO bound is violated. See testdata/scenarios/ and cmd/lyra-matrix
+// for the matrix-gating harness.
+//
 // Usage examples:
 //
 //	lyra-sim -scheme lyra -days 4 -training-servers 56 -inference-servers 64
@@ -12,25 +18,31 @@
 //	lyra-sim -trace trace.csv -scheme pollux -loaning=false
 //	lyra-sim -scheme lyra,fifo,gandiva,afs,pollux -parallel 4
 //	lyra-sim -scheme lyra -faults "mtbf=21600,mttr=600,straggler=0.1"
+//	lyra-sim -spec testdata/scenarios/multitenant.yaml
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"lyra"
-	"lyra/internal/obs"
+	"lyra/internal/cliflags"
 	"lyra/internal/runner"
 	"lyra/internal/trace"
 )
 
 func main() {
+	g := cliflags.New("lyra-sim", flag.CommandLine)
+	g.SchemeFlag("lyra", true)
+	g.ReclaimFlag("lyra")
+	g.SeedFlag("")
+	g.ParallelFlag("simulations when fanning out over schemes")
+	g.AuditFlag("event")
+	g.EventsFlag("single scheme only")
+	g.FaultFlags("mtbf=21600,mttr=600,straggler=0.1")
+	g.SpecFlag("as a scheme matrix with SLO gating, ignoring the scheme/trace flags")
 	var (
-		scheme    = flag.String("scheme", "lyra", "scheduler(s), comma-separated: lyra, fifo, gandiva, afs, pollux")
-		reclaim   = flag.String("reclaim", "lyra", "reclaim policy: lyra, random, scf, optimal")
 		loaning   = flag.Bool("loaning", true, "enable capacity loaning")
 		elastic   = flag.Bool("elastic", true, "enable elastic scaling (lyra scheduler)")
 		tuned     = flag.Bool("tuned", false, "attach the hyperparameter-tuning job agent")
@@ -39,65 +51,57 @@ func main() {
 		trainSrv  = flag.Int("training-servers", 56, "8-GPU training servers")
 		infSrv    = flag.Int("inference-servers", 64, "8-GPU inference servers")
 		load      = flag.Float64("load", 0.83, "offered load factor")
-		seed      = flag.Int64("seed", 1, "random seed")
 		traceFile = flag.String("trace", "", "read the trace from this CSV instead of synthesizing")
 		loss      = flag.Float64("scaling-loss", 0, "per-worker throughput loss (imperfect scaling)")
 		proactive = flag.Bool("proactive", false, "LSTM-forecast-driven (proactive) reclaiming")
 		agnostic  = flag.Bool("info-agnostic", false, "least-attained-service order instead of SJF (no runtime estimates)")
-		audit     = flag.Bool("audit", false, "run the invariant auditor after every event (results are identical, runs slower)")
-		parallel  = flag.Int("parallel", 0, "max concurrent simulations when fanning out over schemes (0 = GOMAXPROCS)")
-		events    = flag.String("events", "", "write the deterministic JSONL event stream to this file (single scheme only; inspect with lyra-events)")
-		faults    = flag.String("faults", "", `fault-injection plan, e.g. "mtbf=21600,mttr=600,straggler=0.1" (keys: mtbf, mttr, straggler, slow, launchfail, retries, rpcerr, rpcdelay, seed)`)
-		faultSeed = flag.Int64("fault-seed", 0, "seed for the fault-injection streams (0 = use -seed)")
 	)
 	flag.Parse()
+
+	if g.SpecPath != "" {
+		runSpec(g)
+		return
+	}
 
 	// Validate everything BEFORE synthesizing or loading a trace: a typo
 	// should not cost a multi-second trace generation first.
 	kind := lyra.ScenarioKind(*scenario)
 	if !kind.Valid() {
-		fatal(fmt.Errorf("unknown scenario %q (valid: %v)", *scenario, lyra.Scenarios()))
+		g.Fatal(fmt.Errorf("unknown scenario %q (valid: %v)", *scenario, lyra.Scenarios()))
 	}
-	var faultPlan lyra.FaultPlan
-	if *faults != "" {
-		fp, err := lyra.ParseFaultPlan(*faults)
-		if err != nil {
-			fatal(err)
-		}
-		if fp.Seed == 0 {
-			fp.Seed = *faultSeed
-		}
-		if fp.Seed == 0 {
-			fp.Seed = *seed
-		}
-		faultPlan = fp
+	faultPlan, err := g.Plan()
+	if err != nil {
+		g.Fatal(err)
 	}
-	schemes := strings.Split(*scheme, ",")
-	if *events != "" && len(schemes) > 1 {
-		fatal(fmt.Errorf("-events records one stream: pick a single -scheme (got %d)", len(schemes)))
+	schemes := g.Schemes()
+	if len(schemes) == 0 {
+		g.Usage("-scheme needs at least one scheduler")
+	}
+	if g.Events != "" && len(schemes) > 1 {
+		g.Usage("-events records one stream: pick a single -scheme (got %d)", len(schemes))
 	}
 	cfgs := make([]lyra.Config, len(schemes))
 	for i, s := range schemes {
 		cfg := lyra.Config{
 			Cluster:          lyra.ClusterConfig{TrainingServers: *trainSrv, InferenceServers: *infSrv},
-			Scheduler:        lyra.SchedulerKind(strings.TrimSpace(s)),
+			Scheduler:        lyra.SchedulerKind(s),
 			Elastic:          *elastic,
 			Loaning:          *loaning,
-			Reclaim:          lyra.ReclaimKind(*reclaim),
+			Reclaim:          lyra.ReclaimKind(g.Reclaim),
 			Tuned:            *tuned,
 			ProactiveReclaim: *proactive,
 			InfoAgnostic:     *agnostic,
-			Audit:            *audit,
-			Events:           *events != "",
+			Audit:            g.Audit,
+			Events:           g.Events != "",
 			Faults:           faultPlan,
-			Seed:             *seed,
+			Seed:             g.Seed,
 		}
 		cfg.Scaling.PerWorkerLoss = *loss
 		if *tuned || cfg.Scheduler == lyra.SchedPollux {
 			cfg.Scaling.TunedGain = 0.08
 		}
 		if err := cfg.Validate(); err != nil {
-			fatal(err)
+			g.Fatal(err)
 		}
 		cfgs[i] = cfg
 	}
@@ -107,53 +111,76 @@ func main() {
 		// run them directly (one scheme at a time).
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			fatal(err)
+			g.Fatal(err)
 		}
 		tr, err := trace.ReadCSV(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			g.Fatal(err)
 		}
 		for i, cfg := range cfgs {
 			trc := tr.Clone()
-			cfg = lyra.ApplyScenarioAll(kind, cfg, trc, *seed+100)
+			kind.Apply(&cfg, trc, g.Seed+100)
 			rep, err := lyra.Run(cfg, trc)
 			if err != nil {
-				fatal(err)
+				g.Fatal(err)
 			}
-			writeEvents(*events, rep)
+			writeEvents(g, rep)
 			report(schemes[i], len(schemes) > 1, rep)
 		}
 		return
 	}
 
-	gen := lyra.DefaultTraceConfig(*seed)
+	gen := lyra.DefaultTraceConfig(g.Seed)
 	gen.Days = *days
 	gen.TrainingGPUs = *trainSrv * 8
 	gen.LoadFactor = *load
 
-	pool := runner.New(*parallel)
+	pool := runner.New(g.Parallel)
 	specs := make([]runner.Spec, len(cfgs))
 	for i, cfg := range cfgs {
-		specs[i] = runner.NewSpec(cfg, gen).WithScenario(kind, *seed+100).Named(schemes[i])
+		specs[i] = runner.NewSpec(cfg, gen).WithScenario(kind, g.Seed+100).Named(schemes[i])
 	}
 	reps, err := pool.SimAll(specs)
 	if err != nil {
-		fatal(err)
+		g.Fatal(err)
 	}
 	for i, rep := range reps {
-		writeEvents(*events, rep)
+		writeEvents(g, rep)
 		report(schemes[i], len(schemes) > 1, rep)
 	}
 }
 
-// writeEvents dumps a report's JSONL event stream to path, if requested.
-func writeEvents(path string, rep *lyra.Report) {
-	if path == "" {
+// runSpec executes a declarative scenario spec: every cell's full report,
+// then the SLO verdict table, exit 1 on any violation.
+func runSpec(g *cliflags.Group) {
+	cells, err := cliflags.LoadMatrix([]string{g.SpecPath}, g.Audit, 1)
+	if err != nil {
+		g.Fatal(err)
+	}
+	pool := runner.New(g.Parallel)
+	m := pool.Matrix(cells)
+	for _, c := range m.Cells {
+		if c.Err != nil {
+			g.Fatal(fmt.Errorf("%s/%s: %w", c.Spec, c.Cell, c.Err))
+		}
+		report(c.Spec+"/"+c.Cell, len(m.Cells) > 1, c.Report)
+	}
+	m.WriteTable(os.Stdout)
+	if !m.OK() {
+		fmt.Fprintf(os.Stderr, "lyra-sim: %d of %d cells violated their SLOs\n", m.Failures(), len(m.Cells))
+		os.Exit(1)
+	}
+}
+
+// writeEvents dumps a report's JSONL event stream to the -events path, if
+// requested.
+func writeEvents(g *cliflags.Group, rep *lyra.Report) {
+	if g.Events == "" {
 		return
 	}
-	if err := os.WriteFile(path, rep.Events, 0o644); err != nil {
-		fatal(err)
+	if err := os.WriteFile(g.Events, rep.Events, 0o644); err != nil {
+		g.Fatal(err)
 	}
 }
 
@@ -174,16 +201,4 @@ func report(scheme string, labelled bool, rep *lyra.Report) {
 	if rep.Crashes > 0 || rep.Recoveries > 0 {
 		fmt.Printf("faults   crashes=%d recoveries=%d\n", rep.Crashes, rep.Recoveries)
 	}
-}
-
-func fatal(err error) {
-	var ve *obs.ViolationError
-	if errors.As(err, &ve) {
-		// Invariant violations get the structured report (rule, expected
-		// vs actual, sim time, lead-up events) instead of a raw panic.
-		obs.WriteViolationReport(os.Stderr, ve)
-		os.Exit(1)
-	}
-	fmt.Fprintln(os.Stderr, "lyra-sim:", err)
-	os.Exit(1)
 }

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"os"
 
+	"lyra/internal/cliflags"
 	"lyra/internal/cluster"
 	"lyra/internal/fault"
 	"lyra/internal/inference"
@@ -29,42 +30,28 @@ import (
 )
 
 func main() {
+	g := cliflags.New("lyra-testbed", flag.CommandLine)
+	g.SchemeFlag("lyra", false)
+	g.ReclaimFlag("lyra", "none")
+	g.SeedFlag("")
+	g.AuditFlag("tick")
+	g.EventsFlag("job lifecycle, tick epochs, container transitions")
+	g.FaultFlags("mtbf=3600,mttr=300,launchfail=0.05,rpcerr=0.02")
 	var (
-		scheme    = flag.String("scheme", "lyra", "scheduler: lyra, fifo, gandiva, afs, pollux")
-		policy    = flag.String("reclaim", "lyra", "reclaim policy: lyra, random, scf, none")
-		speedup   = flag.Float64("speedup", 4000, "simulated seconds per wall second")
-		seed      = flag.Int64("seed", 1, "random seed")
-		jobs      = flag.Int("jobs", 180, "number of jobs in the scaled trace")
-		audit     = flag.Bool("audit", false, "run the invariant auditor after every tick (slower; structured report on violation)")
-		events    = flag.String("events", "", "write the JSONL event stream (job lifecycle, tick epochs, container transitions) to this file")
-		faults    = flag.String("faults", "", `fault-injection plan, e.g. "mtbf=3600,mttr=300,launchfail=0.05,rpcerr=0.02" (keys: mtbf, mttr, straggler, slow, launchfail, retries, rpcerr, rpcdelay, seed)`)
-		faultSeed = flag.Int64("fault-seed", 0, "seed for the fault-injection streams (0 = use -seed)")
+		speedup = flag.Float64("speedup", 4000, "simulated seconds per wall second")
+		jobs    = flag.Int("jobs", 180, "number of jobs in the scaled trace")
 	)
 	flag.Parse()
 
 	var faultPlan *fault.Plan
-	if *faults != "" {
-		fp, err := fault.ParsePlan(*faults)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lyra-testbed:", err)
-			os.Exit(2)
-		}
-		if fp.Seed == 0 {
-			fp.Seed = *faultSeed
-		}
-		if fp.Seed == 0 {
-			fp.Seed = *seed
-		}
-		fp = fp.Normalize()
-		if err := fp.Validate(); err != nil {
-			fmt.Fprintln(os.Stderr, "lyra-testbed:", err)
-			os.Exit(2)
-		}
+	if fp, err := g.Plan(); err != nil {
+		g.Fatal(err)
+	} else if fp.Enabled() {
 		faultPlan = &fp
 	}
 
 	var s sim.Scheduler
-	switch *scheme {
+	switch g.Scheme {
 	case "lyra":
 		s = sched.NewLyra()
 	case "fifo":
@@ -74,27 +61,27 @@ func main() {
 	case "afs":
 		s = &sched.AFS{}
 	case "pollux":
-		s = sched.NewPollux(*seed + 5)
+		s = sched.NewPollux(g.Seed + 5)
 	default:
-		fmt.Fprintf(os.Stderr, "lyra-testbed: unknown scheme %q\n", *scheme)
-		os.Exit(2)
+		g.Usage("unknown scheme %q", g.Scheme)
 	}
 
 	var rp reclaim.Policy
-	switch *policy {
+	switch g.Reclaim {
 	case "lyra":
 		rp = reclaim.Lyra{}
 	case "scf":
 		rp = reclaim.SCF{}
 	case "random":
-		rp = reclaim.Random{Rng: rand.New(rand.NewSource(*seed + 31))}
+		rp = reclaim.Random{Rng: rand.New(rand.NewSource(g.Seed + 31))}
+	case "optimal":
+		rp = reclaim.Optimal{}
 	case "none":
 	default:
-		fmt.Fprintf(os.Stderr, "lyra-testbed: unknown reclaim policy %q\n", *policy)
-		os.Exit(2)
+		g.Usage("unknown reclaim policy %q", g.Reclaim)
 	}
 
-	tr := trace.GenerateTestbed(*seed, *jobs)
+	tr := trace.GenerateTestbed(g.Seed, *jobs)
 
 	// The recorder fans out to a JSONL file plus a small ring; on an
 	// invariant violation the ring tail is printed as lead-up context.
@@ -102,11 +89,10 @@ func main() {
 		rec  *obs.Recorder
 		ring *obs.Ring
 	)
-	if *events != "" {
-		ef, err := os.Create(*events)
+	if g.Events != "" {
+		ef, err := os.Create(g.Events)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lyra-testbed:", err)
-			os.Exit(1)
+			g.Fatal(err)
 		}
 		defer ef.Close()
 		ring = obs.NewRing(128)
@@ -114,8 +100,8 @@ func main() {
 	}
 
 	tbCfg := testbed.Config{
-		Cluster: cluster.TestbedConfig(), Speedup: *speedup, Seed: *seed,
-		Audit: *audit, Obs: rec, Faults: faultPlan,
+		Cluster: cluster.TestbedConfig(), Speedup: *speedup, Seed: g.Seed,
+		Audit: g.Audit, Obs: rec, Faults: faultPlan,
 	}
 	var orchBuilder func(less func(a, b *job.Job) bool, inf *inference.Scheduler) *orchestrator.Orchestrator
 	if rp != nil {

@@ -1,0 +1,210 @@
+// Package cliflags is the one flag-parsing layer shared by the lyra
+// commands (lyra-sim, lyra-bench, lyra-testbed, lyra-events, lyra-matrix).
+// Before it existed each command declared its own -scheme / -faults /
+// -events / -audit flags with subtly different parsing — scheme lists were
+// split in one command and not another, the fault-seed fallback chain was
+// duplicated, violation errors rendered differently. Each command now
+// registers the subset of standard flags it needs and gets identical
+// syntax, help text and error rendering.
+package cliflags
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"lyra"
+	"lyra/internal/obs"
+	"lyra/internal/runner"
+)
+
+// FlagSet is the subset of *flag.FlagSet the group needs; the standard
+// flag.CommandLine satisfies it.
+type FlagSet interface {
+	StringVar(p *string, name, value, usage string)
+	Int64Var(p *int64, name string, value int64, usage string)
+	IntVar(p *int, name string, value int, usage string)
+	BoolVar(p *bool, name string, value bool, usage string)
+}
+
+// Group holds the parsed values of the standard flags a command registered.
+type Group struct {
+	cmd string
+	fs  FlagSet
+
+	Scheme    string
+	Reclaim   string
+	Seed      int64
+	Parallel  int
+	Audit     bool
+	Events    string
+	Faults    string
+	FaultSeed int64
+	SpecPath  string
+}
+
+// New returns a group registering flags on fs under the command name (used
+// as the error prefix).
+func New(cmd string, fs FlagSet) *Group { return &Group{cmd: cmd, fs: fs} }
+
+// SchemeFlag registers -scheme. kinds documents the registered scheduler
+// list; multi notes comma-separated fan-out in the help text.
+func (g *Group) SchemeFlag(def string, multi bool) {
+	usage := "scheduler: " + kindCSV(lyra.Schedulers())
+	if multi {
+		usage = "scheduler(s), comma-separated: " + kindCSV(lyra.Schedulers())
+	}
+	g.fs.StringVar(&g.Scheme, "scheme", def, usage)
+}
+
+// ReclaimFlag registers -reclaim. extra appends non-registry values some
+// commands accept (lyra-testbed takes "none").
+func (g *Group) ReclaimFlag(def string, extra ...string) {
+	kinds := make([]string, 0, len(lyra.Reclaims())+len(extra))
+	for _, k := range lyra.Reclaims() {
+		kinds = append(kinds, string(k))
+	}
+	kinds = append(kinds, extra...)
+	g.fs.StringVar(&g.Reclaim, "reclaim", def, "reclaim policy: "+strings.Join(kinds, ", "))
+}
+
+// SeedFlag registers -seed.
+func (g *Group) SeedFlag(usage string) {
+	if usage == "" {
+		usage = "random seed"
+	}
+	g.fs.Int64Var(&g.Seed, "seed", 1, usage)
+}
+
+// ParallelFlag registers -parallel (0 = GOMAXPROCS), the runner pool bound.
+func (g *Group) ParallelFlag(what string) {
+	g.fs.IntVar(&g.Parallel, "parallel", 0, "max concurrent "+what+" (0 = GOMAXPROCS)")
+}
+
+// AuditFlag registers -audit.
+func (g *Group) AuditFlag(granularity string) {
+	g.fs.BoolVar(&g.Audit, "audit", false,
+		"run the invariant auditor after every "+granularity+" (results are identical, runs slower)")
+}
+
+// EventsFlag registers -events.
+func (g *Group) EventsFlag(what string) {
+	g.fs.StringVar(&g.Events, "events", "",
+		"write the deterministic JSONL event stream ("+what+") to this file (inspect with lyra-events)")
+}
+
+// FaultFlags registers -faults and -fault-seed with the shared syntax docs.
+func (g *Group) FaultFlags(example string) {
+	g.fs.StringVar(&g.Faults, "faults", "",
+		fmt.Sprintf("fault-injection plan, e.g. %q (keys: mtbf, mttr, straggler, slow, launchfail, retries, rpcerr, rpcdelay, seed)", example))
+	g.fs.Int64Var(&g.FaultSeed, "fault-seed", 0, "seed for the fault-injection streams (0 = use -seed)")
+}
+
+// SpecFlag registers -spec, the declarative scenario-spec entry point.
+func (g *Group) SpecFlag(what string) {
+	g.fs.StringVar(&g.SpecPath, "spec", "", "run the scenario spec (YAML/JSON) at this path "+what)
+}
+
+// Schemes splits the -scheme value on commas, trimming whitespace and
+// dropping empty entries — the one list syntax every command accepts.
+func (g *Group) Schemes() []string { return SplitList(g.Scheme) }
+
+// SplitList is the comma-separated list syntax: split, trim, drop empties.
+func SplitList(csv string) []string {
+	var out []string
+	for _, s := range strings.Split(csv, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Plan resolves -faults / -fault-seed into a normalized, validated fault
+// plan with the standard seed fallback chain: the plan's own seed, then
+// -fault-seed, then -seed. The zero value means no -faults flag was given.
+func (g *Group) Plan() (lyra.FaultPlan, error) {
+	if g.Faults == "" {
+		return lyra.FaultPlan{}, nil
+	}
+	p, err := lyra.ParseFaultPlan(g.Faults)
+	if err != nil {
+		return lyra.FaultPlan{}, err
+	}
+	if p.Seed == 0 {
+		p.Seed = g.FaultSeed
+	}
+	if p.Seed == 0 {
+		p.Seed = g.Seed
+	}
+	p = p.Normalize()
+	if err := p.Validate(); err != nil {
+		return lyra.FaultPlan{}, err
+	}
+	return p, nil
+}
+
+// Fatal renders err the standard way — invariant violations as the
+// structured audit report with the event-ring tail, anything else as
+// "cmd: err" — and exits 1.
+func (g *Group) Fatal(err error) {
+	var ve *obs.ViolationError
+	if errors.As(err, &ve) {
+		obs.WriteViolationReport(os.Stderr, ve)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", g.cmd, err)
+	os.Exit(1)
+}
+
+// Usage exits 2 with a usage-level error (bad flag combination).
+func (g *Group) Usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", g.cmd, fmt.Sprintf(format, args...))
+	os.Exit(2)
+}
+
+func kindCSV(ks []lyra.SchedulerKind) string {
+	parts := make([]string, len(ks))
+	for i, k := range ks {
+		parts[i] = string(k)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// LoadMatrix loads the spec files, compiles them, and applies the given
+// per-cell adjustments: audit turns the invariant auditor on in every
+// cell's config, tighten != 1 scales every SLO upper bound (the CI failure
+// -path proof). It is the shared core of lyra-matrix and of lyra-sim /
+// lyra-bench -spec.
+func LoadMatrix(paths []string, audit bool, tighten float64) ([]lyra.CompiledCell, error) {
+	var cells []lyra.CompiledCell
+	for _, path := range paths {
+		spec, err := lyra.LoadSpec(path)
+		if err != nil {
+			return nil, err
+		}
+		cs, err := spec.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		cells = append(cells, cs...)
+	}
+	for i := range cells {
+		if audit {
+			cells[i].Config.Audit = true
+		}
+		if tighten != 1 {
+			cells[i].SLO = cells[i].SLO.Tighten(tighten)
+		}
+	}
+	return cells, nil
+}
+
+// RunMatrix executes compiled cells on the pool and writes the verdict
+// table to w. The returned report's OK() decides the exit code.
+func RunMatrix(pool *runner.Pool, cells []lyra.CompiledCell, w *os.File) *runner.MatrixReport {
+	m := pool.Matrix(cells)
+	m.WriteTable(w)
+	return m
+}

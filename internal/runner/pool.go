@@ -208,14 +208,14 @@ func (p *Pool) runSim(spec Spec) (*lyra.Report, error) {
 		return nil, err
 	}
 	if spec.Scenario != "" && !spec.Scenario.Valid() {
-		return nil, fmt.Errorf("unknown scenario %q (valid: %v)", spec.Scenario, lyra.Scenarios())
+		return nil, fmt.Errorf("Scenario: unknown scenario %q (valid: %v)", spec.Scenario, lyra.Scenarios())
 	}
 	tr, err := p.materializeTrace(spec.Trace)
 	if err != nil {
 		return nil, err
 	}
 	if spec.Scenario != "" {
-		cfg = lyra.ApplyScenarioAll(spec.Scenario, cfg, tr, spec.ScenarioSeed)
+		spec.Scenario.Apply(&cfg, tr, spec.ScenarioSeed)
 	}
 	if f := spec.Trace.HeteroFrac; f != nil {
 		lyra.SetHeteroFraction(tr, f.Frac, f.Seed)

@@ -28,7 +28,7 @@ type Spec struct {
 	Config lyra.Config
 
 	// Scenario, when set, adapts BOTH the config and the trace via
-	// lyra.ApplyScenarioAll — the two cannot diverge by mistake.
+	// lyra.ScenarioKind.Apply — the two cannot diverge by mistake.
 	Scenario     lyra.ScenarioKind
 	ScenarioSeed int64
 
@@ -87,7 +87,7 @@ func NewSpec(cfg lyra.Config, gen lyra.TraceConfig) Spec {
 func (s Spec) Named(name string) Spec { s.Name = name; return s }
 
 // WithScenario adapts config and trace to the named scenario (one step, via
-// lyra.ApplyScenarioAll at execution time).
+// lyra.ScenarioKind.Apply at execution time).
 func (s Spec) WithScenario(kind lyra.ScenarioKind, seed int64) Spec {
 	s.Scenario, s.ScenarioSeed = kind, seed
 	return s

@@ -1,0 +1,373 @@
+// Package yamlite decodes the YAML subset the scenario-spec files use. The
+// repository deliberately has no third-party dependencies, so instead of a
+// full YAML implementation this package supports exactly the constructs a
+// declarative spec needs — block mappings, block sequences, inline flow
+// lists of scalars, quoted and plain scalars, comments — and rejects the
+// rest (anchors, aliases, tags, multi-line strings, flow mappings) with a
+// line-numbered error instead of guessing.
+//
+// Decode produces the same tree shape encoding/json produces
+// (map[string]any, []any, string, float64, bool, nil), so a decoded
+// document can round-trip through encoding/json into a typed struct;
+// Unmarshal does exactly that, with unknown fields rejected so a typo in a
+// spec file fails loudly rather than silently configuring nothing.
+package yamlite
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Unmarshal decodes YAML data into v by way of the JSON tree: struct field
+// names follow v's json tags, and unknown fields are an error.
+func Unmarshal(data []byte, v any) error {
+	tree, err := Decode(data)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(tree)
+	if err != nil {
+		return fmt.Errorf("yamlite: re-encoding tree: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("yamlite: %w", err)
+	}
+	return nil
+}
+
+// Decode parses the YAML subset into a JSON-shaped tree. An empty document
+// decodes to nil.
+func Decode(data []byte) (any, error) {
+	p := &parser{}
+	if err := p.split(data); err != nil {
+		return nil, err
+	}
+	if len(p.lines) == 0 {
+		return nil, nil
+	}
+	v, err := p.block(p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("yamlite: line %d: unexpected de-indent to column %d", l.n, l.indent)
+	}
+	return v, nil
+}
+
+type line struct {
+	n      int    // 1-based source line number
+	indent int    // leading spaces
+	text   string // content with comment and trailing space stripped
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+// split breaks data into meaningful lines: blank and comment-only lines are
+// dropped, trailing comments stripped (respecting quotes), tabs in
+// indentation rejected.
+func (p *parser) split(data []byte) error {
+	for i, raw := range strings.Split(string(data), "\n") {
+		n := i + 1
+		if strings.HasPrefix(raw, "\t") || strings.Contains(leadingWhitespace(raw), "\t") {
+			return fmt.Errorf("yamlite: line %d: tab in indentation (use spaces)", n)
+		}
+		indent := len(leadingWhitespace(raw))
+		text := stripComment(raw[indent:])
+		text = strings.TrimRight(text, " \r")
+		if text == "" {
+			continue
+		}
+		if text == "---" && len(p.lines) == 0 {
+			continue // leading document marker
+		}
+		p.lines = append(p.lines, line{n: n, indent: indent, text: text})
+	}
+	return nil
+}
+
+func leadingWhitespace(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] != ' ' && s[i] != '\t' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// stripComment removes a trailing "#" comment that is outside quotes and
+// preceded by start-of-line or whitespace (YAML's rule).
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			if !(inDouble && i > 0 && s[i-1] == '\\') {
+				inDouble = !inDouble
+			}
+		case c == '#' && !inSingle && !inDouble && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// block parses the run of lines at exactly `indent` as one mapping or
+// sequence value.
+func (p *parser) block(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, fmt.Errorf("yamlite: unexpected end of document")
+	}
+	l := p.lines[p.pos]
+	if l.indent != indent {
+		return nil, fmt.Errorf("yamlite: line %d: expected indent %d, got %d", l.n, indent, l.indent)
+	}
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.sequence(indent)
+	}
+	return p.mapping(indent)
+}
+
+func (p *parser) sequence(indent int) (any, error) {
+	var out []any
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, fmt.Errorf("yamlite: line %d: bad indentation inside sequence", l.n)
+			}
+			break
+		}
+		if l.text != "-" && !strings.HasPrefix(l.text, "- ") {
+			return nil, fmt.Errorf("yamlite: line %d: expected sequence item %q to start with '-'", l.n, l.text)
+		}
+		if l.text == "-" {
+			// Item body on the following deeper-indented lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				out = append(out, nil)
+				continue
+			}
+			v, err := p.block(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		rest := strings.TrimLeft(l.text[2:], " ")
+		off := len(l.text) - len(rest)
+		if isMappingStart(rest) {
+			// "- key: value": the item is a mapping whose first entry
+			// shares the dash's line; re-anchor the line past the dash and
+			// parse a mapping at that effective indent.
+			p.lines[p.pos] = line{n: l.n, indent: indent + off, text: rest}
+			v, err := p.mapping(indent + off)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		v, err := scalar(rest, l.n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		p.pos++
+	}
+	return out, nil
+}
+
+func (p *parser) mapping(indent int) (any, error) {
+	out := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, fmt.Errorf("yamlite: line %d: bad indentation inside mapping", l.n)
+			}
+			break
+		}
+		key, rest, err := splitKey(l.text, l.n)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("yamlite: line %d: duplicate key %q", l.n, key)
+		}
+		if rest == "" {
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				out[key] = nil // "key:" with no block under it
+				continue
+			}
+			v, err := p.block(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+			continue
+		}
+		v, err := scalar(rest, l.n)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = v
+		p.pos++
+	}
+	return out, nil
+}
+
+// isMappingStart reports whether s looks like "key:" or "key: value" with
+// the colon outside quotes.
+func isMappingStart(s string) bool {
+	_, _, err := splitKey(s, 0)
+	return err == nil
+}
+
+// splitKey splits "key: value" (or "key:") into key and raw value text.
+func splitKey(s string, n int) (key, rest string, err error) {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			inDouble = !inDouble
+		case c == ':' && !inSingle && !inDouble:
+			if i+1 < len(s) && s[i+1] != ' ' {
+				continue // "a:b" plain scalar, not a key
+			}
+			rawKey := strings.TrimSpace(s[:i])
+			if rawKey == "" {
+				return "", "", fmt.Errorf("yamlite: line %d: empty mapping key", n)
+			}
+			k, err := unquote(rawKey, n)
+			if err != nil {
+				return "", "", err
+			}
+			return k, strings.TrimSpace(s[i+1:]), nil
+		}
+	}
+	return "", "", fmt.Errorf("yamlite: line %d: expected \"key: value\", got %q", n, s)
+}
+
+// scalar parses one YAML scalar (or an inline flow list of scalars).
+func scalar(s string, n int) (any, error) {
+	switch {
+	case s == "":
+		return nil, nil
+	case strings.HasPrefix(s, "["):
+		return flowList(s, n)
+	case strings.HasPrefix(s, "{"):
+		return nil, fmt.Errorf("yamlite: line %d: flow mappings {...} are not supported; use a block mapping", n)
+	case strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") || strings.HasPrefix(s, "!"):
+		return nil, fmt.Errorf("yamlite: line %d: anchors/aliases/tags are not supported", n)
+	case strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">"):
+		return nil, fmt.Errorf("yamlite: line %d: multi-line block scalars are not supported", n)
+	}
+	if s[0] == '\'' || s[0] == '"' {
+		return unquote(s, n)
+	}
+	switch s {
+	case "null", "~", "Null", "NULL":
+		return nil, nil
+	case "true", "True", "TRUE":
+		return true, nil
+	case "false", "False", "FALSE":
+		return false, nil
+	}
+	// Numbers decode as float64, matching encoding/json's tree shape.
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	return s, nil
+}
+
+// flowList parses "[a, b, c]" where every element is a scalar.
+func flowList(s string, n int) (any, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("yamlite: line %d: unterminated flow list %q", n, s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	out := []any{}
+	if inner == "" {
+		return out, nil
+	}
+	for _, part := range splitFlow(inner) {
+		part = strings.TrimSpace(part)
+		if strings.HasPrefix(part, "[") {
+			v, err := flowList(part, n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		v, err := scalar(part, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// splitFlow splits a flow-list body on top-level commas (quotes and nested
+// brackets respected).
+func splitFlow(s string) []string {
+	var parts []string
+	depth := 0
+	inSingle, inDouble := false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			inDouble = !inDouble
+		case (c == '[') && !inSingle && !inDouble:
+			depth++
+		case (c == ']') && !inSingle && !inDouble:
+			depth--
+		case c == ',' && depth == 0 && !inSingle && !inDouble:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// unquote resolves quoted and plain strings: double quotes use JSON-style
+// escapes, single quotes use YAML's ” escape, anything else is literal.
+func unquote(s string, n int) (string, error) {
+	switch {
+	case len(s) >= 2 && s[0] == '"':
+		if s[len(s)-1] != '"' {
+			return "", fmt.Errorf("yamlite: line %d: unterminated double-quoted string %s", n, s)
+		}
+		u, err := strconv.Unquote(s)
+		if err != nil {
+			return "", fmt.Errorf("yamlite: line %d: bad string %s: %v", n, s, err)
+		}
+		return u, nil
+	case len(s) >= 2 && s[0] == '\'':
+		if s[len(s)-1] != '\'' {
+			return "", fmt.Errorf("yamlite: line %d: unterminated single-quoted string %s", n, s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	return s, nil
+}

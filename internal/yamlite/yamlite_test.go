@@ -1,0 +1,152 @@
+package yamlite
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func decode(t *testing.T, src string) any {
+	t.Helper()
+	v, err := Decode([]byte(src))
+	if err != nil {
+		t.Fatalf("Decode(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestDecodeScalars(t *testing.T) {
+	got := decode(t, `
+str: plain
+quoted: "a: b # not a comment"
+single: 'it''s'
+int: 42
+float: 0.83
+neg: -7
+bool_t: true
+bool_f: false
+nil_v: null
+tilde: ~
+empty:
+colon_word: a:b
+`)
+	want := map[string]any{
+		"str":        "plain",
+		"quoted":     "a: b # not a comment",
+		"single":     "it's",
+		"int":        42.0,
+		"float":      0.83,
+		"neg":        -7.0,
+		"bool_t":     true,
+		"bool_f":     false,
+		"nil_v":      nil,
+		"tilde":      nil,
+		"empty":      nil,
+		"colon_word": "a:b",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestDecodeNesting(t *testing.T) {
+	got := decode(t, `
+# leading comment
+cluster:
+  training_servers: 16   # trailing comment
+  inference_servers: 16
+schemes:
+  - name: lyra
+    elastic: true
+  - name: baseline
+reclaims: [lyra, random, scf]
+days:
+  - 1
+  - 2
+`)
+	want := map[string]any{
+		"cluster": map[string]any{
+			"training_servers":  16.0,
+			"inference_servers": 16.0,
+		},
+		"schemes": []any{
+			map[string]any{"name": "lyra", "elastic": true},
+			map[string]any{"name": "baseline"},
+		},
+		"reclaims": []any{"lyra", "random", "scf"},
+		"days":     []any{1.0, 2.0},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestDecodeEmptyAndDocMarker(t *testing.T) {
+	if v := decode(t, "\n# only comments\n\n"); v != nil {
+		t.Errorf("empty doc = %#v, want nil", v)
+	}
+	got := decode(t, "---\nkey: 1\n")
+	if !reflect.DeepEqual(got, map[string]any{"key": 1.0}) {
+		t.Errorf("doc marker: got %#v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"\tkey: 1", "tab in indentation"},
+		{"key: 1\nkey: 2", "duplicate key"},
+		{"key: {a: 1}", "flow mappings"},
+		{"key: &anchor", "anchors"},
+		{"key: |", "multi-line"},
+		{"key: [a, b", "unterminated flow list"},
+		{"key: \"open", "unterminated double-quoted"},
+		{"just a scalar line", "expected \"key: value\""},
+		{"a: 1\n  b: 2", "bad indentation"},
+	}
+	for _, c := range cases {
+		_, err := Decode([]byte(c.src))
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Decode(%q) err = %v, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Decode([]byte("ok: 1\nalso: 2\nbad: [x\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want line 3", err)
+	}
+}
+
+func TestUnmarshalRejectsUnknownFields(t *testing.T) {
+	var v struct {
+		Name string `json:"name"`
+	}
+	if err := Unmarshal([]byte("name: x\n"), &v); err != nil || v.Name != "x" {
+		t.Fatalf("known field: %v (v=%+v)", err, v)
+	}
+	err := Unmarshal([]byte("nmae: x\n"), &v)
+	if err == nil || !strings.Contains(err.Error(), "nmae") {
+		t.Errorf("typo field err = %v, want unknown-field error naming it", err)
+	}
+}
+
+func TestUnmarshalTypedTree(t *testing.T) {
+	type inner struct {
+		N    int      `json:"n"`
+		List []string `json:"list"`
+	}
+	var v struct {
+		Inner inner    `json:"inner"`
+		Frac  *float64 `json:"frac"`
+	}
+	src := "inner:\n  n: 3\n  list: [a, b]\nfrac: 0\n"
+	if err := Unmarshal([]byte(src), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Inner.N != 3 || len(v.Inner.List) != 2 || v.Frac == nil || *v.Frac != 0 {
+		t.Errorf("decoded %+v; explicit zero must survive into the pointer", v)
+	}
+}

@@ -21,7 +21,12 @@
 // A minimal run:
 //
 //	tr := lyra.GenerateTrace(lyra.TraceConfig{Seed: 1, Days: 2, TrainingGPUs: 256, LoadFactor: 0.9})
-//	rep, err := lyra.Run(lyra.Scenario(lyra.Basic, lyra.DefaultConfig()), tr)
+//	rep, err := lyra.Run(lyra.DefaultConfig(), tr)
+//
+// Whole evaluation scenarios — cluster shape, trace synthesis, workload
+// mix, fault plan, a scheme matrix and SLO assertions — are declared as
+// versioned YAML/JSON ScenarioSpec files (LoadSpec, CompileSpec) and run as
+// a matrix by cmd/lyra-matrix; see testdata/scenarios/.
 package lyra
 
 import (
@@ -348,17 +353,19 @@ func (c Config) Normalize() Config {
 // panic or a silently wrong run deep inside Run: unknown scheme kinds (with
 // the registered alternatives listed), out-of-range fractions, and
 // non-positive intervals. It validates the normalized form, so zero-valued
-// fields are fine.
+// fields are fine. Every error names the offending field and the rejected
+// value, so spec-file compilation (CompileSpec) can point at the exact
+// field of the exact scheme entry that produced it.
 func (c Config) Validate() error {
 	n := c.Normalize()
 	if !n.Scheduler.Valid() {
-		return fmt.Errorf("lyra: unknown scheduler %q (valid: %s)", n.Scheduler, kindList(Schedulers()))
+		return fmt.Errorf("lyra: Scheduler: unknown scheduler %q (valid: %s)", n.Scheduler, kindList(Schedulers()))
 	}
 	if n.Loaning && !n.Reclaim.Valid() {
-		return fmt.Errorf("lyra: unknown reclaim policy %q (valid: %s)", n.Reclaim, kindList(Reclaims()))
+		return fmt.Errorf("lyra: Reclaim: unknown reclaim policy %q (valid: %s)", n.Reclaim, kindList(Reclaims()))
 	}
 	if c.Cluster.TrainingServers < 0 || c.Cluster.InferenceServers < 0 {
-		return fmt.Errorf("lyra: negative cluster size %+v", c.Cluster)
+		return fmt.Errorf("lyra: Cluster: negative cluster size %+v", c.Cluster)
 	}
 	if n.SchedInterval <= 0 {
 		return fmt.Errorf("lyra: SchedInterval %d must be positive (zero value selects the 60 s default; an explicit zero interval is meaningless)", n.SchedInterval)
@@ -394,7 +401,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("lyra: Phase2MaxItems %d must be at least 1", n.Phase2MaxItems)
 	}
 	if err := n.Faults.Validate(); err != nil {
-		return fmt.Errorf("lyra: %w", err)
+		return fmt.Errorf("lyra: Faults: %w", err)
 	}
 	return nil
 }

@@ -166,7 +166,7 @@ func TestEveryReclaimKindRuns(t *testing.T) {
 
 func TestApplyScenarioIdeal(t *testing.T) {
 	tr := smallTrace(8)
-	ApplyScenario(tr, Ideal, 9)
+	Ideal.Apply(nil, tr, 9)
 	for _, j := range tr.Jobs {
 		if !j.Elastic || !j.Fungible || !j.Hetero {
 			t.Fatalf("job %d not fully flexible in Ideal", j.ID)
@@ -182,7 +182,7 @@ func TestApplyScenarioIdeal(t *testing.T) {
 
 func TestApplyScenarioHeterogeneousDisablesFungible(t *testing.T) {
 	tr := smallTrace(9)
-	ApplyScenario(tr, Heterogeneous, 9)
+	Heterogeneous.Apply(nil, tr, 9)
 	hetero := 0
 	for _, j := range tr.Jobs {
 		if j.Fungible {
@@ -236,17 +236,48 @@ func TestSetCheckpointFraction(t *testing.T) {
 }
 
 func TestScenarioConfig(t *testing.T) {
-	cfg := Scenario(Baseline, DefaultConfig())
+	cfg := DefaultConfig()
+	Baseline.Apply(&cfg, nil, 0)
 	if cfg.Scheduler != SchedFIFO || cfg.Elastic || cfg.Loaning {
 		t.Errorf("Baseline scenario config wrong: %+v", cfg)
 	}
-	cfg = Scenario(Ideal, DefaultConfig())
+	cfg = DefaultConfig()
+	Ideal.Apply(&cfg, nil, 0)
 	if cfg.Scaling.HeteroPenalty != 1.0 {
 		t.Errorf("Ideal should have no hetero penalty, got %v", cfg.Scaling.HeteroPenalty)
 	}
-	cfg = Scenario(Advanced, DefaultConfig())
+	cfg = DefaultConfig()
+	Advanced.Apply(&cfg, nil, 0)
 	if cfg.Scaling.HeteroPenalty != 0.7 {
 		t.Errorf("Advanced hetero penalty = %v, want 0.7", cfg.Scaling.HeteroPenalty)
+	}
+}
+
+// TestDeprecatedScenarioWrappers pins the deprecated trio to the single
+// Apply path: identical config adaptation and identical trace mutation.
+func TestDeprecatedScenarioWrappers(t *testing.T) {
+	got := Scenario(Baseline, DefaultConfig())
+	want := DefaultConfig()
+	Baseline.Apply(&want, nil, 0)
+	if got != want {
+		t.Errorf("Scenario(Baseline) = %+v, want %+v", got, want)
+	}
+
+	trA, trB := smallTrace(8), smallTrace(8)
+	ApplyScenario(trA, Ideal, 9)
+	Ideal.Apply(nil, trB, 9)
+	for i, j := range trA.Jobs {
+		k := trB.Jobs[i]
+		if j.Elastic != k.Elastic || j.Fungible != k.Fungible || j.Hetero != k.Hetero || j.MaxWorkers != k.MaxWorkers {
+			t.Fatalf("job %d: wrapper and Apply diverge: %+v vs %+v", j.ID, j, k)
+		}
+	}
+
+	cfgAll := ApplyScenarioAll(Advanced, DefaultConfig(), nil, 3)
+	cfgApply := DefaultConfig()
+	Advanced.Apply(&cfgApply, nil, 3)
+	if cfgAll != cfgApply {
+		t.Errorf("ApplyScenarioAll = %+v, want %+v", cfgAll, cfgApply)
 	}
 }
 

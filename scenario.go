@@ -43,17 +43,22 @@ func (k ScenarioKind) Valid() bool {
 	return false
 }
 
-// ApplyScenarioAll adapts the config AND the trace to the named scenario in
-// one step: scheduler flags and the scaling model on the config, the
-// per-job capability flags on the trace (deterministically in seed). Using
-// it rules out the classic mistake of adapting config and trace to
-// different scenarios. tr may be nil when only the config side is wanted.
-// Unknown kinds are returned unchanged; validate with ScenarioKind.Valid.
-func ApplyScenarioAll(kind ScenarioKind, cfg Config, tr *Trace, seed int64) Config {
+// Apply adapts a config and/or a trace to the scenario in one step:
+// scheduler flags and the scaling model on the config, the per-job
+// capability flags on the trace (deterministically in seed). It is the
+// single scenario-application path — the spec layer (ScenarioSpec,
+// runner.Spec.WithScenario) and the deprecated wrappers below all route
+// through it, so config and trace cannot be adapted to different scenarios
+// by mistake. Either pointer may be nil when only the other side is
+// wanted. Unknown kinds apply nothing; validate with ScenarioKind.Valid.
+func (k ScenarioKind) Apply(cfg *Config, tr *Trace, seed int64) {
 	if tr != nil {
-		applyScenarioTrace(tr, kind, seed)
+		applyScenarioTrace(tr, k, seed)
 	}
-	switch kind {
+	if cfg == nil {
+		return
+	}
+	switch k {
 	case Baseline:
 		cfg.Scheduler = SchedFIFO
 		cfg.Elastic = false
@@ -65,21 +70,33 @@ func ApplyScenarioAll(kind ScenarioKind, cfg Config, tr *Trace, seed int64) Conf
 	case Ideal:
 		cfg.Scaling.HeteroPenalty = 1.0
 	}
+}
+
+// ApplyScenarioAll adapts the config AND the trace to the named scenario.
+//
+// Deprecated: use ScenarioKind.Apply (or declare the scenario in a
+// ScenarioSpec / runner.Spec and let the spec layer apply it).
+func ApplyScenarioAll(kind ScenarioKind, cfg Config, tr *Trace, seed int64) Config {
+	kind.Apply(&cfg, tr, seed)
 	return cfg
 }
 
-// Scenario adapts cfg to the named scenario. Thin wrapper over
-// ApplyScenarioAll for the config side only; prefer ApplyScenarioAll so the
-// trace cannot be adapted to a different scenario by mistake.
+// Scenario adapts cfg to the named scenario (config side only).
+//
+// Deprecated: use ScenarioKind.Apply (or declare the scenario in a
+// ScenarioSpec / runner.Spec and let the spec layer apply it).
 func Scenario(kind ScenarioKind, cfg Config) Config {
-	return ApplyScenarioAll(kind, cfg, nil, 0)
+	kind.Apply(&cfg, nil, 0)
+	return cfg
 }
 
 // ApplyScenario rewrites the per-job capability flags of tr in place for
-// the named scenario. Thin wrapper over ApplyScenarioAll for the trace side
-// only; prefer ApplyScenarioAll.
+// the named scenario (trace side only).
+//
+// Deprecated: use ScenarioKind.Apply (or declare the scenario in a
+// ScenarioSpec / runner.Spec and let the spec layer apply it).
 func ApplyScenario(tr *Trace, kind ScenarioKind, seed int64) {
-	applyScenarioTrace(tr, kind, seed)
+	kind.Apply(nil, tr, seed)
 }
 
 func applyScenarioTrace(tr *Trace, kind ScenarioKind, seed int64) {

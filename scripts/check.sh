@@ -36,4 +36,7 @@ echo "== fault-smoke (fault injection + recovery end to end)"
 echo "== bench-scale-smoke (scale benchmarks complete and emit JSON)"
 ./scripts/bench_scale.sh -short /dev/null
 
+echo "== matrix-smoke (declarative scenario specs + SLO gating end to end)"
+./scripts/matrix_smoke.sh
+
 echo "OK"

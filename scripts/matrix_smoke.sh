@@ -1,0 +1,56 @@
+#!/bin/sh
+# matrix_smoke.sh proves the declarative scenario harness end to end through
+# the real binary: the shipped smoke spec must compile, run as a matrix and
+# meet its SLO assertions (exit 0), the whole pack must at least dry-compile,
+# and — the failure path — the same spec with its bounds tightened far below
+# the measured results must exit non-zero with the violated assertions
+# spelled out. A gate that cannot fail is not a gate.
+set -eu
+cd "$(dirname "$0")/.."
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+echo "== matrix-smoke: building lyra-matrix"
+go build -o "$dir/lyra-matrix" ./cmd/lyra-matrix
+
+echo "== matrix-smoke: whole pack dry-compiles"
+"$dir/lyra-matrix" -spec testdata/scenarios -dry > "$dir/dry.out"
+cells=$(wc -l < "$dir/dry.out")
+if [ "$cells" -lt 10 ]; then
+	echo "matrix-smoke FAILED: pack compiled to only $cells cells" >&2
+	exit 1
+fi
+echo "pack compiles to $cells cells"
+
+echo "== matrix-smoke: smoke spec passes its SLOs"
+"$dir/lyra-matrix" -spec testdata/scenarios/smoke.yaml -audit > "$dir/pass.out"
+cat "$dir/pass.out"
+if grep -q "FAIL" "$dir/pass.out"; then
+	echo "matrix-smoke FAILED: smoke matrix reported SLO failures" >&2
+	exit 1
+fi
+
+echo "== matrix-smoke: tightened bounds must fail (exit 1, violations named)"
+if "$dir/lyra-matrix" -spec testdata/scenarios/smoke.yaml -tighten 0.01 > "$dir/fail.out" 2>&1; then
+	echo "matrix-smoke FAILED: tightened SLOs still passed — the gate cannot fail" >&2
+	exit 1
+fi
+if ! grep -q "exceeds bound" "$dir/fail.out"; then
+	echo "matrix-smoke FAILED: failure output does not name the violated bound" >&2
+	cat "$dir/fail.out" >&2
+	exit 1
+fi
+echo "tightened run failed as required"
+
+echo "== matrix-smoke: -json report carries cells and verdicts"
+"$dir/lyra-matrix" -spec testdata/scenarios/smoke.yaml -json "$dir/report.json" >/dev/null
+for needle in '"cells"' '"pass": true' '"key"'; do
+	if ! grep -q "$needle" "$dir/report.json"; then
+		echo "matrix-smoke FAILED: JSON report missing $needle" >&2
+		cat "$dir/report.json" >&2
+		exit 1
+	fi
+done
+
+echo "matrix-smoke OK"

@@ -1,0 +1,275 @@
+package lyra
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the spec golden files")
+
+// TestScenarioPackCompiles keeps every shipped spec loadable: each file in
+// testdata/scenarios must parse, validate and compile into at least one
+// cell whose Config passes Validate.
+func TestScenarioPackCompiles(t *testing.T) {
+	paths, err := filepath.Glob("testdata/scenarios/*.yaml")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no pack specs found: %v", err)
+	}
+	for _, p := range paths {
+		s, err := LoadSpec(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		cells, err := s.Compile()
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if len(cells) == 0 {
+			t.Errorf("%s: compiled to no cells", p)
+		}
+		for _, c := range cells {
+			if err := c.Config.Validate(); err != nil {
+				t.Errorf("%s cell %s: %v", p, c.Label(), err)
+			}
+		}
+	}
+}
+
+// TestSpecGoldenRoundTrip pins the smoke spec's compilation output: the
+// canonical JSON of its compiled cells must be byte-stable across
+// refactors. Any intentional change to spec semantics shows up as a golden
+// diff (regenerate with: go test -run TestSpecGoldenRoundTrip -update).
+func TestSpecGoldenRoundTrip(t *testing.T) {
+	s, err := LoadSpec("testdata/scenarios/smoke.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(cells, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := "testdata/golden/smoke.cells.json"
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("compiled smoke.yaml diverged from golden %s;\nre-run with -update if the change is intentional.\ngot:\n%s", golden, got)
+	}
+
+	// Compilation must be a pure function of the spec: a second compile of
+	// a freshly parsed spec is deeply identical.
+	s2, err := LoadSpec("testdata/scenarios/smoke.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells2, err := s2.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cells, cells2) {
+		t.Error("two compiles of the same spec diverged")
+	}
+}
+
+// TestParseSpecJSONAndYAMLAgree feeds the same document in both syntaxes
+// and requires identical parsed specs.
+func TestParseSpecJSONAndYAMLAgree(t *testing.T) {
+	yamlDoc := `
+version: 1
+name: twin
+seed: 3
+cluster:
+  training_servers: 8
+  inference_servers: 4
+trace:
+  days: 1
+  frac_elastic: 0
+schemes:
+  - name: a
+    scheduler: lyra
+    elastic: true
+slo:
+  lost_jobs: 0
+  jct_p99_hours: 10
+`
+	jsonDoc := `{
+  "version": 1, "name": "twin", "seed": 3,
+  "cluster": {"training_servers": 8, "inference_servers": 4},
+  "trace": {"days": 1, "frac_elastic": 0},
+  "schemes": [{"name": "a", "scheduler": "lyra", "elastic": true}],
+  "slo": {"lost_jobs": 0, "jct_p99_hours": 10}
+}`
+	y, err := ParseSpec([]byte(yamlDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := ParseSpec([]byte(jsonDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(y, j) {
+		t.Errorf("YAML and JSON parses diverge:\nyaml: %+v\njson: %+v", y, j)
+	}
+	if y.Trace.FracElastic == nil || *y.Trace.FracElastic != 0 {
+		t.Error("explicit frac_elastic: 0 must parse as a set pointer, not a default")
+	}
+	if y.SLO.LostJobs == nil || *y.SLO.LostJobs != 0 {
+		t.Error("explicit lost_jobs: 0 must parse as an assertion")
+	}
+}
+
+// TestSpecErrorsNameFields asserts the bugfix satellite: structural and
+// compile errors must name the spec field (path) that caused them.
+func TestSpecErrorsNameFields(t *testing.T) {
+	base := func() string {
+		return `
+version: 1
+name: e
+cluster:
+  training_servers: 4
+schemes:
+  - scheduler: lyra
+`
+	}
+	cases := []struct {
+		name, doc, wantSub string
+	}{
+		{"version", strings.Replace(base(), "version: 1", "version: 9", 1), "version"},
+		{"name", strings.Replace(base(), "name: e", "description: x", 1), "name: required"},
+		{"cluster", strings.Replace(base(), "training_servers: 4", "training_servers: 0", 1), "cluster.training_servers"},
+		{"scenario", base() + "scenario: bogus\n", `scenario: unknown scenario "bogus"`},
+		{"frac", base() + "workload:\n  elastic_frac: 1.5\n", "workload.elastic_frac"},
+		{"unknown field", strings.Replace(base(), "name: e", "nmae: e", 1), "nmae"},
+		{"no schemes", strings.Replace(base(), "schemes:\n  - scheduler: lyra", "schemes: []", 1), "schemes"},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec([]byte(c.doc))
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantSub)
+		}
+	}
+
+	// Reclaim/Reclaims conflict and per-cell Config validation failures
+	// carry the scheme index and cell label.
+	conflict := base() + "    reclaim: lyra\n    reclaims: [lyra, scf]\n"
+	if _, err := ParseSpec([]byte(conflict)); err == nil || !strings.Contains(err.Error(), "schemes[0]") {
+		t.Errorf("reclaim conflict err = %v, want schemes[0]", err)
+	}
+	bad := strings.Replace(base(), "scheduler: lyra", "scheduler: bogus", 1)
+	s, err := ParseSpec([]byte(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Compile()
+	if err == nil || !strings.Contains(err.Error(), "schemes[0]") || !strings.Contains(err.Error(), `"bogus"`) {
+		t.Errorf("bad scheduler err = %v, want schemes[0] and the value", err)
+	}
+
+	// LoadSpec errors carry the file path.
+	if _, err := LoadSpec("testdata/scenarios/does-not-exist.yaml"); err == nil ||
+		!strings.Contains(err.Error(), "does-not-exist.yaml") {
+		t.Errorf("missing file err = %v, want path", err)
+	}
+}
+
+// TestCompileSpecDefaults pins the compilation conventions the CLIs use:
+// trace GPUs derived from the cluster, scenario seed = seed+100, mix seed =
+// seed+200, fault seed fallback to the spec seed.
+func TestCompileSpecDefaults(t *testing.T) {
+	doc := `
+version: 1
+name: defaults
+seed: 5
+cluster:
+  training_servers: 4
+  inference_servers: 2
+scenario: basic
+workload:
+  elastic_frac: 0.4
+faults: "mtbf=21600,mttr=600"
+schemes:
+  - scheduler: lyra
+`
+	s, err := ParseSpec([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cells[0]
+	if c.Trace.TrainingGPUs != 4*8 {
+		t.Errorf("TrainingGPUs = %d, want cluster-derived 32", c.Trace.TrainingGPUs)
+	}
+	if c.Trace.Seed != 5 {
+		t.Errorf("trace seed = %d, want spec seed 5", c.Trace.Seed)
+	}
+	if c.ScenarioSeed != 105 {
+		t.Errorf("scenario seed = %d, want seed+100", c.ScenarioSeed)
+	}
+	if c.ElasticFrac == nil || c.ElasticFrac.Seed != 205 {
+		t.Errorf("mix knob = %+v, want seed+200", c.ElasticFrac)
+	}
+	if !c.Config.Faults.Enabled() || c.Config.Faults.Seed != 5 {
+		t.Errorf("fault plan = %+v, want enabled with spec seed", c.Config.Faults)
+	}
+	if c.Cell != "lyra" {
+		t.Errorf("default cell name = %q, want scheduler kind", c.Cell)
+	}
+}
+
+// TestSLOEvaluate exercises the assertion semantics directly: hour-unit
+// bounds against second-unit summaries, the lost-jobs pointer, and Tighten
+// scaling only upper bounds.
+func TestSLOEvaluate(t *testing.T) {
+	rep := &Report{Total: 100, Completed: 99}
+	rep.Queue.Mean = 2 * 3600
+	rep.Queue.P99 = 10 * 3600
+	rep.JCT.Mean = 5 * 3600
+	rep.JCT.P99 = 50 * 3600
+
+	zero := 0
+	s := SLOSpec{QueuingP99Hours: 12, JCTP99Hours: 40, LostJobs: &zero, MinCompletedFrac: 0.999}
+	vs := s.Evaluate(rep, 0)
+	asserts := make(map[string]bool)
+	for _, v := range vs {
+		asserts[v.Assert] = true
+	}
+	if asserts["queuing_p99_hours"] {
+		t.Error("10h p99 within a 12h bound must pass")
+	}
+	if !asserts["jct_p99_hours"] || !asserts["lost_jobs"] || !asserts["min_completed_frac"] {
+		t.Errorf("violations = %v, want jct_p99_hours, lost_jobs and min_completed_frac", vs)
+	}
+
+	if (SLOSpec{}).Evaluate(rep, 0) != nil {
+		t.Error("empty SLO must assert nothing")
+	}
+	tight := s.Tighten(0.01)
+	if tight.QueuingP99Hours != 0.12 || tight.LostJobs != s.LostJobs {
+		t.Errorf("Tighten: %+v (must scale bounds, not the lost-jobs count)", tight)
+	}
+	if len(tight.Evaluate(rep, 0)) <= len(vs) {
+		t.Error("tightened SLO must fail at least as hard")
+	}
+}
