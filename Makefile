@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench bench-smoke events-smoke fault-smoke bench-scale bench-scale-smoke matrix-smoke fuzz
+.PHONY: all check fmt vet build test race bench bench-smoke events-smoke fault-smoke bench-scale bench-scale-smoke matrix-smoke prof-smoke bench-guard bench-append fuzz
 
 all: check
 
 # check is the default gate: formatting, vet, build, the full test suite
 # (every package runs with the invariant auditor on), the race detector
 # over the internal packages, and the runner-memoization, event-stream,
-# fault-recovery, scale-benchmark and scenario-matrix smoke tests.
-check: fmt vet build test race bench-smoke events-smoke fault-smoke bench-scale-smoke matrix-smoke
+# fault-recovery, scale-benchmark, scenario-matrix and profiler smoke
+# tests plus the perf-regression guard (and its selftest).
+check: fmt vet build test race bench-smoke events-smoke fault-smoke bench-scale-smoke matrix-smoke prof-smoke bench-guard
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -67,6 +68,26 @@ bench-scale-smoke:
 # with the violations spelled out (the gate demonstrably can fail).
 matrix-smoke:
 	@./scripts/matrix_smoke.sh
+
+# prof-smoke proves the span profiler end to end through lyra-sim: -prof
+# attributes >= 90% of wall time to named phases, -trace emits valid Chrome
+# trace-event JSON, and turning profiling on leaves the deterministic
+# -events stream byte-identical.
+prof-smoke:
+	@./scripts/prof_smoke.sh
+
+# bench-guard is the perf-regression gate over BENCH_cluster.json: the
+# latest recorded entry must stay within a 25% ns/epoch budget of the one
+# before it, and the selftest proves a doctored 2x-slower entry fails.
+bench-guard:
+	@./scripts/bench_guard.sh
+	@./scripts/bench_guard.sh -selftest
+
+# bench-append records one perf-trajectory point: full scale benchmarks,
+# appended to BENCH_cluster.json as a labeled dated entry, then guarded.
+# Usage: make bench-append LABEL="what changed"
+bench-append:
+	@./scripts/bench_append.sh "$(LABEL)"
 
 # bench runs the audit-overhead and experiment benchmarks (audit off: the
 # numbers quoted in DESIGN.md come from BenchmarkEngineAudit).

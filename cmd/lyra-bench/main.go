@@ -49,6 +49,7 @@ func main() {
 	g.SeedFlag("random seed for trace synthesis and tie-breaking")
 	g.ParallelFlag("simulations")
 	g.SpecFlag("as a scheme matrix through the memoizing pool instead of the experiment registry")
+	g.ProfFlags()
 	var (
 		exp       = flag.String("exp", "all", "experiment name (see -list) or 'all'")
 		full      = flag.Bool("full", false, "run at the paper's production scale")
@@ -58,6 +59,9 @@ func main() {
 		statsJSON = flag.String("stats-json", "", "also write the pool statistics as JSON to this file")
 	)
 	flag.Parse()
+	if err := g.StartPprof(); err != nil {
+		g.Fatal(err)
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -74,12 +78,16 @@ func main() {
 			g.Fatal(err)
 		}
 		pool := runner.New(g.Parallel)
+		pool.Profile(g.Collector())
 		start := time.Now()
 		m := pool.Matrix(cells)
 		m.WriteTable(os.Stdout)
 		if *stats {
 			fmt.Fprintf(os.Stderr, "[pool: %s; %d workers; %d cells in %s]\n",
 				pool.Stats(), pool.Parallelism(), len(m.Cells), time.Since(start).Round(time.Millisecond))
+		}
+		if err := g.FinishProf(os.Stderr); err != nil {
+			g.Fatal(err)
 		}
 		if !m.OK() {
 			fmt.Fprintf(os.Stderr, "lyra-bench: %d of %d cells failed their SLOs\n", m.Failures(), len(m.Cells))
@@ -96,6 +104,7 @@ func main() {
 	}
 	params.Seed = g.Seed
 	pool := runner.New(g.Parallel)
+	pool.Profile(g.Collector())
 	params.Pool = pool
 	// The obs registry mirrors the pool's memoization counters and folds
 	// per-run simulator totals, so -stats prints one merged table.
@@ -134,6 +143,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[pool: %s; %d workers; %d tables in %s]\n",
 			st, pool.Parallelism(), tables, wall.Round(time.Millisecond))
 		reg.WriteTable(os.Stderr)
+	}
+	if err := g.FinishProf(os.Stderr); err != nil {
+		g.Fatal(err)
 	}
 	if *statsJSON != "" {
 		doc := benchStats{

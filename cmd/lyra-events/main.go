@@ -29,26 +29,35 @@ import (
 var flags = cliflags.New("lyra-events", flag.CommandLine)
 
 func main() {
+	flags.ProfFlags()
 	var (
 		jobID  = flag.Int("job", -1, "reconstruct this job's timeline and validate its lifecycle")
 		epochs = flag.Bool("epochs", false, "summarize per-epoch decision counts")
 		diff   = flag.Bool("diff", false, "compare two streams line by line; exit 1 on the first divergence")
 	)
 	flag.Parse()
+	if err := flags.StartPprof(); err != nil {
+		fatal(err)
+	}
 
 	if *diff {
 		if flag.NArg() != 2 {
 			fatal(fmt.Errorf("-diff needs exactly two files, got %d", flag.NArg()))
 		}
 		diffStreams(flag.Arg(0), flag.Arg(1))
+		finishProf()
 		return
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: lyra-events [-job N | -epochs | -diff] <events.jsonl> [events2.jsonl]")
 		os.Exit(2)
 	}
+	p := flags.Collector().NewProfiler("lyra-events")
+	sp := p.Start("load")
 	events := load(flag.Arg(0))
+	sp.End()
 
+	sp = p.Start("analyze")
 	switch {
 	case *jobID >= 0:
 		jobTimeline(events, *jobID)
@@ -56,6 +65,14 @@ func main() {
 		epochTable(events)
 	default:
 		summary(events)
+	}
+	sp.End()
+	finishProf()
+}
+
+func finishProf() {
+	if err := flags.FinishProf(os.Stderr); err != nil {
+		fatal(err)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"lyra/internal/cliflags"
+	"lyra/internal/prof"
 	"lyra/internal/runner"
 )
 
@@ -34,12 +35,16 @@ func main() {
 	g.SpecFlag("(or every *.yaml/*.json in the directory)")
 	g.ParallelFlag("simulations")
 	g.AuditFlag("simulator event")
+	g.ProfFlags()
 	var (
 		dry      = flag.Bool("dry", false, "compile and list the matrix cells without running them")
 		tighten  = flag.Float64("tighten", 1, "scale every SLO upper bound by this factor (CI uses <1 to prove the harness fails on regressions)")
 		jsonPath = flag.String("json", "", "also write the structured matrix report as JSON to this file")
 	)
 	flag.Parse()
+	if err := g.StartPprof(); err != nil {
+		g.Fatal(err)
+	}
 
 	if g.SpecPath == "" {
 		g.Usage("-spec is required (a spec file or a directory of them)")
@@ -69,11 +74,15 @@ func main() {
 	}
 
 	pool := runner.New(g.Parallel)
+	pool.Profile(g.Collector())
 	m := cliflags.RunMatrix(pool, cells, os.Stdout)
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, m); err != nil {
 			g.Fatal(err)
 		}
+	}
+	if err := g.FinishProf(os.Stderr); err != nil {
+		g.Fatal(err)
 	}
 	if !m.OK() {
 		fmt.Fprintf(os.Stderr, "lyra-matrix: %d of %d cells failed\n", m.Failures(), len(m.Cells))
@@ -132,6 +141,9 @@ type cellJSON struct {
 	JCTP99H     float64 `json:"jct_p99_hours"`
 	WallMS      int64   `json:"wall_ms"`
 	Violations  []any   `json:"violations,omitempty"`
+	// Prof is the cell's wall-clock self-timing report when the matrix ran
+	// with -prof/-trace (cache-hit cells carry the executing run's report).
+	Prof *prof.Report `json:"prof,omitempty"`
 }
 
 func writeJSON(path string, m *runner.MatrixReport) error {
@@ -144,6 +156,7 @@ func writeJSON(path string, m *runner.MatrixReport) error {
 			cj.Completed, cj.Total = c.Report.Completed, c.Report.Total
 			cj.QueuingP99H = c.Report.Queue.P99 / 3600
 			cj.JCTP99H = c.Report.JCT.P99 / 3600
+			cj.Prof = c.Report.Prof
 		}
 		for _, v := range c.Violations {
 			cj.Violations = append(cj.Violations, v)

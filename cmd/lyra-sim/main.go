@@ -15,10 +15,11 @@
 //	lyra-sim -scheme lyra -days 4 -training-servers 56 -inference-servers 64
 //	lyra-sim -scheme baseline -days 15 -training-servers 443 -inference-servers 520
 //	lyra-sim -scheme lyra -elastic=false -reclaim scf
-//	lyra-sim -trace trace.csv -scheme pollux -loaning=false
+//	lyra-sim -trace-csv trace.csv -scheme pollux -loaning=false
 //	lyra-sim -scheme lyra,fifo,gandiva,afs,pollux -parallel 4
 //	lyra-sim -scheme lyra -faults "mtbf=21600,mttr=600,straggler=0.1"
 //	lyra-sim -spec testdata/scenarios/multitenant.yaml
+//	lyra-sim -scheme lyra -prof -trace out.json   # self-timing report + Perfetto trace
 package main
 
 import (
@@ -42,6 +43,7 @@ func main() {
 	g.EventsFlag("single scheme only")
 	g.FaultFlags("mtbf=21600,mttr=600,straggler=0.1")
 	g.SpecFlag("as a scheme matrix with SLO gating, ignoring the scheme/trace flags")
+	g.ProfFlags()
 	var (
 		loaning   = flag.Bool("loaning", true, "enable capacity loaning")
 		elastic   = flag.Bool("elastic", true, "enable elastic scaling (lyra scheduler)")
@@ -51,15 +53,19 @@ func main() {
 		trainSrv  = flag.Int("training-servers", 56, "8-GPU training servers")
 		infSrv    = flag.Int("inference-servers", 64, "8-GPU inference servers")
 		load      = flag.Float64("load", 0.83, "offered load factor")
-		traceFile = flag.String("trace", "", "read the trace from this CSV instead of synthesizing")
+		traceFile = flag.String("trace-csv", "", "read the trace from this CSV instead of synthesizing")
 		loss      = flag.Float64("scaling-loss", 0, "per-worker throughput loss (imperfect scaling)")
 		proactive = flag.Bool("proactive", false, "LSTM-forecast-driven (proactive) reclaiming")
 		agnostic  = flag.Bool("info-agnostic", false, "least-attained-service order instead of SJF (no runtime estimates)")
 	)
 	flag.Parse()
+	if err := g.StartPprof(); err != nil {
+		g.Fatal(err)
+	}
 
 	if g.SpecPath != "" {
 		runSpec(g)
+		finishProf(g)
 		return
 	}
 
@@ -121,13 +127,14 @@ func main() {
 		for i, cfg := range cfgs {
 			trc := tr.Clone()
 			kind.Apply(&cfg, trc, g.Seed+100)
-			rep, err := lyra.Run(cfg, trc)
+			rep, err := lyra.RunProfiled(cfg, trc, g.Collector().NewProfiler(schemes[i]))
 			if err != nil {
 				g.Fatal(err)
 			}
 			writeEvents(g, rep)
 			report(schemes[i], len(schemes) > 1, rep)
 		}
+		finishProf(g)
 		return
 	}
 
@@ -137,6 +144,7 @@ func main() {
 	gen.LoadFactor = *load
 
 	pool := runner.New(g.Parallel)
+	pool.Profile(g.Collector())
 	specs := make([]runner.Spec, len(cfgs))
 	for i, cfg := range cfgs {
 		specs[i] = runner.NewSpec(cfg, gen).WithScenario(kind, g.Seed+100).Named(schemes[i])
@@ -149,6 +157,15 @@ func main() {
 		writeEvents(g, rep)
 		report(schemes[i], len(schemes) > 1, rep)
 	}
+	finishProf(g)
+}
+
+// finishProf flushes the -trace / -prof / pprof outputs; a flush failure is
+// fatal (a requested trace that was not written must not exit 0).
+func finishProf(g *cliflags.Group) {
+	if err := g.FinishProf(os.Stdout); err != nil {
+		g.Fatal(err)
+	}
 }
 
 // runSpec executes a declarative scenario spec: every cell's full report,
@@ -159,6 +176,7 @@ func runSpec(g *cliflags.Group) {
 		g.Fatal(err)
 	}
 	pool := runner.New(g.Parallel)
+	pool.Profile(g.Collector())
 	m := pool.Matrix(cells)
 	for _, c := range m.Cells {
 		if c.Err != nil {
@@ -168,6 +186,7 @@ func runSpec(g *cliflags.Group) {
 	}
 	m.WriteTable(os.Stdout)
 	if !m.OK() {
+		finishProf(g)
 		fmt.Fprintf(os.Stderr, "lyra-sim: %d of %d cells violated their SLOs\n", m.Failures(), len(m.Cells))
 		os.Exit(1)
 	}

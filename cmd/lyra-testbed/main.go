@@ -37,11 +37,15 @@ func main() {
 	g.AuditFlag("tick")
 	g.EventsFlag("job lifecycle, tick epochs, container transitions")
 	g.FaultFlags("mtbf=3600,mttr=300,launchfail=0.05,rpcerr=0.02")
+	g.ProfFlags()
 	var (
 		speedup = flag.Float64("speedup", 4000, "simulated seconds per wall second")
 		jobs    = flag.Int("jobs", 180, "number of jobs in the scaled trace")
 	)
 	flag.Parse()
+	if err := g.StartPprof(); err != nil {
+		g.Fatal(err)
+	}
 
 	var faultPlan *fault.Plan
 	if fp, err := g.Plan(); err != nil {
@@ -110,7 +114,10 @@ func main() {
 		}
 	}
 	tb := testbed.New(tbCfg, tr, s, orchBuilder)
+	pr := g.Collector().NewProfiler("testbed/" + g.Scheme)
+	rsp := pr.Start("run")
 	res, verr := runTestbed(tb, tr.Horizon, ring)
+	rsp.End()
 	if verr != nil {
 		obs.WriteViolationReport(os.Stderr, verr)
 		os.Exit(1)
@@ -129,6 +136,9 @@ func main() {
 	}
 	lyraWL, infWL := tb.Whitelists()
 	fmt.Printf("whitelists at exit: lyra=%d servers, inference=%d servers\n", lyraWL.Len(), infWL.Len())
+	if err := g.FinishProf(os.Stdout); err != nil {
+		g.Fatal(err)
+	}
 }
 
 // runTestbed drives the testbed, converting an invariant-audit panic into a

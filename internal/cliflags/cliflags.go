@@ -11,11 +11,15 @@ package cliflags
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"lyra"
 	"lyra/internal/obs"
+	"lyra/internal/prof"
 	"lyra/internal/runner"
 )
 
@@ -42,6 +46,16 @@ type Group struct {
 	Faults    string
 	FaultSeed int64
 	SpecPath  string
+
+	// Profiling flags (ProfFlags): the self-timing report switch, the
+	// Chrome-trace output path, and the pprof profile paths.
+	Prof       bool
+	TracePath  string
+	CPUProfile string
+	MemProfile string
+
+	profC *prof.Collector
+	cpuF  *os.File
 }
 
 // New returns a group registering flags on fs under the command name (used
@@ -104,6 +118,97 @@ func (g *Group) FaultFlags(example string) {
 // SpecFlag registers -spec, the declarative scenario-spec entry point.
 func (g *Group) SpecFlag(what string) {
 	g.fs.StringVar(&g.SpecPath, "spec", "", "run the scenario spec (YAML/JSON) at this path "+what)
+}
+
+// ProfFlags registers the shared profiling flags: -prof (print the wall-
+// clock self-timing report), -trace (write a Chrome trace-event JSON file,
+// loadable in Perfetto or chrome://tracing), and -cpuprofile/-memprofile
+// (standard pprof output). One registration point so every command gets
+// identical syntax and lifecycle (StartPprof / Collector / FinishProf).
+func (g *Group) ProfFlags() {
+	g.fs.BoolVar(&g.Prof, "prof", false, "print the per-phase wall-clock self-timing report")
+	g.fs.StringVar(&g.TracePath, "trace", "", "write a Chrome trace-event JSON file (open in Perfetto / chrome://tracing)")
+	g.fs.StringVar(&g.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	g.fs.StringVar(&g.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
+}
+
+// ProfEnabled reports whether span profiling was requested (-prof or
+// -trace). pprof profiles are independent of it.
+func (g *Group) ProfEnabled() bool { return g.Prof || g.TracePath != "" }
+
+// Collector returns the shared span collector — live when -prof or -trace
+// was given, nil (the disabled collector) otherwise. Commands pass it to
+// the runner pool and hand its per-run profilers to RunProfiled.
+func (g *Group) Collector() *prof.Collector {
+	if !g.ProfEnabled() {
+		return nil
+	}
+	if g.profC == nil {
+		g.profC = prof.NewCollector(nil)
+	}
+	return g.profC
+}
+
+// StartPprof starts the CPU profile when -cpuprofile was given. Call it
+// after flag parsing; FinishProf stops it.
+func (g *Group) StartPprof() error {
+	if g.CPUProfile == "" {
+		return nil
+	}
+	f, err := os.Create(g.CPUProfile)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	g.cpuF = f
+	return nil
+}
+
+// FinishProf flushes every requested profiling output: the -trace Chrome
+// trace file, the -prof self-timing report (to w), the -cpuprofile stop and
+// the -memprofile heap snapshot. Safe to call when nothing was requested;
+// call it on every exit path before os.Exit.
+func (g *Group) FinishProf(w io.Writer) error {
+	var firstErr error
+	if g.cpuF != nil {
+		pprof.StopCPUProfile()
+		if err := g.cpuF.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		g.cpuF = nil
+	}
+	if g.TracePath != "" && g.profC != nil {
+		f, err := os.Create(g.TracePath)
+		if err == nil {
+			err = g.profC.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if g.Prof && g.profC != nil && w != nil {
+		g.profC.WriteText(w)
+	}
+	if g.MemProfile != "" {
+		f, err := os.Create(g.MemProfile)
+		if err == nil {
+			runtime.GC()
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Schemes splits the -scheme value on commas, trimming whitespace and

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// digestBucketsPerOctave sets the Digest resolution: 8 buckets per power of
+// two gives a worst-case relative quantile error of 2^(1/16)-1 ≈ 4.4%,
+// plenty for the p50/p90/p99 summaries the self-timing reports print while
+// keeping memory at O(occupied buckets) regardless of observation count.
+const digestBucketsPerOctave = 8
+
+// Digest is a deterministic streaming quantile estimator over logarithmic
+// buckets. Unlike reservoir sampling it has no randomness: the same
+// observation multiset always yields the same estimates, which keeps every
+// report that embeds quantiles reproducible. Values ≤ 0 land in a dedicated
+// zero bucket (durations and gauge observations are non-negative; a literal
+// zero is common and must not be smeared into the smallest positive bucket).
+// The zero value is ready to use.
+type Digest struct {
+	zeros   int64
+	count   int64
+	buckets map[int32]int64
+}
+
+// bucketOf maps a positive value to its logarithmic bucket index.
+func bucketOf(v float64) int32 {
+	return int32(math.Floor(math.Log2(v) * digestBucketsPerOctave))
+}
+
+// repOf is the representative value reported for a bucket: the geometric
+// midpoint of its bounds, so the estimate's relative error is symmetric.
+func repOf(idx int32) float64 {
+	return math.Exp2((float64(idx) + 0.5) / digestBucketsPerOctave)
+}
+
+// Observe records one value.
+func (d *Digest) Observe(v float64) {
+	d.count++
+	if v <= 0 || math.IsNaN(v) {
+		d.zeros++
+		return
+	}
+	if d.buckets == nil {
+		d.buckets = make(map[int32]int64)
+	}
+	d.buckets[bucketOf(v)]++
+}
+
+// Count reports the number of observations.
+func (d *Digest) Count() int64 { return d.count }
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed values,
+// within the digest's relative-error bound. An empty digest reports 0.
+func (d *Digest) Quantile(q float64) float64 {
+	if d.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(d.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank <= d.zeros {
+		return 0
+	}
+	seen := d.zeros
+	idxs := make([]int32, 0, len(d.buckets))
+	for idx := range d.buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		seen += d.buckets[idx]
+		if seen >= rank {
+			return repOf(idx)
+		}
+	}
+	// Unreachable when counts are consistent; return the top bucket.
+	if len(idxs) > 0 {
+		return repOf(idxs[len(idxs)-1])
+	}
+	return 0
+}

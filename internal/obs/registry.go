@@ -23,6 +23,10 @@ type histogram struct {
 	count    int64
 	sum      float64
 	min, max float64
+	// dig feeds the p50/p90/p99 quantile snapshots. It is a deterministic
+	// log-bucket digest, so quantile columns in the merged -stats table are
+	// as reproducible as the count/sum/min/max ones.
+	dig Digest
 }
 
 // NewRegistry returns an empty registry.
@@ -59,7 +63,24 @@ func (g *Registry) Observe(name string, v float64) {
 	}
 	h.count++
 	h.sum += v
+	h.dig.Observe(v)
 	g.mu.Unlock()
+}
+
+// Quantiles reports the p50/p90/p99 estimates of the named histogram (ok is
+// false when nothing was observed under that name). Estimates come from the
+// deterministic log-bucket Digest, accurate to ~±4.4% relative error.
+func (g *Registry) Quantiles(name string) (p50, p90, p99 float64, ok bool) {
+	if g == nil {
+		return 0, 0, 0, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h := g.hists[name]
+	if h == nil {
+		return 0, 0, 0, false
+	}
+	return h.dig.Quantile(0.50), h.dig.Quantile(0.90), h.dig.Quantile(0.99), true
 }
 
 // Counter returns the current value of the named counter (0 if absent).
@@ -122,14 +143,15 @@ func (g *Registry) WriteTable(w io.Writer) {
 	}
 	sort.Strings(hnames)
 	if len(hnames) > 0 {
-		fmt.Fprintln(tw, "histogram\tcount\tmean\tmin\tmax")
+		fmt.Fprintln(tw, "histogram\tcount\tmean\tp50\tp90\tp99\tmin\tmax")
 		for _, k := range hnames {
 			h := g.hists[k]
 			mean := 0.0
 			if h.count > 0 {
 				mean = h.sum / float64(h.count)
 			}
-			fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\n", k, h.count, mean, h.min, h.max)
+			fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+				k, h.count, mean, h.dig.Quantile(0.50), h.dig.Quantile(0.90), h.dig.Quantile(0.99), h.min, h.max)
 		}
 	}
 	tw.Flush()

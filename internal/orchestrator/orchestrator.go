@@ -79,11 +79,17 @@ func (o *Orchestrator) Epoch(st *sim.State) {
 	}
 	switch {
 	case want > cur:
+		sp := st.Prof.Start("loan")
 		o.loan(st, want-cur)
+		sp.End()
 	case capSrv < cur:
+		sp := st.Prof.Start("reclaim")
 		o.reclaim(st, cur-capSrv)
+		sp.End()
 	case want < cur:
+		sp := st.Prof.Start("return-idle")
 		o.returnIdle(st, cur-want)
+		sp.End()
 	}
 	if o.Audit != nil {
 		ctx := fmt.Sprintf("orchestrator:epoch t=%g", st.Now)
@@ -227,7 +233,9 @@ func (o *Orchestrator) reclaim(st *sim.State, n int) {
 	// valid while the plan's Moves re-index the pools below.
 	onLoan := st.Cluster.PoolServers(cluster.PoolOnLoan)
 	lookup := func(id int) *job.Job { return st.Running[id] }
+	sp := st.Prof.Start("reclaim.plan")
 	plan := o.Policy.Plan(onLoan, lookup, n)
+	sp.End()
 	if len(plan.Servers) == 0 {
 		return
 	}
@@ -261,7 +269,8 @@ func (o *Orchestrator) reclaim(st *sim.State, n int) {
 	// decider's cause.
 	savedCause := st.Cause
 	st.Cause = "reclaim"
-	defer func() { st.Cause = savedCause }()
+	asp := st.Prof.Start("reclaim.apply")
+	defer func() { asp.End(); st.Cause = savedCause }()
 
 	// Release flexible server groups first: pure scale-in, no preemption.
 	// Iterate jobs in sorted order: the map order would otherwise leak into

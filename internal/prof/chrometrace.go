@@ -1,0 +1,138 @@
+package prof
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Track names one timeline in a merged Chrome trace: one profiler renders
+// as one tid, so the runner pool's parallel cells land side by side in
+// Perfetto.
+type Track struct {
+	Name string
+	P    *Profiler
+}
+
+// traceEvent is the Chrome trace-event format (the subset Perfetto and
+// chrome://tracing consume): complete spans ("ph":"X") with microsecond
+// timestamps, plus thread_name metadata ("ph":"M") labeling each track.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace merges the tracks into one Chrome trace-event JSON
+// document on w. Tracks are ordered by name (then insertion) so output is
+// stable regardless of worker scheduling; all profilers of one Collector
+// share a clock origin, so their spans align on one timeline.
+func WriteChromeTrace(w io.Writer, tracks ...Track) error {
+	ordered := make([]Track, 0, len(tracks))
+	for _, t := range tracks {
+		if t.P != nil {
+			ordered = append(ordered, t)
+		}
+	}
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Name < ordered[j].Name })
+
+	doc := traceDoc{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	for i, t := range ordered {
+		tid := i + 1
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": t.Name},
+		})
+		t.P.mu.Lock()
+		for _, s := range t.P.spans {
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: s.name, Cat: "lyra", Ph: "X",
+				TS: float64(s.start) / 1e3, Dur: float64(s.dur) / 1e3,
+				PID: 1, TID: tid,
+			})
+		}
+		t.P.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteChromeTrace exports this profiler alone as a single-track trace.
+// Nil-safe (writes an empty, still-valid trace document).
+func (p *Profiler) WriteChromeTrace(w io.Writer) error {
+	if p == nil {
+		return WriteChromeTrace(w)
+	}
+	return WriteChromeTrace(w, Track{Name: "main", P: p})
+}
+
+// Collector hands out per-run Profilers sharing one clock and merges them
+// for reporting — the harness-side aggregation point for the runner pool
+// (one track per executed cell) and the multi-scheme CLIs. The nil
+// *Collector is the disabled state: NewProfiler on it returns the nil
+// (disabled) *Profiler, so harness code stays unconditionally instrumented.
+type Collector struct {
+	mu     sync.Mutex
+	clock  Clock
+	tracks []Track
+}
+
+// NewCollector returns a collector over the given clock (nil selects the
+// process-monotonic default, shared by every profiler it creates).
+func NewCollector(clock Clock) *Collector {
+	if clock == nil {
+		clock = monotonic
+	}
+	return &Collector{clock: clock}
+}
+
+// NewProfiler creates (and retains) a live profiler tracked under name.
+// Nil-safe: a nil collector returns a nil profiler.
+func (c *Collector) NewProfiler(name string) *Profiler {
+	if c == nil {
+		return nil
+	}
+	p := New(c.clock)
+	c.mu.Lock()
+	c.tracks = append(c.tracks, Track{Name: name, P: p})
+	c.mu.Unlock()
+	return p
+}
+
+// Tracks snapshots the collected tracks in name order.
+func (c *Collector) Tracks() []Track {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	out := make([]Track, len(c.tracks))
+	copy(out, c.tracks)
+	c.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteChromeTrace merges every collected track into one trace document.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, c.Tracks()...)
+}
+
+// WriteText prints each track's self-timing report, labeled, in name
+// order. Nil-safe.
+func (c *Collector) WriteText(w io.Writer) {
+	for _, t := range c.Tracks() {
+		io.WriteString(w, "-- prof: "+t.Name+" --\n")
+		t.P.Report().WriteText(w)
+	}
+}

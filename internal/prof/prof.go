@@ -1,0 +1,200 @@
+// Package prof is the wall-clock span profiler for the simulator and its
+// harnesses: hierarchical, nesting spans over an injectable clock, with a
+// zero-overhead disabled path (the nil *Profiler, the same discipline as
+// obs.Recorder and the invariant auditor).
+//
+// It is deliberately a separate layer from internal/obs: obs records
+// *simulated-time* events whose byte streams are pinned by golden tests and
+// the determinism contract, while spans measure *wall* time, which varies
+// run to run by construction. Profiling therefore never writes into the obs
+// stream — an engine run with profiling on must produce byte-identical
+// events to one with profiling off (the root-package identity test pins
+// this).
+//
+// A span is opened with Start and closed with End; spans opened while
+// another is open nest under it. Every closed span feeds two stores:
+//
+//   - an aggregation tree (per phase path: count, total, min/max, p50/p99
+//     via the deterministic obs.Digest), rendered by Report/WriteText — the
+//     self-timing report `-prof` prints;
+//   - a bounded raw-span log, exported as Chrome trace-event JSON
+//     (WriteChromeTrace) loadable in Perfetto or chrome://tracing — the
+//     `-trace out.json` flag.
+//
+// A Profiler tracks one logical thread of execution (the simulator engine
+// is single-goroutine); concurrent harnesses like the runner pool give each
+// run its own Profiler through a Collector, which merges them into one
+// trace with a track (tid) per run.
+package prof
+
+import (
+	"sync"
+	"time"
+
+	"lyra/internal/obs"
+)
+
+// Clock returns monotonic nanoseconds since an arbitrary fixed origin. The
+// default clock measures from process start; tests inject deterministic
+// fakes so trace output can be compared byte-for-byte.
+type Clock func() int64
+
+var processStart = time.Now()
+
+func monotonic() int64 { return int64(time.Since(processStart)) }
+
+// DefaultSpanCap bounds how many raw spans a Profiler retains for trace
+// export. Aggregation continues past the cap — only the Chrome trace loses
+// the overflow (counted in Report.DroppedSpans), so a pathological run
+// cannot balloon memory by profiling.
+const DefaultSpanCap = 1 << 20
+
+// Profiler records nesting wall-clock spans. The nil *Profiler is the
+// disabled state: Start and End on it are a nil check and nothing else, so
+// call sites stay unconditionally instrumented.
+type Profiler struct {
+	mu      sync.Mutex
+	clock   Clock
+	root    node
+	stack   []*node
+	spans   []spanRec
+	spanCap int
+	dropped int64
+
+	started    bool
+	firstStart int64
+	lastEnd    int64
+}
+
+// node is one phase in the aggregation tree, keyed by the span name under
+// its parent ("phase2" under "epoch.sched" is a different node than
+// "phase2" under anything else).
+type node struct {
+	name     string
+	children map[string]*node
+	count    int64
+	total    int64
+	min, max int64
+	dig      obs.Digest
+}
+
+func (n *node) child(name string) *node {
+	if c := n.children[name]; c != nil {
+		return c
+	}
+	if n.children == nil {
+		n.children = make(map[string]*node)
+	}
+	c := &node{name: name}
+	n.children[name] = c
+	return c
+}
+
+func (n *node) record(dur int64) {
+	if n.count == 0 || dur < n.min {
+		n.min = dur
+	}
+	if dur > n.max {
+		n.max = dur
+	}
+	n.count++
+	n.total += dur
+	n.dig.Observe(float64(dur))
+}
+
+// spanRec is one raw span retained for trace export.
+type spanRec struct {
+	name       string
+	start, dur int64
+}
+
+// New returns a live profiler over the given clock (nil selects the
+// process-monotonic default).
+func New(clock Clock) *Profiler {
+	if clock == nil {
+		clock = monotonic
+	}
+	return &Profiler{clock: clock, spanCap: DefaultSpanCap}
+}
+
+// SetSpanCap overrides the raw-span retention bound (DefaultSpanCap).
+// Aggregation is never capped. Nil-safe.
+func (p *Profiler) SetSpanCap(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.spanCap = n
+	p.mu.Unlock()
+}
+
+// Enabled reports whether the profiler is live; the nil receiver is the
+// disabled fast path.
+func (p *Profiler) Enabled() bool { return p != nil }
+
+// Span is an open span handle. The zero Span (from a nil Profiler) is
+// inert: End on it does nothing.
+type Span struct {
+	p     *Profiler
+	n     *node
+	raw   int32
+	start int64
+}
+
+// Start opens a span named name, nested under the currently open span (or
+// at top level). Nil-safe: on a nil profiler it returns the inert zero
+// Span, so the disabled path costs one nil check.
+func (p *Profiler) Start(name string) Span {
+	if p == nil {
+		return Span{}
+	}
+	p.mu.Lock()
+	parent := &p.root
+	if n := len(p.stack); n > 0 {
+		parent = p.stack[n-1]
+	}
+	nd := parent.child(name)
+	p.stack = append(p.stack, nd)
+	now := p.clock()
+	raw := int32(-1)
+	if len(p.spans) < p.spanCap {
+		raw = int32(len(p.spans))
+		p.spans = append(p.spans, spanRec{name: name, start: now})
+	} else {
+		p.dropped++
+	}
+	if !p.started {
+		p.started = true
+		p.firstStart = now
+	}
+	p.mu.Unlock()
+	return Span{p: p, n: nd, raw: raw, start: now}
+}
+
+// End closes the span, recording its duration into the aggregation tree
+// and the raw trace. Spans opened after s and not yet closed are closed
+// implicitly (the stack unwinds to s's parent), which keeps the tree
+// consistent even if an inner End was skipped on an error path.
+func (s Span) End() {
+	if s.p == nil {
+		return
+	}
+	p := s.p
+	p.mu.Lock()
+	now := p.clock()
+	dur := now - s.start
+	for i := len(p.stack) - 1; i >= 0; i-- {
+		if p.stack[i] == s.n {
+			p.stack = p.stack[:i]
+			break
+		}
+	}
+	s.n.record(dur)
+	if s.raw >= 0 {
+		p.spans[s.raw].dur = dur
+	}
+	if now > p.lastEnd {
+		p.lastEnd = now
+	}
+	p.mu.Unlock()
+}

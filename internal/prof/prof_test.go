@@ -1,0 +1,264 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace file")
+
+// stepClock returns a deterministic clock advancing by step nanoseconds on
+// every reading — Start and End each take one reading, so span layout is a
+// pure function of the call sequence.
+func stepClock(step int64) Clock {
+	var t int64
+	return func() int64 {
+		t += step
+		return t
+	}
+}
+
+func TestNilProfilerIsInert(t *testing.T) {
+	var p *Profiler
+	if p.Enabled() {
+		t.Fatal("nil profiler reports Enabled")
+	}
+	sp := p.Start("anything")
+	sp.End() // must not panic
+	p.SetSpanCap(1)
+	if r := p.Report(); r != nil {
+		t.Fatalf("nil profiler Report = %+v, want nil", r)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil trace is not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatalf("nil trace missing traceEvents: %s", buf.String())
+	}
+
+	var c *Collector
+	if pr := c.NewProfiler("x"); pr != nil {
+		t.Fatal("nil collector handed out a live profiler")
+	}
+	if tr := c.Tracks(); tr != nil {
+		t.Fatalf("nil collector Tracks = %v", tr)
+	}
+	c.WriteText(&buf) // must not panic
+}
+
+func TestNestingAndAggregation(t *testing.T) {
+	p := New(stepClock(1000))
+	for i := 0; i < 3; i++ {
+		epoch := p.Start("epoch")
+		inner := p.Start("phase2")
+		inner.End()
+		epoch.End()
+	}
+	solo := p.Start("audit")
+	solo.End()
+
+	r := p.Report()
+	epoch := r.Find("epoch")
+	if epoch == nil || epoch.Count != 3 {
+		t.Fatalf("epoch node = %+v, want count 3", epoch)
+	}
+	phase2 := r.Find("epoch", "phase2")
+	if phase2 == nil || phase2.Count != 3 {
+		t.Fatalf("epoch/phase2 node = %+v, want count 3", phase2)
+	}
+	if r.Find("phase2") != nil {
+		t.Fatal("phase2 leaked to top level despite nesting under epoch")
+	}
+	if audit := r.Find("audit"); audit == nil || audit.Count != 1 {
+		t.Fatalf("audit node = %+v, want count 1", r.Find("audit"))
+	}
+	// Step clock: each epoch is Start..End = 3 intervening readings x 1µs.
+	if phase2.TotalNS != 3*1000 {
+		t.Fatalf("phase2 total = %d, want 3000", phase2.TotalNS)
+	}
+	if epoch.TotalNS != 3*3000 {
+		t.Fatalf("epoch total = %d, want 9000", epoch.TotalNS)
+	}
+	if epoch.MinNS != 3000 || epoch.MaxNS != 3000 {
+		t.Fatalf("epoch min/max = %d/%d, want 3000/3000", epoch.MinNS, epoch.MaxNS)
+	}
+	if phase2.P50NS <= 0 || phase2.P99NS < phase2.P50NS {
+		t.Fatalf("bad quantiles p50=%g p99=%g", phase2.P50NS, phase2.P99NS)
+	}
+	// Step clock: window = 14000-1000 = 13000ns, roots = 9000+1000.
+	if a, want := r.Attributed(), 100*10000.0/13000.0; math.Abs(a-want) > 0.01 {
+		t.Fatalf("attributed = %.2f%%, want %.2f%%", a, want)
+	}
+
+	var txt bytes.Buffer
+	r.WriteText(&txt)
+	for _, want := range []string{"epoch", "phase2", "audit", "attributed:"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Fatalf("WriteText missing %q:\n%s", want, txt.String())
+		}
+	}
+}
+
+// TestSkippedInnerEnd pins the unwind forgiveness: an inner span whose End
+// was skipped (error path) is closed implicitly when its ancestor ends, and
+// later spans still aggregate at top level.
+func TestSkippedInnerEnd(t *testing.T) {
+	p := New(stepClock(1000))
+	outer := p.Start("outer")
+	p.Start("leaked") // End intentionally skipped
+	outer.End()
+	after := p.Start("after")
+	after.End()
+
+	r := p.Report()
+	if r.Find("outer") == nil || r.Find("outer", "leaked") == nil {
+		t.Fatalf("missing outer/leaked nodes: %+v", r.Phases)
+	}
+	if r.Find("after") == nil {
+		t.Fatal("span after the unwind did not land at top level")
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	p := New(stepClock(1000))
+	p.SetSpanCap(2)
+	for i := 0; i < 5; i++ {
+		p.Start("s").End()
+	}
+	r := p.Report()
+	if n := r.Find("s"); n == nil || n.Count != 5 {
+		t.Fatalf("aggregation capped: %+v, want count 5", n)
+	}
+	if r.DroppedSpans != 3 {
+		t.Fatalf("DroppedSpans = %d, want 3", r.DroppedSpans)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var x int
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			x++
+		}
+	}
+	if x != 2 {
+		t.Fatalf("trace retained %d spans, want 2 (cap)", x)
+	}
+}
+
+// TestGoldenChromeTrace pins the exact trace-export bytes under an injected
+// clock: a multi-track collector with nested spans must serialize to the
+// golden file byte for byte (regenerate with -update).
+func TestGoldenChromeTrace(t *testing.T) {
+	c := NewCollector(stepClock(1000))
+	sim := c.NewProfiler("sim/lyra")
+	run := sim.Start("run")
+	sched := sim.Start("epoch.sched")
+	sim.Start("phase1").End()
+	sim.Start("phase2").End()
+	sched.End()
+	run.End()
+	bench := c.NewProfiler("bench")
+	bench.Start("load").End()
+
+	var buf bytes.Buffer
+	if err := c.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_trace.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace diverged from golden %s;\nre-run with -update if the change is intentional.\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+
+	// The golden document must also be a well-formed trace: every complete
+	// span carries positive ts/dur and a registered track.
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	tracks := map[int]bool{}
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			tracks[e.TID] = true
+		case "X":
+			spans++
+			if !tracks[e.TID] {
+				t.Fatalf("span %q on unregistered track %d", e.Name, e.TID)
+			}
+			if e.Dur <= 0 {
+				t.Fatalf("span %q has non-positive dur %g", e.Name, e.Dur)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if spans != 5 {
+		t.Fatalf("golden trace has %d spans, want 5", spans)
+	}
+}
+
+// TestCollectorMergesTracks checks track ordering and per-track reports.
+func TestCollectorMergesTracks(t *testing.T) {
+	c := NewCollector(stepClock(1000))
+	b := c.NewProfiler("b-track")
+	a := c.NewProfiler("a-track")
+	b.Start("x").End()
+	a.Start("y").End()
+
+	tracks := c.Tracks()
+	if len(tracks) != 2 || tracks[0].Name != "a-track" || tracks[1].Name != "b-track" {
+		t.Fatalf("tracks = %+v, want name-sorted a-track, b-track", tracks)
+	}
+	var txt bytes.Buffer
+	c.WriteText(&txt)
+	if !strings.Contains(txt.String(), "prof: a-track") || !strings.Contains(txt.String(), "prof: b-track") {
+		t.Fatalf("WriteText missing track labels:\n%s", txt.String())
+	}
+}

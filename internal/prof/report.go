@@ -1,0 +1,164 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Node is one aggregated phase in a Report: every closed span with the same
+// name under the same parent phase folds into one Node. Quantiles come from
+// the deterministic log-bucket digest (~±4.4% relative error).
+type Node struct {
+	Name     string  `json:"name"`
+	Count    int64   `json:"count"`
+	TotalNS  int64   `json:"total_ns"`
+	MinNS    int64   `json:"min_ns"`
+	MaxNS    int64   `json:"max_ns"`
+	P50NS    float64 `json:"p50_ns"`
+	P99NS    float64 `json:"p99_ns"`
+	Children []*Node `json:"children,omitempty"`
+}
+
+// Report is the aggregated self-timing snapshot of one Profiler: a forest
+// of phase Nodes (top-level spans at the roots), ordered by total time
+// descending.
+type Report struct {
+	Phases []*Node `json:"phases"`
+	// WindowNS spans the first Start to the last End — the profiled wall
+	// window the coverage figure is computed against.
+	WindowNS int64 `json:"window_ns"`
+	// DroppedSpans counts raw spans not retained for trace export because
+	// the span cap was hit (aggregates above still include them).
+	DroppedSpans int64 `json:"dropped_spans,omitempty"`
+}
+
+// Report snapshots the aggregation tree. Nil-safe: a nil profiler reports
+// nil.
+func (p *Profiler) Report() *Report {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return &Report{
+		Phases:       exportChildren(&p.root),
+		WindowNS:     p.lastEnd - p.firstStart,
+		DroppedSpans: p.dropped,
+	}
+}
+
+func exportChildren(n *node) []*Node {
+	if len(n.children) == 0 {
+		return nil
+	}
+	out := make([]*Node, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, &Node{
+			Name:     c.name,
+			Count:    c.count,
+			TotalNS:  c.total,
+			MinNS:    c.min,
+			MaxNS:    c.max,
+			P50NS:    c.dig.Quantile(0.50),
+			P99NS:    c.dig.Quantile(0.99),
+			Children: exportChildren(c),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalNS != out[j].TotalNS {
+			return out[i].TotalNS > out[j].TotalNS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Attributed reports the fraction (in percent) of the profiled wall window
+// covered by top-level phases — the headline "how much of the run did the
+// profiler explain" figure the smoke gate asserts ≥ 90%.
+func (r *Report) Attributed() float64 {
+	if r == nil || r.WindowNS <= 0 {
+		return 0
+	}
+	var roots int64
+	for _, n := range r.Phases {
+		roots += n.TotalNS
+	}
+	pct := 100 * float64(roots) / float64(r.WindowNS)
+	if pct > 100 {
+		pct = 100 // concurrent roots can sum past the window
+	}
+	return pct
+}
+
+// WriteText renders the report as an indented phase table: wall total,
+// call count, p50/p99 per call, and each phase's share of its parent (top-
+// level phases: share of the profiled window).
+func (r *Report) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	io.WriteString(tw, "phase\ttotal\tcount\tp50\tp99\t%parent\n")
+	for _, n := range r.Phases {
+		writeNode(tw, n, 0, r.WindowNS)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "attributed: %.1f%% of %s profiled wall time to named phases (%d spans dropped from trace)\n",
+		r.Attributed(), FormatNS(r.WindowNS), r.DroppedSpans)
+}
+
+func writeNode(w io.Writer, n *Node, depth int, parentNS int64) {
+	share := "-"
+	if parentNS > 0 {
+		share = fmt.Sprintf("%.1f%%", 100*float64(n.TotalNS)/float64(parentNS))
+	}
+	fmt.Fprintf(w, "%s%s\t%s\t%d\t%s\t%s\t%s\n",
+		strings.Repeat("  ", depth), n.Name,
+		FormatNS(n.TotalNS), n.Count,
+		FormatNS(int64(n.P50NS)), FormatNS(int64(n.P99NS)), share)
+	for _, c := range n.Children {
+		writeNode(w, c, depth+1, n.TotalNS)
+	}
+}
+
+// Find walks the report for the phase at the given path (root name first),
+// returning nil when absent — the test hook for asserting a phase exists.
+func (r *Report) Find(path ...string) *Node {
+	if r == nil || len(path) == 0 {
+		return nil
+	}
+	nodes := r.Phases
+	var cur *Node
+	for _, name := range path {
+		cur = nil
+		for _, n := range nodes {
+			if n.Name == name {
+				cur = n
+				break
+			}
+		}
+		if cur == nil {
+			return nil
+		}
+		nodes = cur.Children
+	}
+	return cur
+}
+
+// FormatNS renders nanoseconds at a human scale (ns/µs/ms/s).
+func FormatNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"lyra/internal/job"
 	"lyra/internal/obs"
 	"lyra/internal/orchestrator"
+	"lyra/internal/prof"
 	"lyra/internal/reclaim"
 	"lyra/internal/sched"
 	"lyra/internal/sim"
@@ -65,6 +66,14 @@ type Pool struct {
 	// simulations, so cache economics and scheduler activity land in one
 	// merged table (lyra-bench -stats).
 	obsReg *obs.Registry
+
+	// profC, when set via Profile, hands each *executed* simulation its own
+	// wall-clock profiler (one Chrome-trace track per cell, named by the
+	// spec label). Cache hits do not re-profile: the memoized result carries
+	// the Prof report of the execution that produced it. Profiling is
+	// deliberately outside the cache key — it never changes a run's
+	// identity or results.
+	profC *prof.Collector
 }
 
 type call struct {
@@ -107,6 +116,16 @@ func (p *Pool) Stats() Stats {
 func (p *Pool) Observe(reg *obs.Registry) {
 	p.mu.Lock()
 	p.obsReg = reg
+	p.mu.Unlock()
+}
+
+// Profile attaches a prof.Collector: every simulation executed from now on
+// runs under its own profiler, registered as a trace track named by the
+// spec label. Profile(nil) detaches (the nil collector hands out nil —
+// disabled — profilers).
+func (p *Pool) Profile(c *prof.Collector) {
+	p.mu.Lock()
+	p.profC = c
 	p.mu.Unlock()
 }
 
@@ -210,8 +229,16 @@ func (p *Pool) runSim(spec Spec) (*lyra.Report, error) {
 	if spec.Scenario != "" && !spec.Scenario.Valid() {
 		return nil, fmt.Errorf("Scenario: unknown scenario %q (valid: %v)", spec.Scenario, lyra.Scenarios())
 	}
+	p.mu.Lock()
+	profC := p.profC
+	p.mu.Unlock()
+	pr := profC.NewProfiler(spec.label())
+	run := pr.Start("run")
+	msp := pr.Start("trace.materialize")
 	tr, err := p.materializeTrace(spec.Trace)
+	msp.End()
 	if err != nil {
+		run.End()
 		return nil, err
 	}
 	if spec.Scenario != "" {
@@ -226,8 +253,14 @@ func (p *Pool) runSim(spec Spec) (*lyra.Report, error) {
 	if f := spec.Trace.CheckpointFrac; f != nil {
 		lyra.SetCheckpointFraction(tr, f.Frac, f.Seed)
 	}
-	rep, err := lyra.Run(cfg, tr)
+	rep, err := lyra.RunProfiled(cfg, tr, pr)
+	run.End()
 	if err == nil {
+		if pr.Enabled() {
+			// Re-snapshot so the report includes the closed "run" root
+			// span and trace materialization.
+			rep.Prof = pr.Report()
+		}
 		p.mu.Lock()
 		reg := p.obsReg
 		p.mu.Unlock()

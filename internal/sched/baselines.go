@@ -57,7 +57,8 @@ func (g *Gandiva) Schedule(st *sim.State) {
 	// Round-robin one worker at a time across elastic jobs.
 	saved := st.Cause
 	st.Cause = "opportunistic"
-	defer func() { st.Cause = saved }()
+	sp := st.Prof.Start("opportunistic")
+	defer func() { sp.End(); st.Cause = saved }()
 	grew := true
 	for grew {
 		grew = false
@@ -104,8 +105,12 @@ func (a *AFS) Schedule(st *sim.State) {
 	if a.cache == nil && !st.Rescan {
 		a.cache = alloc.NewThroughputCache(st.Scaling)
 	}
+	sp := st.Prof.Start("afs.alloc")
 	targets := alloc.AFS(cands, freeT+freeL+flexGPUs, st.Scaling, a.cache)
+	sp.End()
+	sp = st.Prof.Start("afs.apply")
 	applyExtraTargets(st, cands, targets, false, "afs")
+	sp.End()
 }
 
 // applyExtraTargets resizes elastic jobs to the given extra-worker targets:

@@ -75,8 +75,12 @@ func (l *Lyra) policy(j *job.Job) poolPolicy {
 
 // Schedule implements sim.Scheduler.
 func (l *Lyra) Schedule(st *sim.State) {
+	sp := st.Prof.Start("phase1")
 	started := startBase(st, l.policy, false)
+	sp.End()
+	sp = st.Prof.Start("phase1.hetero")
 	started = append(started, startBase(st, l.policy, true)...)
+	sp.End()
 	if l.Tuned {
 		for _, j := range started {
 			if j.Elastic {
@@ -85,7 +89,9 @@ func (l *Lyra) Schedule(st *sim.State) {
 		}
 	}
 	if l.Elastic {
+		sp = st.Prof.Start("phase2")
 		l.phase2(st)
+		sp.End()
 	}
 }
 
@@ -108,7 +114,9 @@ func (l *Lyra) phase2(st *sim.State) {
 	if l.cache == nil && !st.Rescan {
 		l.cache = alloc.NewThroughputCache(st.Scaling)
 	}
+	sp := st.Prof.Start("phase2.mckp")
 	targets := alloc.Phase2(cands, capacity, st.Scaling, l.Tuning, l.cache)
+	sp.End()
 	if st.Obs.Enabled() {
 		tf := make([]obs.Fields, 0, len(targets))
 		for _, e := range targets {
@@ -130,7 +138,8 @@ func (l *Lyra) phase2(st *sim.State) {
 	}
 	saved := st.Cause
 	st.Cause = "phase2"
-	defer func() { st.Cause = saved }()
+	sp = st.Prof.Start("phase2.apply")
+	defer func() { sp.End(); st.Cause = saved }()
 	// Scale in first to free GPUs for the scale-outs.
 	for _, j := range cands {
 		if cur := j.FlexibleWorkers(); cur > target[j.ID] {

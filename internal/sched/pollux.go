@@ -59,7 +59,11 @@ func (p *Pollux) Schedule(st *sim.State) {
 	}
 	cfg := p.Config
 	cfg.Seed = p.Config.Seed*1000003 + p.epoch // fresh but deterministic search each epoch
+	sp := st.Prof.Start("pollux.ga")
 	decisions := alloc.Pollux(cands, running, freeT+freeL+heldGPUs, cfg, st.Scaling)
+	sp.End()
+	sp = st.Prof.Start("pollux.apply")
+	defer sp.End()
 
 	// Apply resizes of running jobs first (their scale-ins free GPUs).
 	var extras []alloc.Extra

@@ -132,7 +132,10 @@ func startBase(st *sim.State, policy func(*job.Job) poolPolicy, heteroPass bool)
 			ws, ok := place.Gang(st.Cluster, j, j.MinWorkers, pp.options(j, false))
 			if !ok {
 				// Make room by scaling elastic jobs in, then retry.
-				if f := reclaimFlexible(st, j, pp); f > 0 {
+				sp := st.Prof.Start("make-room")
+				f := reclaimFlexible(st, j, pp)
+				sp.End()
+				if f > 0 {
 					freed += f
 					ws, ok = place.Gang(st.Cluster, j, j.MinWorkers, pp.options(j, false))
 				}

@@ -11,6 +11,7 @@ import (
 	"lyra/internal/job"
 	"lyra/internal/metrics"
 	"lyra/internal/obs"
+	"lyra/internal/prof"
 )
 
 // Config parameterizes a simulation run. Zero values use the paper's
@@ -69,6 +70,14 @@ type Config struct {
 	// plan) costs one nil check at Run start and nothing per event — same
 	// discipline as Audit and Obs.
 	Faults *fault.Plan
+	// Prof is the optional wall-clock span profiler (internal/prof): when
+	// non-nil each processed event is wrapped in a span named after its
+	// kind, with nested spans from the scheduler phases, orchestrator
+	// decisions and the audit layer. Spans measure wall time only and never
+	// touch the Obs stream — a profiled run's events are byte-identical to
+	// an unprofiled one. Nil is the zero-overhead default (one nil check
+	// per event, same discipline as Audit and Obs).
+	Prof *prof.Profiler
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +141,19 @@ func (k eventKind) String() string {
 		return "metrics"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// profEventName labels the profiling span wrapping each event kind. The
+// periodic kinds get dotted names so the self-timing report reads as "time
+// in scheduler epochs" vs "time in orchestrator epochs" at the top level.
+var profEventName = [...]string{
+	evArrival: "arrival",
+	evFinish:  "finish",
+	evCrash:   "crash",
+	evRecover: "recover",
+	evOrch:    "epoch.orch",
+	evSched:   "epoch.sched",
+	evMetrics: "metrics",
 }
 
 type event struct {
@@ -251,6 +273,7 @@ func New(c *cluster.Cluster, jobs []*job.Job, horizon int64, sched Scheduler, or
 		}
 	}
 	e.st.Obs = cfg.Obs
+	e.st.Prof = cfg.Prof
 	e.trainUsage = metrics.NewTimeSeries(0, cfg.MetricsInterval)
 	e.overallUsage = metrics.NewTimeSeries(0, cfg.MetricsInterval)
 	e.onLoanUsage = metrics.NewTimeSeries(0, cfg.MetricsInterval)
@@ -334,6 +357,7 @@ func (e *Engine) Run() *Result {
 			break
 		}
 		e.st.Now = ev.t
+		sp := e.cfg.Prof.Start(profEventName[ev.kind])
 		switch ev.kind {
 		case evArrival:
 			j := e.byID[ev.jobID]
@@ -438,8 +462,11 @@ func (e *Engine) Run() *Result {
 			}
 		}
 		if e.audit != nil {
+			asp := e.cfg.Prof.Start("audit")
 			e.auditAfter(ev)
+			asp.End()
 		}
+		sp.End()
 	}
 	return e.result()
 }

@@ -15,6 +15,7 @@ import (
 	"lyra/internal/invariant"
 	"lyra/internal/job"
 	"lyra/internal/obs"
+	"lyra/internal/prof"
 )
 
 // Scheduler decides job allocation and placement. Schedule is invoked every
@@ -94,6 +95,11 @@ type State struct {
 	// scale/finish); the engine, orchestrator and testbed add their own
 	// decision events through the same recorder.
 	Obs *obs.Recorder
+	// Prof is the optional wall-clock span profiler (internal/prof),
+	// nil-disabled under the same discipline as Obs. Schedulers and the
+	// orchestrator open phase spans on it; it is strictly wall-clock-only
+	// and never feeds the deterministic Obs stream (DESIGN.md §12).
+	Prof *prof.Profiler
 	// Cause names the decider on whose behalf the current mutation runs
 	// ("reclaim", "phase2", "make-room", ...); it is recorded on preempt
 	// and re-queue events. Callers set it around a decision and clear it

@@ -46,6 +46,7 @@ import (
 	"lyra/internal/obs"
 	"lyra/internal/orchestrator"
 	"lyra/internal/predict"
+	"lyra/internal/prof"
 	"lyra/internal/reclaim"
 	"lyra/internal/sched"
 	"lyra/internal/sim"
@@ -466,6 +467,12 @@ type Report struct {
 	// obs.ReadJSONL or query it with cmd/lyra-events.
 	Events []byte
 
+	// Prof is the wall-clock self-timing report when the run was profiled
+	// (RunProfiled with a live profiler; nil otherwise). Wall-clock spans
+	// are kept strictly outside the deterministic Events stream, so a
+	// profiled run's Events are byte-identical to an unprofiled one.
+	Prof *prof.Report
+
 	// Raw exposes the underlying simulator result for the experiments
 	// harness (usage time series, hourly queued ratios...).
 	Raw *sim.Result
@@ -482,10 +489,22 @@ type Report struct {
 // when Config.Events is set, the tail of the event ring for the lead-up
 // context — instead of escaping as a raw panic.
 func Run(cfg Config, tr *Trace) (rep *Report, err error) {
+	return RunProfiled(cfg, tr, nil)
+}
+
+// RunProfiled is Run with an optional wall-clock span profiler (internal
+// prof package, surfaced through the CLIs' -prof/-trace flags). A nil
+// profiler is exactly Run. The profiler is deliberately NOT part of Config:
+// Config is hashed by the runner's content-addressed cache, and wall-clock
+// instrumentation must never change a run's identity. The report's Prof
+// field carries the aggregated self-timing snapshot; the profiler itself
+// retains the raw spans for Chrome-trace export.
+func RunProfiled(cfg Config, tr *Trace, p *prof.Profiler) (rep *Report, err error) {
 	cfg = cfg.Normalize()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	psp := p.Start("prepare")
 
 	var (
 		rec  *obs.Recorder
@@ -548,14 +567,22 @@ func Run(cfg Config, tr *Trace) (rep *Report, err error) {
 		Obs:             rec,
 	}
 	if cfg.Faults.Enabled() {
-		p := cfg.Faults
-		simCfg.Faults = &p
+		fp := cfg.Faults
+		simCfg.Faults = &fp
 	}
-	res := sim.New(c, tr.Jobs, tr.Horizon, s, orch, simCfg).Run()
+	simCfg.Prof = p
+	eng := sim.New(c, tr.Jobs, tr.Horizon, s, orch, simCfg)
+	psp.End()
+	psp = p.Start("sim")
+	res := eng.Run()
+	psp.End()
+	psp = p.Start("report")
 	rep = buildReport(res, tr)
 	if cfg.Events {
 		rep.Events = buf.Bytes()
 	}
+	psp.End()
+	rep.Prof = p.Report()
 	return rep, nil
 }
 

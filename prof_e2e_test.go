@@ -1,0 +1,86 @@
+package lyra_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lyra"
+	"lyra/internal/prof"
+)
+
+// TestProfilingDoesNotPerturbEvents is the separation contract of the span
+// profiler (DESIGN.md §12): the obs event stream records simulated-time
+// decisions and is pinned byte for byte by golden tests, while prof spans
+// measure wall time. Running the same audited scenario with profiling off
+// and on must therefore produce byte-identical event streams — a single
+// decision shifted by the instrumentation would diverge at least one line.
+func TestProfilingDoesNotPerturbEvents(t *testing.T) {
+	run := func(p *prof.Profiler) *lyra.Report {
+		tcfg := lyra.DefaultTraceConfig(7)
+		tcfg.Days = 1
+		tcfg.TrainingGPUs = 64
+		tr := lyra.GenerateTrace(tcfg)
+
+		cfg := lyra.DefaultConfig()
+		cfg.Cluster = lyra.ClusterConfig{TrainingServers: 8, InferenceServers: 8}
+		cfg.Events = true
+		cfg.SchedInterval = 300
+		cfg.Audit = true
+
+		rep, err := lyra.RunProfiled(cfg, tr, p)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return rep
+	}
+
+	plain := run(nil)
+	if plain.Prof != nil {
+		t.Fatal("unprofiled run carries a Prof report")
+	}
+	profiled := run(prof.New(nil))
+	if !bytes.Equal(plain.Events, profiled.Events) {
+		t.Fatalf("event streams diverge under profiling: %d vs %d bytes",
+			len(plain.Events), len(profiled.Events))
+	}
+
+	// The profiled run's self-timing report must attribute the simulation's
+	// known layers: the three top-level Run stages, the per-kind engine
+	// spans under "sim", the Lyra scheduler phases under the scheduler
+	// epoch, and the audit span (Audit is on in this scenario).
+	r := profiled.Prof
+	if r == nil {
+		t.Fatal("profiled run has no Prof report")
+	}
+	for _, path := range [][]string{
+		{"prepare"},
+		{"sim"},
+		{"report"},
+		{"sim", "epoch.sched"},
+		{"sim", "epoch.orch"},
+		{"sim", "arrival"},
+		{"sim", "finish"},
+		{"sim", "metrics"},
+		{"sim", "epoch.sched", "phase1"},
+		{"sim", "epoch.sched", "phase1.hetero"},
+		{"sim", "epoch.sched", "phase2"},
+		{"sim", "epoch.sched", "phase2", "phase2.mckp"},
+		{"sim", "epoch.sched", "phase2", "phase2.apply"},
+		{"sim", "epoch.sched", "audit"},
+	} {
+		n := r.Find(path...)
+		if n == nil {
+			t.Errorf("report missing phase %v", path)
+			continue
+		}
+		if n.Count <= 0 || n.TotalNS < 0 {
+			t.Errorf("phase %v has count=%d total=%d", path, n.Count, n.TotalNS)
+		}
+	}
+
+	// Wall-clock coverage: the three Run stages are back to back, so nearly
+	// the whole profiled window must be attributed to named phases.
+	if a := r.Attributed(); a < 90 {
+		t.Errorf("attributed = %.1f%%, want >= 90%%", a)
+	}
+}

@@ -1,0 +1,31 @@
+#!/bin/sh
+# bench_append.sh records one perf-trajectory point: it runs the full scale
+# benchmarks (scripts/bench_scale.sh, same as `make bench-scale`), appends
+# the results to BENCH_cluster.json as a labeled, dated entry, and runs the
+# regression guard (scripts/bench_guard.sh) against the entry it just
+# recorded — so a change that slowed ns/epoch by more than 25% fails here
+# before the slow entry is mistaken for a new baseline.
+#
+# Usage: bench_append.sh "label describing the change"
+set -eu
+cd "$(dirname "$0")/.."
+
+label="${1:?usage: bench_append.sh \"label describing the change\"}"
+day=$(date +%Y-%m-%d)
+
+tmp=$(mktemp)
+entry=$(mktemp)
+out=$(mktemp)
+trap 'rm -f "$tmp" "$entry" "$out"' EXIT
+
+echo "bench_append: running full scale benchmarks (several minutes)..."
+./scripts/bench_scale.sh "$tmp"
+
+jq --arg label "$label" --arg date "$day" \
+	'{label: $label, date: $date, results: .results}' "$tmp" >"$entry"
+jq --slurpfile e "$entry" '.entries += $e' BENCH_cluster.json >"$out"
+jq -e '.entries | length > 0' "$out" >/dev/null
+cp "$out" BENCH_cluster.json
+echo "bench_append: appended \"$label\" ($day) to BENCH_cluster.json"
+
+./scripts/bench_guard.sh

@@ -1,0 +1,76 @@
+#!/bin/sh
+# bench_guard.sh is the perf-regression gate over BENCH_cluster.json: it
+# compares the latest recorded entry against the one before it and fails if
+# any shared ns_per_epoch metric (the BenchmarkEpoch tiers) regressed by
+# more than 25%. Run it after `scripts/bench_append.sh` records a fresh
+# entry; `make bench-guard` wires it into the repo gates.
+#
+# Usage: bench_guard.sh [-selftest] [trajectory.json]
+#   -selftest        prove the failure path: append a doctored 2x-slower
+#                    entry to a temporary copy and require the guard to
+#                    reject it.
+#   trajectory.json  defaults to BENCH_cluster.json.
+set -eu
+cd "$(dirname "$0")/.."
+
+file=BENCH_cluster.json
+selftest=0
+for a in "$@"; do
+	case "$a" in
+	-selftest) selftest=1 ;;
+	*) file="$a" ;;
+	esac
+done
+
+# guard compares entries[-1] vs entries[-2] of one trajectory file: every
+# benchmark present in both with an ns_per_epoch metric must stay within
+# the 1.25x budget. Exits 1 on any regression.
+guard() {
+	f="$1"
+	n=$(jq '.entries | length' "$f")
+	if [ "$n" -lt 2 ]; then
+		echo "bench_guard: only $n entries in $f; nothing to compare"
+		return 0
+	fi
+	jq -r '
+		(.entries[-2].results
+			| map(select(.ns_per_epoch != null) | {key: .name, value: .ns_per_epoch})
+			| from_entries) as $prev
+		| .entries[-1].results[]
+		| select(.ns_per_epoch != null) | select($prev[.name] != null)
+		| "\(.name) \($prev[.name]) \(.ns_per_epoch)"
+	' "$f" | awk '
+	{
+		ratio = $3 / $2
+		printf "bench_guard: %-24s prev=%.1f cur=%.1f ns/epoch (%+.1f%%)\n", $1, $2, $3, 100 * (ratio - 1)
+		if (ratio > 1.25) {
+			printf "bench_guard: REGRESSION: %s slowed %.0f%%, over the 25%% budget\n", $1, 100 * (ratio - 1)
+			bad = 1
+		}
+		n++
+	}
+	END {
+		if (n == 0) { print "bench_guard: no comparable ns_per_epoch metrics between the last two entries"; exit 1 }
+		exit bad
+	}'
+}
+
+if [ "$selftest" = 1 ]; then
+	tmp=$(mktemp)
+	trap 'rm -f "$tmp"' EXIT
+	jq '.entries += [
+		.entries[-1]
+		| .label = "selftest: doctored 2x-slower entry"
+		| .results = (.results | map(
+			if .ns_per_epoch != null then .ns_per_epoch = .ns_per_epoch * 2 else . end))
+	]' "$file" >"$tmp"
+	if guard "$tmp" >/dev/null 2>&1; then
+		echo "bench_guard: selftest FAILED — a doctored 2x-slower entry passed the guard" >&2
+		exit 1
+	fi
+	echo "bench_guard: selftest ok (doctored 2x-slower entry rejected)"
+	exit 0
+fi
+
+guard "$file"
+echo "bench_guard: ok (latest entry within the 25% ns/epoch budget)"

@@ -39,4 +39,11 @@ echo "== bench-scale-smoke (scale benchmarks complete and emit JSON)"
 echo "== matrix-smoke (declarative scenario specs + SLO gating end to end)"
 ./scripts/matrix_smoke.sh
 
+echo "== prof-smoke (span profiler + Chrome trace end to end)"
+./scripts/prof_smoke.sh
+
+echo "== bench-guard (perf trajectory within budget; selftest proves it can fail)"
+./scripts/bench_guard.sh
+./scripts/bench_guard.sh -selftest
+
 echo "OK"

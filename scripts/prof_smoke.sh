@@ -1,0 +1,65 @@
+#!/bin/sh
+# prof_smoke.sh exercises the span profiler end to end through the real
+# lyra-sim binary: -prof must emit a self-timing report that attributes at
+# least 90% of the profiled wall time to named phases, -trace must emit a
+# valid Chrome trace-event JSON (loadable in Perfetto), and — the core
+# contract — turning profiling on must not change one byte of the
+# deterministic -events stream.
+set -eu
+cd "$(dirname "$0")/.."
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+echo "== prof-smoke: building lyra-sim"
+go build -o "$dir/lyra-sim" ./cmd/lyra-sim
+
+run() {
+	"$dir/lyra-sim" -scheme lyra -days 1 -training-servers 8 -inference-servers 8 \
+		-seed 7 "$@"
+}
+
+echo "== prof-smoke: -prof self-timing report and -trace Chrome trace"
+run -events "$dir/plain.jsonl" >/dev/null
+run -events "$dir/profiled.jsonl" -prof -trace "$dir/trace.json" >"$dir/prof.txt"
+
+echo "== prof-smoke: profiling must not perturb the event stream"
+if ! cmp -s "$dir/plain.jsonl" "$dir/profiled.jsonl"; then
+	echo "prof-smoke FAILED: -prof changed the -events stream" >&2
+	exit 1
+fi
+echo "event streams byte-identical with and without -prof"
+
+echo "== prof-smoke: report names the known phases"
+for phase in sim epoch.sched epoch.orch phase1 phase2 report; do
+	grep -q "$phase" "$dir/prof.txt" || {
+		echo "prof-smoke FAILED: report is missing phase \"$phase\":" >&2
+		cat "$dir/prof.txt" >&2
+		exit 1
+	}
+done
+
+attributed=$(awk '/^attributed:/ { print $2 }' "$dir/prof.txt" | tr -d '%')
+awk -v a="$attributed" 'BEGIN { exit !(a >= 90) }' || {
+	echo "prof-smoke FAILED: attributed ${attributed:-?}% < 90% of wall time:" >&2
+	cat "$dir/prof.txt" >&2
+	exit 1
+}
+echo "report attributes ${attributed}% of wall time to named phases"
+
+echo "== prof-smoke: trace is valid Chrome trace-event JSON"
+jq -e '.displayTimeUnit == "ms"' "$dir/trace.json" >/dev/null
+jq -e '[.traceEvents[] | select(.ph == "M" and .name == "thread_name")] | length >= 1' \
+	"$dir/trace.json" >/dev/null
+spans=$(jq '[.traceEvents[] | select(.ph == "X")] | length' "$dir/trace.json")
+[ "$spans" -ge 10 ] || {
+	echo "prof-smoke FAILED: only $spans complete spans in trace" >&2
+	exit 1
+}
+jq -e '[.traceEvents[] | select(.ph == "X") | select(.dur < 0 or .ts < 0)] | length == 0' \
+	"$dir/trace.json" >/dev/null
+jq -e '[.traceEvents[] | select(.ph == "X") | .name] | index("epoch.sched") != null' \
+	"$dir/trace.json" >/dev/null
+echo "trace has $spans well-formed spans"
+
+echo "prof-smoke OK"
