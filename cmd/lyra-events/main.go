@@ -10,6 +10,7 @@
 //	lyra-events out.jsonl              # per-kind summary
 //	lyra-events -job 4217 out.jsonl    # one job's timeline + lifecycle check
 //	lyra-events -epochs out.jsonl      # per-epoch decision counts
+//	lyra-events -faults out.jsonl      # fault-injection summary + domain timeline
 //	lyra-events -diff a.jsonl b.jsonl  # first divergent line, exit 1 if any
 package main
 
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"text/tabwriter"
 
 	"lyra/internal/cliflags"
@@ -33,6 +35,7 @@ func main() {
 	var (
 		jobID  = flag.Int("job", -1, "reconstruct this job's timeline and validate its lifecycle")
 		epochs = flag.Bool("epochs", false, "summarize per-epoch decision counts")
+		faults = flag.Bool("faults", false, "summarize fault injection: crash counts, lost capacity, domain outage timeline")
 		diff   = flag.Bool("diff", false, "compare two streams line by line; exit 1 on the first divergence")
 	)
 	flag.Parse()
@@ -49,7 +52,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lyra-events [-job N | -epochs | -diff] <events.jsonl> [events2.jsonl]")
+		fmt.Fprintln(os.Stderr, "usage: lyra-events [-job N | -epochs | -faults | -diff] <events.jsonl> [events2.jsonl]")
 		os.Exit(2)
 	}
 	p := flags.Collector().NewProfiler("lyra-events")
@@ -63,6 +66,8 @@ func main() {
 		jobTimeline(events, *jobID)
 	case *epochs:
 		epochTable(events)
+	case *faults:
+		faultSummary(events)
 	default:
 		summary(events)
 	}
@@ -128,6 +133,126 @@ func epochTable(events []obs.Event) {
 			r.T, r.Epoch, r.Starts, r.Preempts, r.Scales, r.OrchMoves, qa)
 	}
 	w.Flush()
+}
+
+// faultSummary reconstructs the fault-injection picture from the stream
+// alone: per-server crash/recover counts, the repeat-crashers, the GPU
+// capacity-time lost to quarantine (crash→recover pairing; servers still
+// down at the end of the stream are charged up to the last event), backoff
+// and hold-down activity, and the correlated domain-outage timeline.
+func faultSummary(events []obs.Event) {
+	type srv struct {
+		crashes, recoveries int
+		gpus                float64
+		downSince           float64
+		down                bool
+	}
+	servers := map[int]*srv{}
+	get := func(ev obs.Event) *srv {
+		id := int(fnum(ev.F["server"]))
+		s := servers[id]
+		if s == nil {
+			s = &srv{}
+			servers[id] = s
+		}
+		return s
+	}
+	var lostGPUSec, lastT float64
+	var holddowns, backoffHolds int
+	type domRow struct {
+		t       float64
+		cause   string
+		domain  int
+		servers int
+	}
+	var domains []domRow
+	for _, ev := range events {
+		if ev.T > lastT {
+			lastT = ev.T
+		}
+		switch ev.Kind {
+		case obs.KindFaultCrash:
+			s := get(ev)
+			s.crashes++
+			s.gpus = fnum(ev.F["gpus"])
+			if !s.down {
+				s.down, s.downSince = true, ev.T
+			}
+		case obs.KindFaultRecover:
+			s := get(ev)
+			s.recoveries++
+			if s.down {
+				lostGPUSec += (ev.T - s.downSince) * s.gpus
+				s.down = false
+			}
+		case obs.KindFaultDomain:
+			domains = append(domains, domRow{ev.T, ev.Cause, int(fnum(ev.F["domain"])), int(fnum(ev.F["servers"]))})
+		case obs.KindFaultHolddown:
+			holddowns++
+		case obs.KindJobBackoff:
+			if ev.Cause == "hold" {
+				backoffHolds++
+			}
+		}
+	}
+	if len(servers) == 0 {
+		fmt.Println("no fault events in stream")
+		return
+	}
+	ids := make([]int, 0, len(servers))
+	totalCrashes, totalRecoveries := 0, 0
+	for id, s := range servers {
+		ids = append(ids, id)
+		totalCrashes += s.crashes
+		totalRecoveries += s.recoveries
+		if s.down { // never recovered: charge quarantine up to stream end
+			lostGPUSec += (lastT - s.downSince) * s.gpus
+		}
+	}
+	sort.Ints(ids)
+	fmt.Printf("%d crashes, %d recoveries across %d servers\n", totalCrashes, totalRecoveries, len(ids))
+	fmt.Printf("capacity lost to quarantine: %.0f GPU-seconds (%.2f GPU-hours)\n", lostGPUSec, lostGPUSec/3600)
+	if holddowns > 0 || backoffHolds > 0 {
+		fmt.Printf("degraded mode: %d quarantine hold-downs, %d restart-backoff holds\n", holddowns, backoffHolds)
+	}
+
+	// Repeat-crashers: servers crashing more than once, worst first.
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := servers[ids[i]], servers[ids[j]]
+		if a.crashes != b.crashes {
+			return a.crashes > b.crashes
+		}
+		return ids[i] < ids[j]
+	})
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "server\tcrashes\trecoveries")
+	shown := 0
+	for _, id := range ids {
+		if shown >= 10 {
+			break
+		}
+		s := servers[id]
+		fmt.Fprintf(w, "%d\t%d\t%d\n", id, s.crashes, s.recoveries)
+		shown++
+	}
+	w.Flush()
+
+	if len(domains) > 0 {
+		fmt.Printf("\ndomain outages (%d events):\n", len(domains))
+		w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "t\tevent\tdomain\tservers")
+		for _, d := range domains {
+			fmt.Fprintf(w, "%g\t%s\t%d\t%d\n", d.t, d.cause, d.domain, d.servers)
+		}
+		w.Flush()
+	}
+}
+
+// fnum converts a decoded JSON payload value to float64 (numbers decode as
+// float64; anything else counts as zero).
+func fnum(v any) float64 {
+	f, _ := v.(float64)
+	return f
 }
 
 func summary(events []obs.Event) {

@@ -218,6 +218,7 @@ func report(scheme string, labelled bool, rep *lyra.Report) {
 		rep.Preemptions, 100*rep.PreemptionRatio, rep.ScalingOps,
 		100*rep.CollateralDamage, 100*rep.FlexSatisfiedShare)
 	if rep.Crashes > 0 || rep.Recoveries > 0 {
-		fmt.Printf("faults   crashes=%d recoveries=%d\n", rep.Crashes, rep.Recoveries)
+		fmt.Printf("faults   crashes=%d recoveries=%d lost-capacity=%.0fgpu-s\n",
+			rep.Crashes, rep.Recoveries, rep.LostCapacityGPUSec)
 	}
 }

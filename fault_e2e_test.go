@@ -152,3 +152,114 @@ func TestDisabledFaultPlanIsIdentity(t *testing.T) {
 		t.Errorf("disabled plan injected faults: crashes=%d recoveries=%d", b.Crashes, b.Recoveries)
 	}
 }
+
+// TestCrashStormEndToEnd is the tentpole acceptance test for correlated
+// failure domains: a rack outage repeatedly removes 25% of training
+// capacity (32 training servers at the default rack size of 8) mid-run,
+// with the always-on auditor, under degraded mode both off and on. The
+// contract: zero lost jobs in both modes, byte-identical streams across
+// re-execution, rack outages visible as fault.domain markers, and restart
+// backoff bounding how many gangs restart in the same scheduling instant.
+func TestCrashStormEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day trace")
+	}
+	tcfg := DefaultTraceConfig(7)
+	tcfg.Days = 3
+	tcfg.TrainingGPUs = 256
+	tr := GenerateTrace(tcfg)
+
+	base := DefaultConfig()
+	base.Cluster = ClusterConfig{TrainingServers: 32, InferenceServers: 32}
+	base.Audit = true
+	base.Events = true
+	base.Faults = FaultPlan{Seed: 11, ServerMTBF: 86400, ServerMTTR: 600,
+		RackOutMTBF: 43200, RackMTTR: 900}
+
+	degraded := base
+	degraded.RestartBackoff = true
+	degraded.QuarantineHysteresis = true
+	degraded.EmergencyReclaim = true
+
+	run := func(cfg Config) *Report {
+		rep, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Zero lost jobs: every submitted job is completed or still
+		// legally on the books at the horizon.
+		completed, alive := 0, 0
+		for _, j := range rep.Raw.Jobs {
+			switch j.State {
+			case job.Completed:
+				completed++
+			case job.Pending, job.Running:
+				alive++
+			default:
+				t.Fatalf("job %d in impossible state %v", j.ID, j.State)
+			}
+		}
+		if completed+alive != len(tr.Jobs) {
+			t.Fatalf("books lost jobs: %d completed + %d alive != %d submitted",
+				completed, alive, len(tr.Jobs))
+		}
+		if rep.LostCapacityGPUSec <= 0 {
+			t.Fatalf("rack outages lost no capacity (LostCapacityGPUSec=%g): the storm never hit",
+				rep.LostCapacityGPUSec)
+		}
+		return rep
+	}
+
+	plain := run(base)
+	deg := run(degraded)
+
+	// Re-execution determinism, degraded mode on: the full degraded
+	// machinery (backoff holds, hold-downs, emergency reclaims) is inside
+	// the byte-determinism contract.
+	deg2 := run(degraded)
+	if !bytes.Equal(deg.Events, deg2.Events) {
+		t.Fatal("two identical degraded crash-storm runs recorded different event streams")
+	}
+
+	// maxResumes: the most gangs restarting at one timestamp; resumeAt
+	// maps cause=resume job.start events by instant.
+	countKinds := func(rep *Report) (map[obs.Kind]int, float64) {
+		events, err := obs.ReadJSONL(bytes.NewReader(rep.Events))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, counts := obs.CountByKind(events)
+		resumeAt := map[float64]int{}
+		max := 0
+		for _, ev := range events {
+			if ev.Kind == obs.KindJobStart && ev.Cause == "resume" {
+				resumeAt[ev.T]++
+				if resumeAt[ev.T] > max {
+					max = resumeAt[ev.T]
+				}
+			}
+		}
+		return counts, float64(max)
+	}
+	plainCounts, plainMax := countKinds(plain)
+	degCounts, degMax := countKinds(deg)
+
+	// Both modes see the same pre-generated outage timeline.
+	for _, rep := range []map[obs.Kind]int{plainCounts, degCounts} {
+		if rep[obs.KindFaultDomain] == 0 {
+			t.Fatal("no fault.domain markers in a rack-outage stream")
+		}
+	}
+	// Degraded machinery fires only when switched on.
+	if plainCounts[obs.KindJobBackoff] != 0 {
+		t.Errorf("plain run recorded %d job.backoff events, want 0", plainCounts[obs.KindJobBackoff])
+	}
+	if degCounts[obs.KindJobBackoff] == 0 {
+		t.Error("degraded run recorded no job.backoff events under a crash storm")
+	}
+	// Backoff spreads post-outage restarts out in time: the worst
+	// same-instant restart burst must not exceed the plain run's.
+	if degMax > plainMax {
+		t.Errorf("degraded restart burst %v exceeds plain %v; backoff made storms worse", degMax, plainMax)
+	}
+}

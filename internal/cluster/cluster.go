@@ -108,6 +108,13 @@ func (p Pool) String() string {
 // servers).
 const DefaultGPUsPerServer = 8
 
+// Default failure-domain shape: racks of 8 servers, zones of 4 racks.
+// Resolved inside New when Config leaves RackSize / ZoneRacks at zero.
+const (
+	DefaultRackSize  = 8
+	DefaultZoneRacks = 4
+)
+
 // Server is one physical machine. The basic unit of capacity loaning is a
 // whole server (§3), so a server is always wholly in one pool.
 type Server struct {
@@ -275,6 +282,16 @@ type Cluster struct {
 	emptyCnt   [numPools]int
 	srvByType  [numPools][numGPUTypes]int
 	freeByType [numPools][numGPUTypes]int
+	// Failure-domain topology, assigned once in New and immutable after:
+	// rackOf/zoneOf map server ID -> domain index, racks/zones list each
+	// domain's member server IDs in ascending order. Racks never span the
+	// training/inference boundary (an outage of a training rack cannot
+	// take inference capacity with it by construction), and zones group
+	// whole racks within the same segment.
+	rackOf []int
+	zoneOf []int
+	racks  [][]int
+	zones  [][]int
 }
 
 // Config sizes a cluster. Zero values fall back to the paper's production
@@ -285,6 +302,13 @@ type Config struct {
 	GPUsPerServer    int
 	TrainingGPU      GPUType
 	InferenceGPU     GPUType
+	// RackSize and ZoneRacks shape the failure-domain topology: servers
+	// per rack and racks per zone. Zero means the defaults (8 servers per
+	// rack, 4 racks per zone), resolved inside New so that configurations
+	// written before the topology existed keep their content keys. The
+	// json tags keep the zero values out of runner cache keys.
+	RackSize  int `json:",omitempty"`
+	ZoneRacks int `json:",omitempty"`
 }
 
 // DefaultConfig is the production-scale configuration from §7.1.
@@ -331,7 +355,89 @@ func New(cfg Config) *Cluster {
 		c.addServer(NewServer(id, cfg.InferenceGPU, cfg.GPUsPerServer, PoolInference))
 		id++
 	}
+	c.assignDomains(cfg)
 	return c
+}
+
+// assignDomains computes the deterministic server -> rack -> zone mapping
+// from the cluster shape: consecutive server IDs fill racks of RackSize
+// within each segment (training first, then inference), and consecutive
+// racks fill zones of ZoneRacks, also per segment. The mapping depends only
+// on Config, so two clusters built from the same shape agree on it.
+func (c *Cluster) assignDomains(cfg Config) {
+	rackSize := cfg.RackSize
+	if rackSize <= 0 {
+		rackSize = DefaultRackSize
+	}
+	zoneRacks := cfg.ZoneRacks
+	if zoneRacks <= 0 {
+		zoneRacks = DefaultZoneRacks
+	}
+	n := len(c.servers)
+	c.rackOf = make([]int, n)
+	c.zoneOf = make([]int, n)
+	for _, seg := range [][2]int{{0, cfg.TrainingServers}, {cfg.TrainingServers, n}} {
+		segRack0 := len(c.racks)
+		for id := seg[0]; id < seg[1]; id++ {
+			r := segRack0 + (id-seg[0])/rackSize
+			for len(c.racks) <= r {
+				c.racks = append(c.racks, nil)
+			}
+			c.rackOf[id] = r
+			c.racks[r] = append(c.racks[r], id)
+		}
+		for r := segRack0; r < len(c.racks); r++ {
+			z := len(c.zones) - 1
+			if r == segRack0 || (r-segRack0)%zoneRacks == 0 {
+				c.zones = append(c.zones, nil)
+				z++
+			}
+			for _, id := range c.racks[r] {
+				c.zoneOf[id] = z
+				c.zones[z] = append(c.zones[z], id)
+			}
+		}
+	}
+}
+
+// NumRacks returns the number of racks in the failure-domain topology.
+func (c *Cluster) NumRacks() int { return len(c.racks) }
+
+// NumZones returns the number of zones in the failure-domain topology.
+func (c *Cluster) NumZones() int { return len(c.zones) }
+
+// RackOf returns the rack index of server id (-1 for unknown IDs).
+func (c *Cluster) RackOf(id int) int {
+	if id < 0 || id >= len(c.rackOf) {
+		return -1
+	}
+	return c.rackOf[id]
+}
+
+// ZoneOf returns the zone index of server id (-1 for unknown IDs).
+func (c *Cluster) ZoneOf(id int) int {
+	if id < 0 || id >= len(c.zoneOf) {
+		return -1
+	}
+	return c.zoneOf[id]
+}
+
+// RackServers returns the server IDs of rack r in ascending order. The
+// returned slice is the live index: callers must not modify it.
+func (c *Cluster) RackServers(r int) []int {
+	if r < 0 || r >= len(c.racks) {
+		return nil
+	}
+	return c.racks[r]
+}
+
+// ZoneServers returns the server IDs of zone z in ascending order. The
+// returned slice is the live index: callers must not modify it.
+func (c *Cluster) ZoneServers(z int) []int {
+	if z < 0 || z >= len(c.zones) {
+		return nil
+	}
+	return c.zones[z]
 }
 
 // insertByID inserts s into an ID-ordered server list.

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTopologyDefaults: with no rack/zone configuration the cluster shapes
+// itself into 8-server racks grouped 4 racks to a zone, and the mapping is
+// a pure function of the cluster shape (two identical clusters agree).
+func TestTopologyDefaults(t *testing.T) {
+	cfg := Config{TrainingServers: 16, InferenceServers: 8}
+	c := New(cfg)
+	if got := c.NumRacks(); got != 3 { // 16/8 = 2 training + 8/8 = 1 inference
+		t.Fatalf("NumRacks = %d, want 3", got)
+	}
+	if got := c.NumZones(); got != 2 { // zones never span the pool boundary either
+		t.Fatalf("NumZones = %d, want 2", got)
+	}
+	c2 := New(cfg)
+	for sid := 0; sid < 24; sid++ {
+		if c.RackOf(sid) != c2.RackOf(sid) || c.ZoneOf(sid) != c2.ZoneOf(sid) {
+			t.Fatalf("server %d: domain mapping differs between identical clusters", sid)
+		}
+	}
+	if c.RackOf(-1) != -1 || c.RackOf(24) != -1 || c.ZoneOf(99) != -1 {
+		t.Error("unknown server id should map to rack/zone -1")
+	}
+}
+
+// TestTopologyNeverSpansPoolBoundary: a rack (and zone) contains only
+// training servers or only inference servers — correlated outages must not
+// couple the two pools, and a short training remainder gets its own rack.
+func TestTopologyNeverSpansPoolBoundary(t *testing.T) {
+	c := New(Config{TrainingServers: 12, InferenceServers: 6, RackSize: 8})
+	// Training: rack 0 = 0..7, rack 1 = 8..11 (remainder, not padded with
+	// inference servers). Inference: rack 2 = 12..17.
+	for r := 0; r < c.NumRacks(); r++ {
+		members := c.RackServers(r)
+		if len(members) == 0 {
+			t.Fatalf("rack %d is empty", r)
+		}
+		training := members[0] < 12
+		for _, sid := range members {
+			if (sid < 12) != training {
+				t.Fatalf("rack %d mixes training and inference servers: %v", r, members)
+			}
+		}
+	}
+	for z := 0; z < c.NumZones(); z++ {
+		members := c.ZoneServers(z)
+		if len(members) == 0 {
+			t.Fatalf("zone %d is empty", z)
+		}
+		training := members[0] < 12
+		for _, sid := range members {
+			if (sid < 12) != training {
+				t.Fatalf("zone %d mixes training and inference servers: %v", z, members)
+			}
+		}
+	}
+}
+
+// TestTopologyPartition: every server is in exactly one rack and one zone,
+// RackServers/ZoneServers agree with RackOf/ZoneOf, and custom RackSize /
+// ZoneRacks are honored.
+func TestTopologyPartition(t *testing.T) {
+	c := New(Config{TrainingServers: 24, InferenceServers: 24, RackSize: 6, ZoneRacks: 2})
+	if got := c.NumRacks(); got != 8 { // 4 training + 4 inference racks of 6
+		t.Fatalf("NumRacks = %d, want 8", got)
+	}
+	if got := c.NumZones(); got != 4 { // 2 zones per pool at 2 racks each
+		t.Fatalf("NumZones = %d, want 4", got)
+	}
+	seenRack := make(map[int]int)
+	for r := 0; r < c.NumRacks(); r++ {
+		for _, sid := range c.RackServers(r) {
+			if prev, dup := seenRack[sid]; dup {
+				t.Fatalf("server %d in racks %d and %d", sid, prev, r)
+			}
+			seenRack[sid] = r
+			if c.RackOf(sid) != r {
+				t.Fatalf("server %d: RackOf=%d but listed in rack %d", sid, c.RackOf(sid), r)
+			}
+		}
+	}
+	seenZone := make(map[int]int)
+	for z := 0; z < c.NumZones(); z++ {
+		for _, sid := range c.ZoneServers(z) {
+			if prev, dup := seenZone[sid]; dup {
+				t.Fatalf("server %d in zones %d and %d", sid, prev, z)
+			}
+			seenZone[sid] = z
+			if c.ZoneOf(sid) != z {
+				t.Fatalf("server %d: ZoneOf=%d but listed in zone %d", sid, c.ZoneOf(sid), z)
+			}
+		}
+	}
+	if len(seenRack) != 48 || len(seenZone) != 48 {
+		t.Fatalf("partition covers %d/%d servers in racks/zones, want 48 in both", len(seenRack), len(seenZone))
+	}
+	// Zones are unions of whole racks.
+	for z := 0; z < c.NumZones(); z++ {
+		racks := make(map[int]bool)
+		for _, sid := range c.ZoneServers(z) {
+			racks[c.RackOf(sid)] = true
+		}
+		for r := range racks {
+			for _, sid := range c.RackServers(r) {
+				if c.ZoneOf(sid) != z {
+					t.Fatalf("rack %d straddles zones %d and %d", r, z, c.ZoneOf(sid))
+				}
+			}
+		}
+	}
+}
+
+// TestTopologySatisfiesFaultInterface: RackServers returns stable sorted
+// member lists usable as a fault.Topology (compile-time satisfaction is in
+// the sim package; here we pin the member ordering the schedules key off).
+func TestTopologySatisfiesFaultInterface(t *testing.T) {
+	c := New(Config{TrainingServers: 8, InferenceServers: 0, RackSize: 4})
+	want := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	for r, members := range want {
+		if got := c.RackServers(r); !reflect.DeepEqual(got, members) {
+			t.Fatalf("RackServers(%d) = %v, want %v", r, got, members)
+		}
+	}
+}

@@ -149,6 +149,7 @@ func Registry() []Experiment {
 		{"fig17", "Figure 17: testbed preemption and collateral damage", Fig17},
 		{"ablation", "Ablations: proactive reclaiming, info-agnostic order, MCKP knobs", Ablations},
 		{"faultsweep", "Robustness: queuing/JCT degradation under injected server failures", FaultSweep},
+		{"domainsweep", "Robustness: correlated rack outages with degraded mode on/off", DomainSweep},
 	}
 }
 

@@ -19,7 +19,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 		"calibration", "table5",
 		"fig7", "fig8", "table6", "table7", "fig9", "fig10", "reclaimopt",
 		"fig11", "fig12", "fig13", "table8", "table9", "fig1415", "fig16",
-		"table10", "fig17", "ablation", "faultsweep",
+		"table10", "fig17", "ablation", "faultsweep", "domainsweep",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {

@@ -1,0 +1,238 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fakeTopo is a hand-shaped failure-domain layout for schedule tests; the
+// production implementation is *cluster.Cluster.
+type fakeTopo struct {
+	servers int
+	racks   [][]int
+	zones   [][]int
+}
+
+func (t fakeTopo) NumServers() int         { return t.servers }
+func (t fakeTopo) NumRacks() int           { return len(t.racks) }
+func (t fakeTopo) NumZones() int           { return len(t.zones) }
+func (t fakeTopo) RackServers(r int) []int { return t.racks[r] }
+func (t fakeTopo) ZoneServers(z int) []int { return t.zones[z] }
+
+func TestDomainKeysEnabledAndValidated(t *testing.T) {
+	if !(&Plan{RackOutMTBF: 3600}).Enabled() {
+		t.Error("rack-outage plan reports disabled")
+	}
+	if !(&Plan{ZoneOutMTBF: 3600}).Enabled() {
+		t.Error("zone-outage plan reports disabled")
+	}
+	for _, p := range []Plan{
+		{RackOutMTBF: -1},
+		{RackOutMTBF: 10, RackMTTR: -1},
+		{ZoneOutMTBF: -1},
+		{ZoneOutMTBF: 10, ZoneMTTR: -1},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %+v: want error, got nil", p)
+		}
+	}
+}
+
+// TestParsePlanAllKeysRoundTrip covers every spec key the parser accepts,
+// including the failure-domain keys, through a ParsePlan -> String ->
+// ParsePlan cycle.
+func TestParsePlanAllKeysRoundTrip(t *testing.T) {
+	spec := "mtbf=21600,mttr=300,rackout=43200,rackmttr=1200,zoneout=86400,zonemttr=2400," +
+		"straggler=0.1,slow=0.5,launchfail=0.05,retries=4,rpcerr=0.02,rpcdelay=0.001,seed=7"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Seed: 7, ServerMTBF: 21600, ServerMTTR: 300,
+		RackOutMTBF: 43200, RackMTTR: 1200, ZoneOutMTBF: 86400, ZoneMTTR: 2400,
+		StragglerFrac: 0.1, SlowFactor: 0.5, LaunchFailProb: 0.05, MaxLaunchRetries: 4,
+		RPCErrProb: 0.02, RPCDelay: 0.001}
+	if p != want {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	back, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != want {
+		t.Fatalf("round trip %+v, want %+v", back, want)
+	}
+}
+
+// TestParsePlanRejectionsNameKeyAndValue pins the parser's error contract:
+// a bad entry's message names the offending key (or value), so a user can
+// find the typo in a long spec.
+func TestParsePlanRejectionsNameKeyAndValue(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []string
+	}{
+		{"bogus=1", []string{"bogus", "rackout", "zoneout"}}, // unknown key lists the valid set
+		{"rackout=abc", []string{"rackout", "abc"}},
+		{"zonemttr=x", []string{"zonemttr", "x"}},
+		{"seed=1.5", []string{"seed", "1.5"}},
+		{"mtbf", []string{"mtbf", "key=value"}},
+		{"rackout=-5", []string{"RackOutMTBF"}}, // parses, then Validate rejects
+	}
+	for _, c := range cases {
+		p, err := ParsePlan(c.spec)
+		if err == nil {
+			err = p.Validate()
+		}
+		if err == nil {
+			t.Errorf("spec %q: want error", c.spec)
+			continue
+		}
+		for _, frag := range c.want {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("spec %q: error %q does not mention %q", c.spec, err, frag)
+			}
+		}
+	}
+}
+
+// TestStringRendersServerMTTRDefault pins the previously silent default:
+// a plan given only mtbf normalizes ServerMTTR to 600 s, and String()
+// renders it explicitly so the canonical spec is self-describing.
+func TestStringRendersServerMTTRDefault(t *testing.T) {
+	p, err := ParsePlan("mtbf=7200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	if !strings.Contains(s, "mttr=600") {
+		t.Fatalf("String() = %q, want explicit mttr=600 default", s)
+	}
+	// Same for the domain MTTR defaults (rack 900 s, zone 1800 s).
+	p, err = ParsePlan("rackout=43200,zoneout=86400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = p.String()
+	for _, frag := range []string{"rackmttr=900", "zonemttr=1800"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() = %q, want explicit %s default", s, frag)
+		}
+	}
+}
+
+// TestFullScheduleLegacyIdentity: without domain keys, FullSchedule must
+// return byte-for-byte the legacy per-server Schedule — pre-existing fault
+// plans keep their exact timelines (and stream determinism) across the
+// topology change.
+func TestFullScheduleLegacyIdentity(t *testing.T) {
+	topo := fakeTopo{servers: 16,
+		racks: [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}, {12, 13, 14, 15}},
+		zones: [][]int{{0, 1, 2, 3, 4, 5, 6, 7}, {8, 9, 10, 11, 12, 13, 14, 15}}}
+	p := Plan{Seed: 3, ServerMTBF: 7200, ServerMTTR: 600}
+	const horizon = 6 * 86400
+	evs, devs := FullSchedule(p, topo, horizon)
+	if devs != nil {
+		t.Fatalf("no-domain plan produced %d domain events", len(devs))
+	}
+	if legacy := Schedule(p, topo.NumServers(), horizon); !reflect.DeepEqual(evs, legacy) {
+		t.Fatal("FullSchedule without domain keys diverges from legacy Schedule")
+	}
+}
+
+// TestFullScheduleRackAtomicity: a rack outage must crash and recover every
+// member server, and the merged per-server timeline must stay well-formed
+// (alternating crash/recover) even where rack intervals overlap individual
+// server downtime.
+func TestFullScheduleRackAtomicity(t *testing.T) {
+	topo := fakeTopo{servers: 8,
+		racks: [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}},
+		zones: [][]int{{0, 1, 2, 3, 4, 5, 6, 7}}}
+	p := Plan{Seed: 11, ServerMTBF: 14400, ServerMTTR: 300, RackOutMTBF: 21600, RackMTTR: 900}
+	const horizon = 4 * 86400
+	evs, devs := FullSchedule(p, topo, horizon)
+	if len(devs) == 0 {
+		t.Fatal("rack-outage plan produced no domain events")
+	}
+	evs2, devs2 := FullSchedule(p, topo, horizon)
+	if !reflect.DeepEqual(evs, evs2) || !reflect.DeepEqual(devs, devs2) {
+		t.Fatal("same plan produced different full schedules")
+	}
+
+	// Index server crash times; every rack-down marker must coincide with a
+	// crash (or already-down interval start) for each member. Because
+	// intervals are unioned, the member's crash may predate the marker; it
+	// must at least be down at the marker's time.
+	type iv struct{ start, end float64 }
+	downIvs := make(map[int][]iv)
+	open := make(map[int]float64)
+	downNow := make(map[int]bool)
+	last := -1.0
+	for i, ev := range evs {
+		if ev.T < last {
+			t.Fatalf("event %d out of order: t=%g after t=%g", i, ev.T, last)
+		}
+		last = ev.T
+		if ev.Recover {
+			if !downNow[ev.Server] {
+				t.Fatalf("event %d: recovery of healthy server %d", i, ev.Server)
+			}
+			downNow[ev.Server] = false
+			downIvs[ev.Server] = append(downIvs[ev.Server], iv{open[ev.Server], ev.T})
+		} else {
+			if downNow[ev.Server] {
+				t.Fatalf("event %d: crash of already-crashed server %d", i, ev.Server)
+			}
+			downNow[ev.Server] = true
+			open[ev.Server] = ev.T
+		}
+	}
+	downAt := func(sid int, t float64) bool {
+		for _, v := range downIvs[sid] {
+			if v.start <= t && t < v.end {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range devs {
+		if d.Recover || d.Zone {
+			continue
+		}
+		for _, sid := range topo.racks[d.Domain] {
+			if !downAt(sid, d.T) {
+				t.Fatalf("rack %d down at t=%g but member server %d is up", d.Domain, d.T, sid)
+			}
+		}
+	}
+}
+
+// TestFullScheduleZoneCoversAllMembers: zone outages reach every server in
+// the zone, across rack boundaries.
+func TestFullScheduleZoneCoversAllMembers(t *testing.T) {
+	topo := fakeTopo{servers: 8,
+		racks: [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}},
+		zones: [][]int{{0, 1, 2, 3, 4, 5, 6, 7}}}
+	p := Plan{Seed: 5, ZoneOutMTBF: 43200, ZoneMTTR: 600}
+	evs, devs := FullSchedule(p, topo, 6*86400)
+	if len(devs) == 0 {
+		t.Fatal("zone-outage plan produced no domain events")
+	}
+	crashed := make(map[int]bool)
+	for _, ev := range evs {
+		if !ev.Recover {
+			crashed[ev.Server] = true
+		}
+	}
+	for sid := 0; sid < topo.servers; sid++ {
+		if !crashed[sid] {
+			t.Fatalf("server %d never crashed under zone outages covering the whole cluster", sid)
+		}
+	}
+	for _, d := range devs {
+		if !d.Zone {
+			t.Fatalf("rack event %+v from a zone-only plan", d)
+		}
+	}
+}

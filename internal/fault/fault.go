@@ -47,8 +47,27 @@ type Plan struct {
 	ServerMTBF float64
 	// ServerMTTR is the mean repair time in simulated seconds; a crashed
 	// server rejoins its pool after an exponentially distributed downtime.
-	// Defaults to 600 when crashes are enabled.
+	// Defaults to 600 when crashes are enabled (Normalize makes the default
+	// explicit, and String always renders the effective value).
 	ServerMTTR float64
+
+	// RackOutMTBF enables correlated rack outages: each rack of the cluster
+	// topology draws an independent alternating renewal process with this
+	// mean time between outages (simulated seconds), and an outage crashes
+	// every server of the rack atomically. 0 disables rack outages. The
+	// json tags keep the new domain fields out of runner cache keys for
+	// plans written before they existed.
+	RackOutMTBF float64 `json:",omitempty"`
+	// RackMTTR is the mean rack-outage repair time. Defaults to 900 when
+	// rack outages are enabled.
+	RackMTTR float64 `json:",omitempty"`
+	// ZoneOutMTBF enables correlated zone outages (a zone is a group of
+	// racks): like RackOutMTBF, one renewal process per zone, the whole
+	// zone crashing atomically. 0 disables zone outages.
+	ZoneOutMTBF float64 `json:",omitempty"`
+	// ZoneMTTR is the mean zone-outage repair time. Defaults to 1800 when
+	// zone outages are enabled.
+	ZoneMTTR float64 `json:",omitempty"`
 
 	// StragglerFrac is the fraction of jobs degraded to SlowFactor of
 	// their nominal throughput (per-job hash of Seed and job ID, so the
@@ -82,13 +101,17 @@ func (p *Plan) Enabled() bool {
 	if p == nil {
 		return false
 	}
-	return p.ServerMTBF > 0 || p.StragglerFrac > 0 || p.LaunchFailProb > 0 ||
+	return p.ServerMTBF > 0 || p.RackOutMTBF > 0 || p.ZoneOutMTBF > 0 ||
+		p.StragglerFrac > 0 || p.LaunchFailProb > 0 ||
 		p.RPCErrProb > 0 || p.RPCDelay > 0
 }
 
 // Normalize returns the plan with defaults applied to the dependent fields
-// of every enabled injection. It is idempotent, and every disabled plan —
-// including one carrying a stray seed or retry bound but no injection —
+// of every enabled injection: ServerMTTR 600 when server crashes are on,
+// RackMTTR 900 / ZoneMTTR 1800 when the corresponding domain outages are
+// on, SlowFactor 0.5 with stragglers, MaxLaunchRetries 5 with launch
+// failures. It is idempotent, and every disabled plan — including one
+// carrying a stray seed, retry bound or orphaned MTTR but no injection —
 // normalizes to the zero Plan, so "no faults" has exactly one canonical
 // form under the runner's content hashing and a leftover -fault-seed can
 // never split the memoization cache.
@@ -98,6 +121,12 @@ func (p Plan) Normalize() Plan {
 	}
 	if p.ServerMTBF > 0 && p.ServerMTTR == 0 {
 		p.ServerMTTR = 600
+	}
+	if p.RackOutMTBF > 0 && p.RackMTTR == 0 {
+		p.RackMTTR = 900
+	}
+	if p.ZoneOutMTBF > 0 && p.ZoneMTTR == 0 {
+		p.ZoneMTTR = 1800
 	}
 	if p.StragglerFrac > 0 && p.SlowFactor == 0 {
 		p.SlowFactor = 0.5
@@ -119,6 +148,14 @@ func (p Plan) Validate() error {
 		return fmt.Errorf("fault: ServerMTBF %v negative", p.ServerMTBF)
 	case p.ServerMTTR < 0:
 		return fmt.Errorf("fault: ServerMTTR %v negative", p.ServerMTTR)
+	case p.RackOutMTBF < 0:
+		return fmt.Errorf("fault: RackOutMTBF %v negative", p.RackOutMTBF)
+	case p.RackMTTR < 0:
+		return fmt.Errorf("fault: RackMTTR %v negative", p.RackMTTR)
+	case p.ZoneOutMTBF < 0:
+		return fmt.Errorf("fault: ZoneOutMTBF %v negative", p.ZoneOutMTBF)
+	case p.ZoneMTTR < 0:
+		return fmt.Errorf("fault: ZoneMTTR %v negative", p.ZoneMTTR)
 	case p.StragglerFrac < 0 || p.StragglerFrac > 1:
 		return fmt.Errorf("fault: StragglerFrac %v outside [0, 1]", p.StragglerFrac)
 	case p.SlowFactor < 0 || p.SlowFactor > 1:
@@ -175,6 +212,14 @@ func ParsePlan(spec string) (Plan, error) {
 			p.ServerMTBF = f
 		case "mttr":
 			p.ServerMTTR = f
+		case "rackout":
+			p.RackOutMTBF = f
+		case "rackmttr":
+			p.RackMTTR = f
+		case "zoneout":
+			p.ZoneOutMTBF = f
+		case "zonemttr":
+			p.ZoneMTTR = f
 		case "straggler":
 			p.StragglerFrac = f
 		case "slow":
@@ -186,7 +231,7 @@ func ParsePlan(spec string) (Plan, error) {
 		case "rpcdelay":
 			p.RPCDelay = f
 		default:
-			return p, fmt.Errorf("fault: unknown spec key %q (valid: mtbf, mttr, straggler, slow, launchfail, retries, rpcerr, rpcdelay, seed)", key)
+			return p, fmt.Errorf("fault: unknown spec key %q (valid: mtbf, mttr, rackout, rackmttr, zoneout, zonemttr, straggler, slow, launchfail, retries, rpcerr, rpcdelay, seed)", key)
 		}
 	}
 	if err := p.Validate(); err != nil {
@@ -203,6 +248,14 @@ func (p Plan) String() string {
 	if n.ServerMTBF > 0 {
 		add("mtbf", n.ServerMTBF)
 		add("mttr", n.ServerMTTR)
+	}
+	if n.RackOutMTBF > 0 {
+		add("rackout", n.RackOutMTBF)
+		add("rackmttr", n.RackMTTR)
+	}
+	if n.ZoneOutMTBF > 0 {
+		add("zoneout", n.ZoneOutMTBF)
+		add("zonemttr", n.ZoneMTTR)
 	}
 	if n.StragglerFrac > 0 {
 		add("straggler", n.StragglerFrac)
@@ -255,17 +308,38 @@ func Schedule(p Plan, numServers int, horizon int64) []Event {
 	}
 	var out []Event
 	for sid := 0; sid < numServers; sid++ {
-		rng := rand.New(rand.NewSource(subSeed(p.Seed, sid)))
-		t := rng.ExpFloat64() * p.ServerMTBF
-		for t < float64(horizon) {
-			down := rng.ExpFloat64() * p.ServerMTTR
-			if down < 1 {
-				down = 1
-			}
-			out = append(out, Event{T: t, Server: sid}, Event{T: t + down, Server: sid, Recover: true})
-			t += down + rng.ExpFloat64()*p.ServerMTBF
+		for _, iv := range renewal(subSeed(p.Seed, sid), p.ServerMTBF, p.ServerMTTR, horizon) {
+			out = append(out, Event{T: iv[0], Server: sid}, Event{T: iv[1], Server: sid, Recover: true})
 		}
 	}
+	sortEvents(out)
+	return out
+}
+
+// renewal draws one alternating renewal process — exponential up-times with
+// mean mtbf, exponential down-times with mean mttr floored at one second —
+// and returns its downtime intervals [start, end) with start < horizon. The
+// draw order (one up-time, then alternating down-time/up-time) is the
+// schedule contract: Schedule's per-server streams are defined by it.
+func renewal(seed int64, mtbf, mttr float64, horizon int64) [][2]float64 {
+	if mtbf <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out [][2]float64
+	t := rng.ExpFloat64() * mtbf
+	for t < float64(horizon) {
+		down := rng.ExpFloat64() * mttr
+		if down < 1 {
+			down = 1
+		}
+		out = append(out, [2]float64{t, t + down})
+		t += down + rng.ExpFloat64()*mtbf
+	}
+	return out
+}
+
+func sortEvents(out []Event) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].T != out[j].T {
 			return out[i].T < out[j].T
@@ -275,6 +349,131 @@ func Schedule(p Plan, numServers int, horizon int64) []Event {
 		}
 		return !out[i].Recover && out[j].Recover
 	})
+}
+
+// DomainEvent is one scheduled correlated outage: a whole rack (or zone,
+// when Zone is true) going down at T, or the matching recovery. Domain
+// events are markers for observability — the member servers' crashes and
+// recoveries flow through the ordinary per-server Event timeline, merged by
+// FullSchedule.
+type DomainEvent struct {
+	T       float64
+	Zone    bool
+	Domain  int
+	Recover bool
+}
+
+// Topology is the failure-domain view FullSchedule needs; *cluster.Cluster
+// satisfies it. Keeping it an interface leaves this package dependency-free.
+type Topology interface {
+	NumServers() int
+	NumRacks() int
+	NumZones() int
+	RackServers(r int) []int
+	ZoneServers(z int) []int
+}
+
+// Seed salts decorrelating the per-rack and per-zone outage streams from
+// the per-server crash streams sharing the same plan seed.
+const (
+	rackSeedSalt = 0x7261636b // "rack"
+	zoneSeedSalt = 0x7a6f6e65 // "zone"
+)
+
+// FullSchedule pre-generates the complete fault timeline for a plan over a
+// topology: independent per-server crashes plus correlated rack and zone
+// outages. Every domain outage crashes its member servers atomically (one
+// crash event per server at the outage instant) and holds them down until
+// the outage ends; overlapping downtime from any source — an individual
+// crash inside a rack outage, a rack outage inside a zone outage — is
+// merged per server into a single crash/recovery pair, so a server never
+// crashes while already down and always recovers exactly once per downtime.
+//
+// The returned server events follow Schedule's contract (sorted by time,
+// then server, crash before recovery); the domain events are sorted by
+// time, racks before zones, crash before recovery, and exist purely so the
+// engine can emit fault.domain markers. When the plan has no domain
+// outages the result is exactly Schedule's — byte-identical timelines for
+// every pre-existing plan.
+func FullSchedule(p Plan, topo Topology, horizon int64) ([]Event, []DomainEvent) {
+	p = p.Normalize()
+	if p.RackOutMTBF <= 0 && p.ZoneOutMTBF <= 0 {
+		return Schedule(p, topo.NumServers(), horizon), nil
+	}
+	numServers := topo.NumServers()
+	if numServers <= 0 || horizon <= 0 {
+		return nil, nil
+	}
+	down := make([][][2]float64, numServers)
+	for sid := 0; sid < numServers; sid++ {
+		down[sid] = renewal(subSeed(p.Seed, sid), p.ServerMTBF, p.ServerMTTR, horizon)
+	}
+	var domains []DomainEvent
+	addDomain := func(zone bool, d int, members []int, ivs [][2]float64) {
+		for _, iv := range ivs {
+			domains = append(domains,
+				DomainEvent{T: iv[0], Zone: zone, Domain: d},
+				DomainEvent{T: iv[1], Zone: zone, Domain: d, Recover: true})
+			for _, sid := range members {
+				down[sid] = append(down[sid], iv)
+			}
+		}
+	}
+	for r := 0; r < topo.NumRacks(); r++ {
+		addDomain(false, r, topo.RackServers(r),
+			renewal(subSeed(p.Seed^rackSeedSalt, r), p.RackOutMTBF, p.RackMTTR, horizon))
+	}
+	for z := 0; z < topo.NumZones(); z++ {
+		addDomain(true, z, topo.ZoneServers(z),
+			renewal(subSeed(p.Seed^zoneSeedSalt, z), p.ZoneOutMTBF, p.ZoneMTTR, horizon))
+	}
+	var out []Event
+	for sid := 0; sid < numServers; sid++ {
+		for _, iv := range mergeIntervals(down[sid]) {
+			out = append(out, Event{T: iv[0], Server: sid}, Event{T: iv[1], Server: sid, Recover: true})
+		}
+	}
+	sortEvents(out)
+	sort.Slice(domains, func(i, j int) bool {
+		a, b := domains[i], domains[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Zone != b.Zone {
+			return !a.Zone
+		}
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		return !a.Recover && b.Recover
+	})
+	return out, domains
+}
+
+// mergeIntervals unions possibly-overlapping downtime intervals in place:
+// sorted by start, any interval starting at or before the running end
+// extends the current downtime.
+func mergeIntervals(ivs [][2]float64) [][2]float64 {
+	if len(ivs) <= 1 {
+		return ivs
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i][0] != ivs[j][0] {
+			return ivs[i][0] < ivs[j][0]
+		}
+		return ivs[i][1] < ivs[j][1]
+	})
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv[0] <= last[1] {
+			if iv[1] > last[1] {
+				last[1] = iv[1]
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
 	return out
 }
 

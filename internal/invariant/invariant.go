@@ -115,6 +115,11 @@ type View struct {
 	Cluster *cluster.Cluster
 	Pending []*job.Job
 	Running map[int]*job.Job
+	// Held lists jobs sitting out a restart-backoff hold (degraded mode):
+	// pending-state jobs deliberately absent from both Pending and Running
+	// until their hold expires. Empty/nil when backoff is off — the queue
+	// rules then see every pending job through Pending as before.
+	Held []*job.Job
 	// Less is the scheduler's queue priority; nil skips the sortedness
 	// check (duplicate/state checks still run).
 	Less func(a, b *job.Job) bool
@@ -148,6 +153,7 @@ func (a *Auditor) Audit(v View) error {
 	checkConservation(v, add)
 	a.checkJobs(v, add)
 	a.checkQueue(v, add)
+	a.checkHeld(v, add)
 	a.forgetRetired()
 
 	if len(out) > 0 {
@@ -533,6 +539,62 @@ func (a *Auditor) checkQueue(v View, add func(Violation)) {
 				Actual:   "queue out of priority order",
 			})
 		}
+	}
+}
+
+// checkHeld enforces rules 2 and 4 over the backoff-held set: a held job is
+// pending-state with no workers, deliberately parked outside both Pending
+// and Running until its hold expires, and still inside the progress-bounds
+// tracking (queue time keeps accumulating through the hold).
+func (a *Auditor) checkHeld(v View, add func(Violation)) {
+	inPending := make(map[int]bool, len(v.Pending))
+	for _, j := range v.Pending {
+		inPending[j.ID] = true
+	}
+	for i, j := range v.Held {
+		subject := fmt.Sprintf("held[%d] (job %d)", i, j.ID)
+		if j.State != job.Pending {
+			add(Violation{
+				Rule:     RuleLifecycle,
+				Subject:  subject,
+				Expected: "state pending while held by restart backoff",
+				Actual:   fmt.Sprintf("state %v", j.State),
+			})
+		}
+		if n := len(j.Workers); n != 0 {
+			add(Violation{
+				Rule:     RuleLifecycle,
+				Subject:  subject,
+				Expected: "no placed workers while held",
+				Actual:   fmt.Sprintf("%d workers", n),
+			})
+		}
+		if inPending[j.ID] {
+			add(Violation{
+				Rule:     RuleLifecycle,
+				Subject:  subject,
+				Expected: "absent from the pending queue while held",
+				Actual:   "present in both Held and Pending",
+				Detail:   "a held job must not be schedulable before its hold expires",
+			})
+		}
+		if _, running := v.Running[j.ID]; running {
+			add(Violation{
+				Rule:     RuleLifecycle,
+				Subject:  subject,
+				Expected: "absent from the Running index while held",
+				Actual:   "present in both Held and Running",
+			})
+		}
+		if float64(j.LastEnqueue) > v.Now {
+			add(Violation{
+				Rule:     RuleProgressBounds,
+				Subject:  subject,
+				Expected: fmt.Sprintf("LastEnqueue <= Now (%g)", v.Now),
+				Actual:   fmt.Sprintf("LastEnqueue = %d", j.LastEnqueue),
+			})
+		}
+		a.checkProgress(v, j, add)
 	}
 }
 

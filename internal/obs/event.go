@@ -70,6 +70,18 @@ const (
 	KindFaultLaunch  Kind = "fault.launch"
 	KindJobRestart   Kind = "job.restart"
 
+	// Correlated failure domains + degraded-mode policies: a whole rack or
+	// zone going down/up (cause: rack-down | rack-up | zone-down |
+	// zone-up), a crash-preempted job held back by restart backoff (cause:
+	// hold | release), a repeat-crashing server's quarantine exit delayed
+	// by hysteresis (cause: hysteresis), and the orchestrator raising its
+	// loan target to cover a training-capacity crater (cause:
+	// capacity-loss).
+	KindFaultDomain          Kind = "fault.domain"
+	KindJobBackoff           Kind = "job.backoff"
+	KindFaultHolddown        Kind = "fault.holddown"
+	KindOrchEmergencyReclaim Kind = "orch.emergency-reclaim"
+
 	// Counter/histogram registry snapshot, sampled on MetricsInterval.
 	KindCounters Kind = "counters"
 )

@@ -37,6 +37,14 @@ type Orchestrator struct {
 	// their backlog then cannot be offset by free training capacity when
 	// estimating loan demand.
 	LoanOnlyDemand bool
+	// EmergencyReclaim enables the degraded-mode capacity-loss response
+	// (DESIGN.md §13): when healthy training capacity falls below the
+	// currently-running gang floor (Σ MinWorkers × GPUsPerWorker), the
+	// loan target is raised ahead of the normal idle-return path to cover
+	// the crater — still capped by the inference scheduler's target, so
+	// the inference utilization threshold is respected. Off by default;
+	// runs without it are byte-identical to the pre-policy orchestrator.
+	EmergencyReclaim bool
 	// Audit, when set, re-runs the invariant suite (internal/invariant)
 	// after every epoch, panicking on a violation — the same net the
 	// simulator's engine casts, available to substrates (unit tests, the
@@ -71,6 +79,9 @@ func (o *Orchestrator) Epoch(st *sim.State) {
 	if want > capSrv {
 		want = capSrv
 	}
+	if o.EmergencyReclaim {
+		want = o.raiseForCapacityLoss(st, busy, want, capSrv)
+	}
 	if st.Obs.Enabled() {
 		st.Obs.Emit(obs.Ev(st.Now, obs.KindOrchEpoch).WithF(obs.Fields{
 			"cap_srv": capSrv, "on_loan": cur, "busy": busy,
@@ -97,6 +108,42 @@ func (o *Orchestrator) Epoch(st *sim.State) {
 			panic(err)
 		}
 	}
+}
+
+// raiseForCapacityLoss is the emergency-reclaim policy: when a correlated
+// outage quarantines enough training servers that the healthy training
+// capacity no longer covers the running jobs' gang floor, the loan target
+// is raised by the deficit (converted at the T4 memory-doubling rate) so
+// on-loan capacity is pulled in — and kept — ahead of the voluntary
+// idle-return path. The inference scheduler's cap still binds: the raise
+// never exceeds capSrv, so inference's utilization threshold holds.
+func (o *Orchestrator) raiseForCapacityLoss(st *sim.State, busy, want, capSrv int) int {
+	trainCap := st.Cluster.TotalGPUs(cluster.PoolTraining)
+	floor := 0
+	for _, j := range st.Running {
+		floor += j.MinWorkers * j.GPUsPerWorker
+	}
+	if floor <= trainCap {
+		return want
+	}
+	deficit := floor - trainCap
+	perServer := cluster.DefaultGPUsPerServer / 2 // memory doubling on T4
+	extra := (deficit + perServer - 1) / perServer
+	raised := busy + extra
+	if raised > capSrv {
+		raised = capSrv
+	}
+	if raised <= want {
+		return want
+	}
+	if st.Obs.Enabled() {
+		st.Obs.Emit(obs.Ev(st.Now, obs.KindOrchEmergencyReclaim).WithCause("capacity-loss").WithF(obs.Fields{
+			"train_gpus": trainCap, "gang_floor": floor, "deficit": deficit,
+			"extra_srv": extra, "want": raised,
+		}))
+		st.Obs.Add("orch.emergency_reclaims", 1)
+	}
+	return raised
 }
 
 // busyOnLoanServers counts on-loan servers currently hosting any workers;

@@ -292,3 +292,46 @@ func (testSched) Schedule(st *sim.State) {
 	}
 	st.CompactPending()
 }
+
+// TestEmergencyReclaimRaisesLoanTarget: when crashes shrink the healthy
+// training pool below the aggregate gang floor of the running jobs, an
+// orchestrator with EmergencyReclaim raises its loan target ahead of any
+// pending demand — and without the switch nothing is borrowed.
+func TestEmergencyReclaimRaisesLoanTarget(t *testing.T) {
+	mk := func(emergency bool) (*sim.State, *Orchestrator) {
+		st, o := newHarness(2, 10, []float64{0.50})
+		o.EmergencyReclaim = emergency
+		// A running gang needing 16 GPUs — exactly the two training servers.
+		j := job.New(1, 0, job.Generic, 4, 4, 4, 1000)
+		j.Fungible = true
+		st.Running[j.ID] = j
+		// One training server crashes: healthy capacity 8 < gang floor 16.
+		if _, ok := st.CrashServer(0, lessByID); !ok {
+			t.Fatal("crash of server 0 did not apply")
+		}
+		return st, o
+	}
+
+	st, o := mk(false)
+	o.Epoch(st)
+	if got := st.Cluster.PoolSize(cluster.PoolOnLoan); got != 0 {
+		t.Errorf("emergency off: on-loan = %d, want 0 (no pending demand)", got)
+	}
+
+	st, o = mk(true)
+	o.Epoch(st)
+	// Deficit 8 GPUs at 4 loanable GPUs per T4 server (memory doubling)
+	// = 2 servers, well under the utilization cap floor(0.48*10) = 4.
+	if got := st.Cluster.PoolSize(cluster.PoolOnLoan); got != 2 {
+		t.Errorf("emergency on: on-loan = %d, want 2", got)
+	}
+
+	// The raise respects the inference utilization threshold: at 90%
+	// utilization the cap is 0 and even an emergency borrows nothing.
+	st, o = mk(true)
+	o.Inf = fixedSeries([]float64{0.90}, 10)
+	o.Epoch(st)
+	if got := st.Cluster.PoolSize(cluster.PoolOnLoan); got != 0 {
+		t.Errorf("emergency on, hot inference: on-loan = %d, want 0 (cap is 0)", got)
+	}
+}

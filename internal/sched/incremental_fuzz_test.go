@@ -33,6 +33,10 @@ func FuzzIncrementalVsRescan(f *testing.F) {
 	f.Add(int64(-11), uint8(25), uint8(3), true)
 	f.Add(int64(99), uint8(40), uint8(4), true)
 	f.Add(int64(1234), uint8(60), uint8(0), true)
+	f.Add(int64(15), uint8(30), uint8(0), true) // rack outages + degraded mode
+	f.Add(int64(21), uint8(44), uint8(3), true) // rack outages + degraded mode
+	f.Add(int64(-9), uint8(36), uint8(4), true) // rack outages, plain recovery
+	f.Add(int64(36), uint8(50), uint8(2), true) // degraded mode, server crashes only
 	f.Fuzz(func(t *testing.T, seed int64, njobs uint8, schedSel uint8, faults bool) {
 		const horizon = int64(20000)
 		n := int(njobs%64) + 4
@@ -83,6 +87,13 @@ func FuzzIncrementalVsRescan(f *testing.F) {
 			var plan *fault.Plan
 			if faults {
 				plan = &fault.Plan{Seed: seed + 1, ServerMTBF: 9000, ServerMTTR: 600}
+				if seed%2 != 0 {
+					// Odd seeds add correlated rack outages on top of the
+					// independent crashes, so the differential gate also
+					// covers whole-domain preemption storms.
+					plan.RackOutMTBF = 7000
+					plan.RackMTTR = 500
+				}
 			}
 			cfg := sim.Config{
 				Audit:  true,
@@ -92,6 +103,16 @@ func FuzzIncrementalVsRescan(f *testing.F) {
 				InferenceUtil: func(ts int64) float64 {
 					return infSched.UtilizationAt(ts)
 				},
+			}
+			if faults && seed%3 == 0 {
+				// Every third seed turns the degraded-mode policies on, so
+				// backoff holds and quarantine hold-downs are also compared
+				// decision-by-decision against the rescan reference.
+				cfg.BackoffBase = 45
+				cfg.BackoffCap = 600
+				cfg.HystCrashes = 2
+				cfg.HystWindow = 4000
+				cfg.HystHold = 700
 			}
 			return sim.New(c, jobs, horizon, s, orch, cfg).Run()
 		}

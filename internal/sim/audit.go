@@ -17,6 +17,7 @@ func (st *State) AuditView(ctx string, less func(a, b *job.Job) bool) invariant.
 		Cluster: st.Cluster,
 		Pending: st.Pending,
 		Running: st.Running,
+		Held:    st.HeldJobs(),
 		Less:    less,
 	}
 }

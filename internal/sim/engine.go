@@ -78,6 +78,28 @@ type Config struct {
 	// an unprofiled one. Nil is the zero-overhead default (one nil check
 	// per event, same discipline as Audit and Obs).
 	Prof *prof.Profiler
+	// BackoffBase enables per-job capped-exponential restart backoff
+	// (degraded mode, DESIGN.md §13): a job preempted by its Nth crash
+	// waits min(BackoffBase·2^N, BackoffCap) seconds before re-entering
+	// the pending queue, bounding the restart storm after a correlated
+	// outage. Zero disables the policy entirely — crash-preempted jobs
+	// requeue immediately, byte-identical to the pre-backoff engine.
+	BackoffBase float64
+	// BackoffCap caps the backoff delay; zero with BackoffBase set means
+	// 30× the base.
+	BackoffCap float64
+	// HystCrashes enables quarantine hysteresis: a server whose applied
+	// crash count within the trailing HystWindow seconds reaches
+	// HystCrashes has its scheduled recovery delayed by an escalating
+	// hold-down (HystHold·2^extra, capped at 16× the hold), keeping
+	// repeat-crashers out of the schedulable pools. Zero disables.
+	HystCrashes int
+	// HystWindow is the trailing crash-count window in seconds (default
+	// 3600 when HystCrashes is set).
+	HystWindow float64
+	// HystHold is the base hold-down in seconds (default 900 when
+	// HystCrashes is set).
+	HystHold float64
 }
 
 func (c Config) withDefaults() Config {
@@ -101,23 +123,39 @@ func (c Config) withDefaults() Config {
 	if c.Scaling == (job.ScalingModel{}) {
 		c.Scaling = job.Linear
 	}
+	if c.BackoffBase > 0 && c.BackoffCap <= 0 {
+		c.BackoffCap = 30 * c.BackoffBase
+	}
+	if c.HystCrashes > 0 {
+		if c.HystWindow <= 0 {
+			c.HystWindow = 3600
+		}
+		if c.HystHold <= 0 {
+			c.HystHold = 900
+		}
+	}
 	return c
 }
 
 // event kinds, in tie-break priority order at equal timestamps: arrivals
-// land first, completions free resources, injected crashes strike (after
-// finishes — a job done at t survives a crash at t) and recoveries return
-// capacity, the orchestrator moves servers, then the scheduler runs with a
-// current view, then metrics sample. Fault events only exist when a
-// fault.Plan is enabled, so inserting their kinds here cannot perturb an
+// land first, completions free resources, domain-outage markers announce a
+// correlated failure before its member crashes strike, injected crashes
+// strike (after finishes — a job done at t survives a crash at t) and
+// recoveries return capacity, backoff releases requeue held jobs (before
+// the same-instant orchestrator/scheduler epochs see the queue), the
+// orchestrator moves servers, then the scheduler runs with a current view,
+// then metrics sample. Fault, domain and release events only exist when
+// their feature is enabled, so inserting their kinds here cannot perturb an
 // un-faulted run's tie-breaks.
 type eventKind uint8
 
 const (
 	evArrival eventKind = iota
 	evFinish
+	evDomain
 	evCrash
 	evRecover
+	evRelease
 	evOrch
 	evSched
 	evMetrics
@@ -129,10 +167,14 @@ func (k eventKind) String() string {
 		return "arrival"
 	case evFinish:
 		return "finish"
+	case evDomain:
+		return "domain"
 	case evCrash:
 		return "crash"
 	case evRecover:
 		return "recover"
+	case evRelease:
+		return "release"
 	case evOrch:
 		return "orch"
 	case evSched:
@@ -149,8 +191,10 @@ func (k eventKind) String() string {
 var profEventName = [...]string{
 	evArrival: "arrival",
 	evFinish:  "finish",
+	evDomain:  "domain",
 	evCrash:   "crash",
 	evRecover: "recover",
+	evRelease: "release",
 	evOrch:    "epoch.orch",
 	evSched:   "epoch.sched",
 	evMetrics: "metrics",
@@ -212,6 +256,20 @@ type Engine struct {
 	// training servers return to training, but a server that died on loan
 	// goes back to the inference pool (the crash ended the loan).
 	recoverTo map[int]cluster.Pool
+	// domainSched is the correlated-outage marker timeline (rack/zone
+	// down/up); evDomain events carry an index into it in their jobID
+	// field. The markers are pushed whenever the schedule is non-empty —
+	// not only when recording — so the event heap is identical between
+	// obs-on and obs-off runs.
+	domainSched []fault.DomainEvent
+	// crashTimes records applied crash times per server for quarantine
+	// hysteresis; entries older than HystWindow are pruned on append.
+	crashTimes map[int][]float64
+	// recoverSeq versions hysteresis hold-down retries per server: a
+	// scheduled (version-0) recovery is always considered, but a held
+	// retry is only honored when its version matches the latest hold —
+	// a newer hold or an intervening crash supersedes it.
+	recoverSeq map[int]int
 
 	trainUsage   *metrics.TimeSeries
 	overallUsage *metrics.TimeSeries
@@ -271,6 +329,17 @@ func New(c *cluster.Cluster, jobs []*job.Job, horizon int64, sched Scheduler, or
 				j.SlowFactor = cfg.Faults.SlowFactorFor(j.ID)
 			}
 		}
+		if cfg.HystCrashes > 0 {
+			e.crashTimes = make(map[int][]float64)
+			e.recoverSeq = make(map[int]int)
+		}
+	}
+	if cfg.BackoffBase > 0 {
+		e.st.backoffBase = cfg.BackoffBase
+		e.st.backoffCap = cfg.BackoffCap
+		e.st.crashCount = make(map[int]int)
+		e.st.held = make(map[int]*job.Job)
+		e.st.heldUntil = make(map[int]float64)
 	}
 	e.st.Obs = cfg.Obs
 	e.st.Prof = cfg.Prof
@@ -320,6 +389,60 @@ func (e *Engine) drain() {
 	}
 }
 
+// noteCrash records an applied crash for quarantine hysteresis, pruning
+// entries that have aged out of the trailing window.
+func (e *Engine) noteCrash(sid int) {
+	ts := e.crashTimes[sid]
+	cut := e.st.Now - e.cfg.HystWindow
+	kept := ts[:0]
+	for _, t := range ts {
+		if t > cut {
+			kept = append(kept, t)
+		}
+	}
+	e.crashTimes[sid] = append(kept, e.st.Now)
+}
+
+// holdRecovery decides whether a recovery event for a repeat-crashing
+// server is delayed by quarantine hysteresis. A scheduled recovery carries
+// version 0 and is always considered; a held retry is only honored when
+// its version matches the latest hold for the server (older retries were
+// superseded by a newer hold or an intervening crash). When the server's
+// applied crash count within the trailing window still reaches the
+// threshold, the recovery is re-pushed after an escalating hold-down and
+// the server stays quarantined; crashes age out of the window while it is
+// held, so the hold always terminates.
+func (e *Engine) holdRecovery(ev event) bool {
+	sid := ev.jobID
+	if ev.version != 0 && ev.version != e.recoverSeq[sid] {
+		return true // superseded retry: drop it, a later recovery governs
+	}
+	recent := 0
+	cut := e.st.Now - e.cfg.HystWindow
+	for _, t := range e.crashTimes[sid] {
+		if t > cut {
+			recent++
+		}
+	}
+	if recent < e.cfg.HystCrashes {
+		return false
+	}
+	extra := recent - e.cfg.HystCrashes
+	if extra > 4 {
+		extra = 4 // cap the escalation at 16x the base hold
+	}
+	hold := e.cfg.HystHold * float64(uint64(1)<<extra)
+	e.recoverSeq[sid]++
+	e.push(e.st.Now+hold, evRecover, sid, e.recoverSeq[sid])
+	if rec := e.st.Obs; rec.Enabled() {
+		rec.Emit(obs.Ev(e.st.Now, obs.KindFaultHolddown).WithCause("hysteresis").WithF(obs.Fields{
+			"server": sid, "recent": recent, "hold": hold, "until": e.st.Now + hold,
+		}))
+		rec.Add("fault.holddowns", 1)
+	}
+	return true
+}
+
 // Run executes the simulation to completion (all jobs done) or the MaxTime
 // cap, and returns the collected results. The default cap leaves room for
 // the drain phase: a job arriving at the end of the horizon may run for
@@ -338,15 +461,23 @@ func (e *Engine) Run() *Result {
 	}
 	e.push(0, evMetrics, 0, 0)
 	if e.cfg.Faults.Enabled() {
-		// The whole crash/recovery timeline is pre-generated from the
-		// plan's seeded stream, so it is identical regardless of how the
-		// run unfolds. The event's jobID field carries the server ID.
-		for _, fe := range fault.Schedule(*e.cfg.Faults, e.st.Cluster.NumServers(), e.horizon) {
+		// The whole crash/recovery timeline — independent per-server draws
+		// plus correlated rack/zone outages, merged per server — is
+		// pre-generated from the plan's seeded streams, so it is identical
+		// regardless of how the run unfolds. The event's jobID field
+		// carries the server ID (crash/recover) or the index into
+		// domainSched (domain markers).
+		evs, devs := fault.FullSchedule(*e.cfg.Faults, e.st.Cluster, e.horizon)
+		for _, fe := range evs {
 			kind := evCrash
 			if fe.Recover {
 				kind = evRecover
 			}
 			e.push(fe.T, kind, fe.Server, 0)
+		}
+		e.domainSched = devs
+		for i := range devs {
+			e.push(devs[i].T, evDomain, i, 0)
 		}
 	}
 	heap.Init(&e.events)
@@ -394,6 +525,26 @@ func (e *Engine) Run() *Result {
 			// The job can never run again: drop its stale-event version
 			// counter so long traces don't accumulate dead entries.
 			delete(e.version, j.ID)
+		case evDomain:
+			// Pure announcement: the member-server crashes/recoveries of a
+			// correlated outage are already in the schedule as ordinary
+			// crash/recover events (merged per server), so the marker only
+			// records that they share one cause.
+			if rec := e.st.Obs; rec.Enabled() {
+				d := e.domainSched[ev.jobID]
+				name, servers := "rack", e.st.Cluster.RackServers(d.Domain)
+				if d.Zone {
+					name, servers = "zone", e.st.Cluster.ZoneServers(d.Domain)
+				}
+				cause := name + "-down"
+				if d.Recover {
+					cause = name + "-up"
+				}
+				rec.Emit(obs.Ev(e.st.Now, obs.KindFaultDomain).WithCause(cause).WithF(obs.Fields{
+					"domain": d.Domain, "servers": len(servers),
+				}))
+				rec.Add("fault.domain_events", 1)
+			}
 		case evCrash:
 			if origin, ok := e.st.CrashServer(ev.jobID, e.sched.Less); ok {
 				to := origin
@@ -401,13 +552,29 @@ func (e *Engine) Run() *Result {
 					to = cluster.PoolInference
 				}
 				e.recoverTo[ev.jobID] = to
+				if e.cfg.HystCrashes > 0 {
+					e.noteCrash(ev.jobID)
+				}
+				for _, h := range e.st.takeNewHolds() {
+					e.push(h.until, evRelease, h.jobID, 0)
+				}
+			} else if e.cfg.HystCrashes > 0 {
+				// A scheduled crash striking a server still held in
+				// quarantine supersedes its pending hysteresis retry: the
+				// new outage's own scheduled recovery governs from here.
+				e.recoverSeq[ev.jobID]++
 			}
 			e.drain()
 		case evRecover:
 			if to, ok := e.recoverTo[ev.jobID]; ok {
+				if e.cfg.HystCrashes > 0 && e.holdRecovery(ev) {
+					break
+				}
 				e.st.RecoverServer(ev.jobID, to)
 				delete(e.recoverTo, ev.jobID)
 			}
+		case evRelease:
+			e.st.releaseHeld(ev.jobID, e.sched.Less)
 		case evOrch:
 			e.orch.Epoch(e.st)
 			// The orchestrator moves servers through Cluster.Move directly;

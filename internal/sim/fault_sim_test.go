@@ -169,11 +169,14 @@ func TestEngineFaultRunsAreDeterministic(t *testing.T) {
 // ./internal/sim/` explores further. A finding means some fault schedule
 // breaks state accounting or loses a job.
 func FuzzFaultSchedules(f *testing.F) {
-	f.Add(int64(1), uint16(5000), uint16(300), uint8(10), uint8(24))
-	f.Add(int64(7), uint16(900), uint16(60), uint8(0), uint8(40))
-	f.Add(int64(-3), uint16(20000), uint16(5), uint8(90), uint8(12))
-	f.Add(int64(42), uint16(1), uint16(1), uint8(50), uint8(8))
-	f.Fuzz(func(t *testing.T, seed int64, mtbf, mttr uint16, stragglerPct, njobs uint8) {
+	f.Add(int64(1), uint16(5000), uint16(300), uint8(10), uint8(24), uint16(0), false)
+	f.Add(int64(7), uint16(900), uint16(60), uint8(0), uint8(40), uint16(0), false)
+	f.Add(int64(-3), uint16(20000), uint16(5), uint8(90), uint8(12), uint16(0), false)
+	f.Add(int64(42), uint16(1), uint16(1), uint8(50), uint8(8), uint16(0), false)
+	f.Add(int64(11), uint16(9000), uint16(400), uint8(20), uint8(20), uint16(6000), false)
+	f.Add(int64(23), uint16(7000), uint16(200), uint8(0), uint8(32), uint16(4000), true)
+	f.Add(int64(-8), uint16(0), uint16(0), uint8(30), uint8(16), uint16(900), true)
+	f.Fuzz(func(t *testing.T, seed int64, mtbf, mttr uint16, stragglerPct, njobs uint8, rackout uint16, degraded bool) {
 		n := int(njobs%48) + 4
 		jobs := make([]*job.Job, 0, n)
 		for k := 0; k < n; k++ {
@@ -186,11 +189,25 @@ func FuzzFaultSchedules(f *testing.F) {
 			ServerMTTR:    float64(mttr%2000) + 1,
 			StragglerFrac: float64(stragglerPct%101) / 100,
 		}
+		if rackout > 0 {
+			// Correlated outages: the whole 3-server training rack goes
+			// down atomically — the worst-case blast radius for this shape.
+			plan.RackOutMTBF = float64(rackout%25000) + 500
+			plan.RackMTTR = 400
+		}
 		if err := plan.Normalize().Validate(); err != nil {
 			t.Skip(err)
 		}
+		cfg := Config{Audit: true, Faults: plan}
+		if degraded {
+			cfg.BackoffBase = 30
+			cfg.BackoffCap = 500
+			cfg.HystCrashes = 2
+			cfg.HystWindow = 3000
+			cfg.HystHold = 600
+		}
 		c := cluster.New(cluster.Config{TrainingServers: 3, InferenceServers: 1})
-		e := New(c, jobs, 250000, fifoSched{}, nil, Config{Audit: true, Faults: plan})
+		e := New(c, jobs, 250000, fifoSched{}, nil, cfg)
 		defer func() {
 			if r := recover(); r != nil {
 				t.Fatalf("invariant violation under fault schedule %+v: %v", *plan, r)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"sort"
 
 	"lyra/internal/job"
 	"lyra/internal/metrics"
@@ -39,6 +40,11 @@ type Result struct {
 	// quarantined servers returned to service (zero without a fault.Plan).
 	Crashes    int
 	Recoveries int
+	// LostCapacityGPUSec integrates quarantined capacity over the run:
+	// GPU-seconds spent in PoolQuarantine, including the residual of
+	// servers still down when the run ended — the lost-capacity-time
+	// metric the domainsweep experiment reports.
+	LostCapacityGPUSec float64
 
 	// SchedEpochs counts scheduler epochs processed; SkippedSchedEpochs of
 	// those were quiescent epochs the engine proved identical to the
@@ -85,6 +91,19 @@ func (e *Engine) result() *Result {
 	}
 	if e.st.ReclaimedSrv > 0 {
 		r.FlexSatisfiedShare = float64(e.st.FlexSatisfied) / float64(e.st.ReclaimedSrv)
+	}
+	r.LostCapacityGPUSec = e.st.LostGPUSec
+	if len(e.st.quarAt) > 0 {
+		// Residual for servers still quarantined at the end of the run,
+		// accumulated in server-ID order so the float sum is deterministic.
+		ids := make([]int, 0, len(e.st.quarAt))
+		for id := range e.st.quarAt {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			r.LostCapacityGPUSec += (e.st.Now - e.st.quarAt[id]) * float64(e.st.Cluster.Server(id).NumGPUs)
+		}
 	}
 	r.HourlyQueuedRatio = make([]float64, len(e.hourlyArrived))
 	for h, n := range e.hourlyArrived {

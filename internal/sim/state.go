@@ -111,6 +111,29 @@ type State struct {
 	// Starts counts Start transitions, including resumes after preemption.
 	Starts int
 
+	// Restart backoff (degraded mode, DESIGN.md §13). When backoffBase > 0
+	// a crash-preempted job is held out of the pending queue for
+	// min(base·2^N, cap) seconds (N = its prior crash count) instead of
+	// requeuing immediately; the engine requeues it via releaseHeld when
+	// the hold expires. Held jobs are Pending-state but invisible to the
+	// scheduler and the orchestrator's demand estimate; the hold counts as
+	// queue time. All zero/nil when the policy is off — Preempt then takes
+	// the exact pre-backoff path.
+	backoffBase float64
+	backoffCap  float64
+	crashCount  map[int]int      // job ID -> crash-preemptions applied so far
+	held        map[int]*job.Job // jobs waiting out a backoff hold
+	heldUntil   map[int]float64  // job ID -> hold expiry time
+	newHolds    []holdRec        // holds placed since the engine last drained them
+
+	// quarAt records when each quarantined server went down, feeding the
+	// lost-capacity integral (LostGPUSec). Allocated lazily on first crash.
+	quarAt map[int]float64
+	// LostGPUSec accumulates GPU-seconds of quarantined capacity: each
+	// recovery adds downtime × the server's GPUs (result() adds the
+	// residual for servers still down at the end of the run).
+	LostGPUSec float64
+
 	// Counters surfaced in results.
 	Preemptions   int
 	ScalingOps    int
@@ -121,6 +144,12 @@ type State struct {
 	FlexSatisfied int // reclaim demand satisfied by flexible-only release, in servers
 	Crashes       int // injected server crashes applied
 	Recoveries    int // crashed servers returned to service
+}
+
+// holdRec is one backoff hold the engine must schedule a release for.
+type holdRec struct {
+	jobID int
+	until float64
 }
 
 func newState(c *cluster.Cluster, scaling job.ScalingModel, preemptOverhead float64) *State {
@@ -577,14 +606,110 @@ func (st *State) Preempt(j *job.Job, less func(a, b *job.Job) bool) {
 	st.bump()
 	delete(st.Running, j.ID)
 	st.idxDirty = true
-	// Re-queue under the preempting decider's cause, never "arrival".
-	saved := st.Cause
-	if st.Cause == "" {
-		st.Cause = "preempt"
+	if st.backoffBase > 0 && st.Cause == "crash" {
+		// Restart backoff: the job sits out min(base·2^N, cap) seconds
+		// before re-entering the queue, bounding the concurrent-restart
+		// storm after a correlated outage. LastEnqueue stays at the
+		// preemption time, so the hold counts as queue time.
+		st.holdForBackoff(j)
+	} else {
+		// Re-queue under the preempting decider's cause, never "arrival".
+		saved := st.Cause
+		if st.Cause == "" {
+			st.Cause = "preempt"
+		}
+		st.enqueue(j, less)
+		st.Cause = saved
 	}
+	st.markChanged(j)
+}
+
+// holdForBackoff records a backoff hold for a crash-preempted job. The
+// engine collects the new holds (takeNewHolds) and schedules their release
+// events; releaseHeld requeues the job when the hold expires.
+func (st *State) holdForBackoff(j *job.Job) {
+	n := st.crashCount[j.ID]
+	st.crashCount[j.ID] = n + 1
+	shift := n
+	if shift > 30 {
+		shift = 30 // 2^30 · base is far beyond any cap; avoid overflow
+	}
+	delay := st.backoffBase * float64(uint64(1)<<shift)
+	if delay > st.backoffCap {
+		delay = st.backoffCap
+	}
+	until := st.Now + delay
+	st.held[j.ID] = j
+	st.heldUntil[j.ID] = until
+	st.newHolds = append(st.newHolds, holdRec{jobID: j.ID, until: until})
+	if st.Obs.Enabled() {
+		st.Obs.Emit(obs.JobEv(st.Now, obs.KindJobBackoff, j.ID).WithCause("hold").WithF(obs.Fields{
+			"attempt": n + 1, "delay": delay, "until": until,
+		}))
+		st.Obs.Add("sim.backoff_holds", 1)
+	}
+}
+
+// takeNewHolds returns and clears the backoff holds placed since the last
+// call, sorted by job ID for a deterministic release-event push order.
+func (st *State) takeNewHolds() []holdRec {
+	if len(st.newHolds) == 0 {
+		return nil
+	}
+	out := st.newHolds
+	st.newHolds = nil
+	slices.SortFunc(out, func(a, b holdRec) int {
+		switch {
+		case a.jobID < b.jobID:
+			return -1
+		case a.jobID > b.jobID:
+			return 1
+		}
+		return 0
+	})
+	return out
+}
+
+// releaseHeld requeues a job whose backoff hold expired. No-op for unknown
+// IDs (the job may never have been held, e.g. when backoff is off).
+func (st *State) releaseHeld(id int, less func(a, b *job.Job) bool) {
+	j, ok := st.held[id]
+	if !ok {
+		return
+	}
+	delete(st.held, id)
+	delete(st.heldUntil, id)
+	if st.Obs.Enabled() {
+		st.Obs.Emit(obs.JobEv(st.Now, obs.KindJobBackoff, id).WithCause("release").WithF(obs.Fields{
+			"waited": st.Now - float64(j.LastEnqueue),
+		}))
+	}
+	saved := st.Cause
+	st.Cause = "backoff"
 	st.enqueue(j, less)
 	st.Cause = saved
-	st.markChanged(j)
+}
+
+// HeldJobs returns the jobs currently sitting out a backoff hold, in
+// ascending ID order — the audit view over the held set.
+func (st *State) HeldJobs() []*job.Job {
+	if len(st.held) == 0 {
+		return nil
+	}
+	out := make([]*job.Job, 0, len(st.held))
+	for _, j := range st.held {
+		out = append(out, j)
+	}
+	slices.SortFunc(out, func(a, b *job.Job) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	return out
 }
 
 // finish completes a running job. Per-job bookkeeping that exists only to
@@ -667,9 +792,14 @@ func (st *State) CrashServer(sid int, less func(a, b *job.Job) bool) (cluster.Po
 	}
 	st.Crashes++
 	st.bump() // quarantine removes schedulable capacity even with no evictions
+	if st.quarAt == nil {
+		st.quarAt = make(map[int]float64)
+	}
+	st.quarAt[sid] = st.Now
 	if st.Obs.Enabled() {
 		st.Obs.Emit(obs.Ev(st.Now, obs.KindFaultCrash).WithF(obs.Fields{
-			"server": sid, "pool": origin.String(), "preempted": preempted, "scaled_in": scaledIn,
+			"server": sid, "pool": origin.String(), "gpus": s.NumGPUs,
+			"preempted": preempted, "scaled_in": scaledIn,
 		}))
 		st.Obs.Add("fault.crashes", 1)
 	}
@@ -697,6 +827,10 @@ func (st *State) RecoverServer(sid int, to cluster.Pool) bool {
 	}
 	st.Recoveries++
 	st.bump() // returned capacity may unlock pending work
+	if at, ok := st.quarAt[sid]; ok {
+		st.LostGPUSec += (st.Now - at) * float64(s.NumGPUs)
+		delete(st.quarAt, sid)
+	}
 	if st.Obs.Enabled() {
 		st.Obs.Emit(obs.Ev(st.Now, obs.KindFaultRecover).WithF(obs.Fields{
 			"server": sid, "to": to.String(),

@@ -286,6 +286,36 @@ type Config struct {
 	// out-of-domain rates.
 	Faults FaultPlan
 
+	// Degraded-mode policies (DESIGN.md §13), each independently
+	// toggleable and off by default — off is bit-identical to the
+	// pre-policy system. All new fields are omitted from the canonical
+	// JSON form when zero, so runner cache keys of pre-existing specs are
+	// unchanged.
+	//
+	// RestartBackoff holds a crash-preempted job out of the pending queue
+	// for min(BackoffBase·2^N, BackoffCap) seconds (N = its prior crash
+	// count), bounding the concurrent-restart storm after a correlated
+	// outage. BackoffBase/BackoffCap zero default to 60/1800 when the
+	// policy is on; Normalize zeroes them when it is off.
+	RestartBackoff bool    `json:",omitempty"`
+	BackoffBase    float64 `json:",omitempty"`
+	BackoffCap     float64 `json:",omitempty"`
+	// QuarantineHysteresis delays the recovery of a server that crashed
+	// HystCrashes times within the trailing HystWindow seconds by an
+	// escalating hold-down starting at HystHold seconds. Zero knobs
+	// default to 3 crashes / 3600 s window / 900 s hold when the policy
+	// is on; Normalize zeroes them when it is off.
+	QuarantineHysteresis bool    `json:",omitempty"`
+	HystCrashes          int     `json:",omitempty"`
+	HystWindow           float64 `json:",omitempty"`
+	HystHold             float64 `json:",omitempty"`
+	// EmergencyReclaim raises the orchestrator's loan target when healthy
+	// training capacity falls below the running jobs' gang floor, pulling
+	// loaned capacity in ahead of the normal idle-return path (still
+	// capped by the inference scheduler's target). Only meaningful with
+	// Loaning; Normalize clears it otherwise.
+	EmergencyReclaim bool `json:",omitempty"`
+
 	Seed int64
 
 	// DefaultsApplied records that Normalize has run: every "zero means
@@ -345,6 +375,35 @@ func (c Config) Normalize() Config {
 	if !c.Loaning {
 		c.Reclaim = ""
 	}
+	// Degraded-mode knobs canonicalize on every pass (idempotent, like the
+	// fault plan): an off policy zeroes its knobs so semantically equal
+	// configs hash equal, an on policy fills its defaults.
+	if c.RestartBackoff {
+		if c.BackoffBase == 0 {
+			c.BackoffBase = 60
+		}
+		if c.BackoffCap == 0 {
+			c.BackoffCap = 1800
+		}
+	} else {
+		c.BackoffBase, c.BackoffCap = 0, 0
+	}
+	if c.QuarantineHysteresis {
+		if c.HystCrashes == 0 {
+			c.HystCrashes = 3
+		}
+		if c.HystWindow == 0 {
+			c.HystWindow = 3600
+		}
+		if c.HystHold == 0 {
+			c.HystHold = 900
+		}
+	} else {
+		c.HystCrashes, c.HystWindow, c.HystHold = 0, 0, 0
+	}
+	if !c.Loaning {
+		c.EmergencyReclaim = false
+	}
 	c.Faults = c.Faults.Normalize()
 	c.DefaultsApplied = true
 	return c
@@ -400,6 +459,25 @@ func (c Config) Validate() error {
 	}
 	if n.Phase2MaxItems < 1 {
 		return fmt.Errorf("lyra: Phase2MaxItems %d must be at least 1", n.Phase2MaxItems)
+	}
+	if n.RestartBackoff {
+		if n.BackoffBase <= 0 {
+			return fmt.Errorf("lyra: BackoffBase %v must be positive with RestartBackoff on (zero selects the 60 s default)", n.BackoffBase)
+		}
+		if n.BackoffCap < n.BackoffBase {
+			return fmt.Errorf("lyra: BackoffCap %v must be at least BackoffBase (%v)", n.BackoffCap, n.BackoffBase)
+		}
+	}
+	if n.QuarantineHysteresis {
+		if n.HystCrashes < 1 {
+			return fmt.Errorf("lyra: HystCrashes %d must be at least 1 with QuarantineHysteresis on", n.HystCrashes)
+		}
+		if n.HystWindow <= 0 {
+			return fmt.Errorf("lyra: HystWindow %v must be positive with QuarantineHysteresis on", n.HystWindow)
+		}
+		if n.HystHold <= 0 {
+			return fmt.Errorf("lyra: HystHold %v must be positive with QuarantineHysteresis on", n.HystHold)
+		}
 	}
 	if err := n.Faults.Validate(); err != nil {
 		return fmt.Errorf("lyra: Faults: %w", err)
@@ -460,6 +538,10 @@ type Report struct {
 	// quarantined servers returned to service (zero without a fault plan).
 	Crashes    int
 	Recoveries int
+	// LostCapacityGPUSec is the GPU-seconds of capacity spent quarantined
+	// over the run (including servers still down at the end) — the
+	// lost-capacity-time metric reported by the domainsweep experiment.
+	LostCapacityGPUSec float64
 
 	// Events is the recorded JSONL event stream when Config.Events was
 	// set (nil otherwise): one deterministic JSON object per line, byte-
@@ -546,6 +628,7 @@ func RunProfiled(cfg Config, tr *Trace, p *prof.Profiler) (rep *Report, err erro
 		o := orchestrator.New(targeter, policy, s.Less)
 		o.IncludeElasticDemand = cfg.Elastic && cfg.Scheduler != SchedFIFO
 		o.LoanOnlyDemand = cfg.Opportunistic
+		o.EmergencyReclaim = cfg.EmergencyReclaim
 		orch = o
 	}
 
@@ -569,6 +652,15 @@ func RunProfiled(cfg Config, tr *Trace, p *prof.Profiler) (rep *Report, err erro
 	if cfg.Faults.Enabled() {
 		fp := cfg.Faults
 		simCfg.Faults = &fp
+	}
+	if cfg.RestartBackoff {
+		simCfg.BackoffBase = cfg.BackoffBase
+		simCfg.BackoffCap = cfg.BackoffCap
+	}
+	if cfg.QuarantineHysteresis {
+		simCfg.HystCrashes = cfg.HystCrashes
+		simCfg.HystWindow = cfg.HystWindow
+		simCfg.HystHold = cfg.HystHold
 	}
 	simCfg.Prof = p
 	eng := sim.New(c, tr.Jobs, tr.Horizon, s, orch, simCfg)
@@ -604,6 +696,7 @@ func buildReport(res *sim.Result, tr *Trace) *Report {
 		Total:              len(tr.Jobs),
 		Crashes:            res.Crashes,
 		Recoveries:         res.Recoveries,
+		LostCapacityGPUSec: res.LostCapacityGPUSec,
 		Raw:                res,
 	}
 }

@@ -27,10 +27,16 @@ func BenchmarkEpoch(b *testing.B) {
 		training, inference  int
 		traceGPUs            int
 		maxTime, maxTimeShrt float64
+		faulted              bool
 	}{
-		{"1x", 44, 52, 352, 0, 0},
-		{"10x", 440, 520, 3520, 0, 0},
-		{"100x", 44300, 52000, 354400, 7200, 1800},
+		{"1x", 44, 52, 352, 0, 0, false},
+		{"10x", 440, 520, 3520, 0, 0, false},
+		{"100x", 44300, 52000, 354400, 7200, 1800, false},
+		// The faulted tier layers a crash-heavy correlated plan plus the
+		// degraded-mode policies over the same 100x window: the fault
+		// timeline is pre-generated, so the marginal cost per epoch is the
+		// crash/recover/backoff event handling the guard budget covers.
+		{"100x-faulted", 44300, 52000, 354400, 7200, 1800, true},
 	}
 	for _, tier := range tiers {
 		b.Run(tier.name, func(b *testing.B) {
@@ -48,6 +54,13 @@ func BenchmarkEpoch(b *testing.B) {
 				InferenceServers: tier.inference,
 			}
 			cfg.MaxTime = maxTime
+			if tier.faulted {
+				cfg.Faults = lyra.FaultPlan{Seed: 3, ServerMTBF: 86400, ServerMTTR: 600,
+					RackOutMTBF: 43200, RackMTTR: 900}
+				cfg.RestartBackoff = true
+				cfg.QuarantineHysteresis = true
+				cfg.EmergencyReclaim = true
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			var epochs int64

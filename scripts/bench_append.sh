@@ -21,8 +21,8 @@ trap 'rm -f "$tmp" "$entry" "$out"' EXIT
 echo "bench_append: running full scale benchmarks (several minutes)..."
 ./scripts/bench_scale.sh "$tmp"
 
-jq --arg label "$label" --arg date "$day" \
-	'{label: $label, date: $date, results: .results}' "$tmp" >"$entry"
+jq --arg lbl "$label" --arg date "$day" \
+	'{"label": $lbl, "date": $date, "results": .results}' "$tmp" >"$entry"
 jq --slurpfile e "$entry" '.entries += $e' BENCH_cluster.json >"$out"
 jq -e '.entries | length > 0' "$out" >/dev/null
 cp "$out" BENCH_cluster.json

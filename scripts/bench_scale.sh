@@ -28,11 +28,11 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 if [ "$short" = 1 ]; then
 	go test -run '^$' -bench 'BenchmarkBestFit/1x$' -benchtime 100x ./internal/place/ >"$tmp"
-	go test -run '^$' -bench 'BenchmarkEpoch/(1x|100x)$' -benchtime 1x -short . >>"$tmp"
+	go test -run '^$' -bench 'BenchmarkEpoch/(1x|100x|100x-faulted)$' -benchtime 1x -short . >>"$tmp"
 else
 	go test -run '^$' -bench BenchmarkBestFit -benchtime 2s ./internal/place/ >"$tmp"
 	go test -run '^$' -bench 'BenchmarkEpoch/(1x|10x)$' -benchtime 3x . >>"$tmp"
-	go test -run '^$' -bench 'BenchmarkEpoch/100x$' -benchtime 1x . >>"$tmp"
+	go test -run '^$' -bench 'BenchmarkEpoch/(100x|100x-faulted)$' -benchtime 1x . >>"$tmp"
 fi
 
 # Benchmark lines look like:

@@ -49,6 +49,38 @@ if ! cmp -s "$dir/a.jsonl" "$dir/b.jsonl"; then
 fi
 echo "faulted streams identical ($(wc -l < "$dir/a.jsonl") events)"
 
+echo "== fault-smoke: correlated rack outages (domain plan, audit on)"
+go build -o "$dir/lyra-events" ./cmd/lyra-events
+# One rack = 8 servers at the default rack size, so with 8 training servers
+# a rack outage craters the whole training pool at once — the harshest
+# restart-storm shape. Zero lost jobs and two-process byte-determinism are
+# both contractual.
+domain_plan="mtbf=43200,mttr=600,rackout=21600,rackmttr=900"
+run_domain() {
+	"$dir/lyra-sim" -scheme lyra -days 2 -training-servers 8 -inference-servers 8 \
+		-seed 7 -faults "$domain_plan" -audit -events "$1"
+}
+run_domain "$dir/d1.jsonl" > "$dir/dom.out"
+cat "$dir/dom.out"
+submitted=$(sed -n 's/^jobs: \([0-9][0-9]*\) submitted.*/\1/p' "$dir/dom.out")
+completed=$(sed -n 's/^jobs: .* \([0-9][0-9]*\) completed.*/\1/p' "$dir/dom.out")
+if [ -z "$submitted" ] || [ "$submitted" != "$completed" ]; then
+	echo "fault-smoke FAILED: rack outages lost jobs ($completed/$submitted completed)" >&2
+	exit 1
+fi
+if ! grep -q '"kind":"fault.domain"' "$dir/d1.jsonl"; then
+	echo "fault-smoke FAILED: no fault.domain events in the stream" >&2
+	exit 1
+fi
+run_domain "$dir/d2.jsonl" >/dev/null
+if ! "$dir/lyra-events" -diff "$dir/d1.jsonl" "$dir/d2.jsonl"; then
+	echo "fault-smoke FAILED: two identical rack-outage runs diverged" >&2
+	exit 1
+fi
+echo "== fault-smoke: lyra-events -faults summary"
+"$dir/lyra-events" -faults "$dir/d1.jsonl"
+echo "rack outages lost no jobs ($completed/$submitted), streams identical across two processes"
+
 echo "== fault-smoke: crash-heavy testbed run (audit on)"
 "$dir/lyra-testbed" -scheme lyra -jobs 30 -speedup 20000 -seed 7 \
 	-faults "mtbf=7200,mttr=300,launchfail=0.1,rpcerr=0.02" \

@@ -71,10 +71,15 @@ type ScenarioSpec struct {
 }
 
 // ClusterSpec sizes the two clusters (8-GPU servers unless overridden).
+// RackSize and ZoneRacks shape the failure-domain topology for correlated
+// outage plans (rackout=/zoneout= fault keys); zero keeps the defaults
+// (8 servers per rack, 4 racks per zone).
 type ClusterSpec struct {
 	TrainingServers  int `json:"training_servers"`
 	InferenceServers int `json:"inference_servers"`
 	GPUsPerServer    int `json:"gpus_per_server,omitempty"`
+	RackSize         int `json:"rack_size,omitempty"`
+	ZoneRacks        int `json:"zone_racks,omitempty"`
 }
 
 // TraceSpec parameterizes synthetic trace generation. Zero values fall back
@@ -127,6 +132,12 @@ type SchemeSpec struct {
 	NaivePlacement   bool `json:"naive_placement,omitempty"`
 	ProactiveReclaim bool `json:"proactive_reclaim,omitempty"`
 	InfoAgnostic     bool `json:"info_agnostic,omitempty"`
+
+	// Degraded-mode policies (DESIGN.md §13), each mapping to the Config
+	// toggle of the same name with its Normalize defaults.
+	RestartBackoff       bool `json:"restart_backoff,omitempty"`
+	QuarantineHysteresis bool `json:"quarantine_hysteresis,omitempty"`
+	EmergencyReclaim     bool `json:"emergency_reclaim,omitempty"`
 
 	// ScalingLoss, HeteroPenalty and TunedGain fill the ScalingModel
 	// (zero HeteroPenalty keeps the Normalize defaulting rules).
@@ -390,6 +401,8 @@ func CompileSpec(s *ScenarioSpec) ([]CompiledCell, error) {
 					TrainingServers:  s.Cluster.TrainingServers,
 					InferenceServers: s.Cluster.InferenceServers,
 					GPUsPerServer:    s.Cluster.GPUsPerServer,
+					RackSize:         s.Cluster.RackSize,
+					ZoneRacks:        s.Cluster.ZoneRacks,
 				},
 				Scheduler:        SchedulerKind(sch.Scheduler),
 				Elastic:          sch.Elastic,
@@ -400,6 +413,10 @@ func CompileSpec(s *ScenarioSpec) ([]CompiledCell, error) {
 				NaivePlacement:   sch.NaivePlacement,
 				ProactiveReclaim: sch.ProactiveReclaim,
 				InfoAgnostic:     sch.InfoAgnostic,
+
+				RestartBackoff:       sch.RestartBackoff,
+				QuarantineHysteresis: sch.QuarantineHysteresis,
+				EmergencyReclaim:     sch.EmergencyReclaim,
 				Scaling: ScalingModel{
 					PerWorkerLoss: sch.ScalingLoss,
 					HeteroPenalty: sch.HeteroPenalty,
