@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench bench-smoke events-smoke fault-smoke bench-scale bench-scale-smoke matrix-smoke prof-smoke bench-guard bench-append fuzz
+.PHONY: all check fmt vet build test race bench bench-smoke events-smoke fault-smoke bench-scale bench-scale-smoke matrix-smoke prof-smoke shard-smoke bench-guard bench-append fuzz
 
 all: check
 
@@ -9,7 +9,7 @@ all: check
 # over the internal packages, and the runner-memoization, event-stream,
 # fault-recovery, scale-benchmark, scenario-matrix and profiler smoke
 # tests plus the perf-regression guard (and its selftest).
-check: fmt vet build test race bench-smoke events-smoke fault-smoke bench-scale-smoke matrix-smoke prof-smoke bench-guard
+check: fmt vet build test race bench-smoke events-smoke fault-smoke bench-scale-smoke matrix-smoke prof-smoke shard-smoke bench-guard
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -75,6 +75,14 @@ matrix-smoke:
 # -events stream byte-identical.
 prof-smoke:
 	@./scripts/prof_smoke.sh
+
+# shard-smoke proves the sharded multi-cluster engine (DESIGN.md §14) end
+# to end: a 4-shard audited run is byte-deterministic across two processes
+# (lyra-events -diff over concurrent shard goroutines), and a saturated
+# topology forces the arbitrator's loan-conflict retry path with the
+# cross-shard conservation auditor on.
+shard-smoke:
+	@./scripts/shard_smoke.sh
 
 # bench-guard is the perf-regression gate over BENCH_cluster.json: the
 # latest recorded entry must stay within a 25% ns/epoch budget of the one

@@ -263,6 +263,33 @@ func summary(events []obs.Event) {
 		fmt.Fprintf(w, "%s\t%d\n", k, counts[k])
 	}
 	w.Flush()
+
+	// Sharded runs (DESIGN.md §14): the arbitrator's per-shard routing
+	// split and the optimistic loan protocol's conflict/retry volume.
+	routes := map[int]int{}
+	conflicts := 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.KindArbRoute:
+			routes[int(fnum(ev.F["shard"]))]++
+		case obs.KindArbConflict:
+			conflicts++
+		}
+	}
+	if len(routes) > 0 {
+		ids := make([]int, 0, len(routes))
+		for id := range routes {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		fmt.Printf("\narbitrated shards: %d loan conflicts\n", conflicts)
+		w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "shard\tjobs routed")
+		for _, id := range ids {
+			fmt.Fprintf(w, "%d\t%d\n", id, routes[id])
+		}
+		w.Flush()
+	}
 }
 
 // diffStreams compares two JSONL streams line by line and reports the first

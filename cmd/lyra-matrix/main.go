@@ -1,7 +1,9 @@
 // Command lyra-matrix runs declarative scenario specs as scenario×scheme
 // matrices with SLO gating: each spec file (YAML or JSON, see
-// testdata/scenarios/) declares a cluster shape, a synthesized workload, an
-// optional fault plan, a scheme matrix and SLO assertions; lyra-matrix
+// testdata/scenarios/) declares a cluster shape (optionally sharded into
+// arbitrated multi-cluster topologies with mixed GPU generations — see the
+// shards:/training_gpu: blocks and DESIGN.md §14), a synthesized workload,
+// an optional fault plan, a scheme matrix and SLO assertions; lyra-matrix
 // compiles every spec through the same Config path hand-built experiments
 // use, fans the cells out over the parallel memoizing runner, and exits
 // non-zero if any cell errors or breaks an SLO bound — the repository's

@@ -18,6 +18,7 @@
 //	lyra-sim -trace-csv trace.csv -scheme pollux -loaning=false
 //	lyra-sim -scheme lyra,fifo,gandiva,afs,pollux -parallel 4
 //	lyra-sim -scheme lyra -faults "mtbf=21600,mttr=600,straggler=0.1"
+//	lyra-sim -scheme lyra -training-shards 2 -inference-shards 2   # arbitrated shards (DESIGN.md §14)
 //	lyra-sim -spec testdata/scenarios/multitenant.yaml
 //	lyra-sim -scheme lyra -prof -trace out.json   # self-timing report + Perfetto trace
 package main
@@ -43,6 +44,7 @@ func main() {
 	g.EventsFlag("single scheme only")
 	g.FaultFlags("mtbf=21600,mttr=600,straggler=0.1")
 	g.SpecFlag("as a scheme matrix with SLO gating, ignoring the scheme/trace flags")
+	g.ShardFlags()
 	g.ProfFlags()
 	var (
 		loaning   = flag.Bool("loaning", true, "enable capacity loaning")
@@ -100,6 +102,8 @@ func main() {
 			Audit:            g.Audit,
 			Events:           g.Events != "",
 			Faults:           faultPlan,
+			TrainingShards:   g.TrainingShards,
+			InferenceShards:  g.InferenceShards,
 			Seed:             g.Seed,
 		}
 		cfg.Scaling.PerWorkerLoss = *loss

@@ -2,7 +2,10 @@
 // testbed cluster of §7.5, goroutine-backed worker containers with launch
 // latency, per-job elastic controllers, the whitelist handover between the
 // two schedulers, and the production scheduling code driving it all at an
-// accelerated clock.
+// accelerated clock. The testbed is inherently single-cluster (one training
+// + one inference pool, as deployed in §7.5); sharded multi-cluster
+// topologies (DESIGN.md §14) run in the simulator via lyra-sim
+// -training-shards or a spec shards: block.
 //
 //	lyra-testbed -scheme lyra
 //	lyra-testbed -scheme fifo -speedup 8000

@@ -1,0 +1,407 @@
+// Package arbiter implements the global capacity arbitrator of the sharded
+// topology: the component that sits where internal/orchestrator sits for a
+// single cluster. It routes arriving jobs to training shards (least-loaded,
+// deterministic lowest-ID tie-break) and brokers cross-shard GPU loans with
+// an optimistic shared-state protocol — every borrowing shard's loan
+// proposal is formed against a possibly-stale snapshot of the global free
+// pool taken at epoch start, conflicts are detected at commit time when a
+// proposed server was already granted to a lower-ID shard, and losers are
+// retried against the live view a bounded number of times. The existing
+// loan/reclaim/return verbs become shard-to-shard transfers through
+// sim.Shards.Transfer.
+//
+// A 1-training+1-inference topology reduces to the unsharded orchestrator
+// decision-for-decision: one borrower means the stale snapshot is never
+// stale, the per-shard cap equals the inference scheduler's target exactly,
+// and the emitted event stream is byte-identical to Orchestrator.Epoch's.
+package arbiter
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"lyra/internal/cluster"
+	"lyra/internal/job"
+	"lyra/internal/obs"
+	"lyra/internal/orchestrator"
+	"lyra/internal/reclaim"
+	"lyra/internal/sim"
+)
+
+// loanBuffer mirrors orchestrator.loanBuffer: slack kept on loan beyond
+// measured demand (zero keeps on-loan servers saturated, Figure 9).
+const loanBuffer = 0
+
+// DefaultMaxRetries bounds the conflict-retry rounds of one loan commit.
+const DefaultMaxRetries = 3
+
+// Arbiter is the global capacity arbitrator. The flags mirror
+// orchestrator.Orchestrator so per-shard decisions match the unsharded
+// policy exactly; Targets holds one inference-capacity targeter per
+// inference shard (nil when loaning is disabled — Route still works).
+type Arbiter struct {
+	// Targets[m] is inference shard m's loan-target source (usually the
+	// reactive inference.Scheduler, optionally wrapped in a Forecaster).
+	Targets []orchestrator.LoanTargeter
+	// Policy plans reclaiming on each borrowing shard.
+	Policy reclaim.Policy
+	// Less is the job scheduler's queue order, used to re-enqueue preempted
+	// jobs.
+	Less func(a, b *job.Job) bool
+	// IncludeElasticDemand / LoanOnlyDemand / EmergencyReclaim carry the
+	// orchestrator's demand-estimation and degraded-mode flags through to
+	// the per-shard assessments.
+	IncludeElasticDemand bool
+	LoanOnlyDemand       bool
+	EmergencyReclaim     bool
+	// MaxRetries bounds the conflict-retry rounds when a loan proposal
+	// loses the optimistic commit race (0 means DefaultMaxRetries).
+	MaxRetries int
+}
+
+// New returns an arbiter with the default retry bound.
+func New(targets []orchestrator.LoanTargeter, policy reclaim.Policy, less func(a, b *job.Job) bool) *Arbiter {
+	return &Arbiter{Targets: targets, Policy: policy, Less: less, MaxRetries: DefaultMaxRetries}
+}
+
+// Route implements sim.ShardArbiter: the arriving job goes to the
+// least-loaded training shard, where load is the committed and queued GPU
+// demand relative to the shard's own training capacity. Ties break to the
+// lowest shard ID, so routing is deterministic for any arrival order.
+func (a *Arbiter) Route(sh *sim.Shards, j *job.Job) int {
+	best, bestLoad := 0, math.Inf(1)
+	for n, st := range sh.Train() {
+		tot := st.Cluster.TotalGPUs(cluster.PoolTraining)
+		load := math.Inf(1)
+		if tot > 0 {
+			used := st.Cluster.UsedGPUs(cluster.PoolTraining) + st.Cluster.UsedGPUs(cluster.PoolOnLoan)
+			queued := 0
+			for _, p := range st.Pending {
+				queued += p.BaseGPUs()
+			}
+			load = float64(used+queued) / float64(tot)
+		}
+		if load < bestLoad {
+			best, bestLoad = n, load
+		}
+	}
+	if sh.Tagged && sh.Rec.Enabled() {
+		sh.Rec.Emit(obs.JobEv(sh.States[best].Now, obs.KindArbRoute, j.ID).WithCause("route").WithF(obs.Fields{
+			"shard": best,
+		}))
+		sh.Rec.Add("arb.routes", 1)
+	}
+	return best
+}
+
+// Epoch implements sim.ShardArbiter: one arbitration epoch over the
+// sharded topology.
+//
+// The epoch has three parts. First the serial target pass reads each
+// inference shard's loan target and nets it against the servers that shard
+// already has out on loan, yielding the signed global headroom; it also
+// snapshots the global free inference pool — the possibly-stale view every
+// borrower will propose against. Then the concurrent assessment runs each
+// training shard's read-only demand estimate (busy on-loan servers plus
+// the orchestrator's loan-demand formula) on its own goroutine over purely
+// local state. Finally the serial commit walks borrowing shards in ID
+// order: each computes its capacity cap (its current loan plus the global
+// headroom — for one borrower exactly the inference scheduler's target),
+// emits the per-shard orch.epoch decision, and executes at most one verb:
+// loan (optimistic proposal against the stale snapshot, conflict-retry on
+// commit), reclaim (the unsharded reclaim verbatim over the shard's own
+// borrowed servers, returns routed home), or voluntary idle return.
+func (a *Arbiter) Epoch(sh *sim.Shards) {
+	train := sh.Train()
+	now := sh.States[0].Now
+
+	// Serial target pass: signed headroom and the stale free-pool snapshot.
+	headroom := 0
+	loanedFrom := make([]int, len(sh.Inference()))
+	for _, st := range train {
+		st.Cluster.EachPoolServer(cluster.PoolOnLoan, func(s *cluster.Server) bool {
+			loanedFrom[sh.Home(s.ID)-sh.NumTrain]++
+			return true
+		})
+	}
+	for m := range sh.Inference() {
+		headroom += a.Targets[m].TargetOnLoan(int64(now)) - loanedFrom[m]
+	}
+	stale := a.freeInference(sh)
+
+	// Concurrent assessment: per-shard busy and demand, read-only, no obs.
+	busy := make([]int, len(train))
+	demand := make([]int, len(train))
+	var wg sync.WaitGroup
+	for n := range train {
+		wg.Add(1)
+		go func(n int, st *sim.State) {
+			defer wg.Done()
+			busy[n] = st.Cluster.BusyServers(cluster.PoolOnLoan)
+			demand[n] = orchestrator.DemandServers(st, a.IncludeElasticDemand, a.LoanOnlyDemand)
+		}(n, train[n])
+	}
+	wg.Wait()
+
+	// Serial commit in shard ID order.
+	for n, st := range train {
+		cur := st.Cluster.PoolSize(cluster.PoolOnLoan)
+		capSrv := cur + headroom
+		if capSrv < 0 {
+			capSrv = 0
+		}
+		want := busy[n] + demand[n] + loanBuffer
+		if want > capSrv {
+			want = capSrv
+		}
+		if a.EmergencyReclaim {
+			want = orchestrator.RaiseForCapacityLoss(st, busy[n], want, capSrv)
+		}
+		if st.Obs.Enabled() {
+			f := obs.Fields{
+				"cap_srv": capSrv, "on_loan": cur, "busy": busy[n],
+				"demand_srv": demand[n], "want": want,
+			}
+			if sh.Tagged {
+				f["shard"] = n
+			}
+			st.Obs.Emit(obs.Ev(st.Now, obs.KindOrchEpoch).WithF(f))
+		}
+		switch {
+		case want > cur:
+			sp := st.Prof.Start("loan")
+			a.loan(sh, n, want-cur, stale)
+			sp.End()
+		case capSrv < cur:
+			sp := st.Prof.Start("reclaim")
+			a.reclaim(sh, n, cur-capSrv)
+			sp.End()
+		case want < cur:
+			sp := st.Prof.Start("return-idle")
+			a.returnIdle(sh, n, cur-want)
+			sp.End()
+		}
+	}
+}
+
+// freeInference returns the global free inference pool — every server
+// currently attached to an inference shard's inference pool — in ascending
+// server ID order.
+func (a *Arbiter) freeInference(sh *sim.Shards) []int {
+	var ids []int
+	for _, st := range sh.Inference() {
+		st.Cluster.EachPoolServer(cluster.PoolInference, func(s *cluster.Server) bool {
+			ids = append(ids, s.ID)
+			return true
+		})
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// loan grants up to n servers to training shard `to` through the
+// optimistic shared-state protocol: the proposal is formed against the
+// stale epoch-start snapshot (lowest IDs first, the unsharded
+// orchestrator's pick order), and each proposed server is validated at
+// commit time against the live topology. A server that was granted to a
+// lower-ID shard earlier this epoch fails validation, emits an
+// arb.conflict event (cause loan-conflict-retry), and is replaced by
+// re-proposing from the live view — bounded by MaxRetries rounds, so a
+// storm of shards proposing the same servers converges instead of
+// livelocking.
+func (a *Arbiter) loan(sh *sim.Shards, to, n int, stale []int) {
+	if n <= 0 {
+		return
+	}
+	st := sh.States[to]
+	maxRetries := a.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = DefaultMaxRetries
+	}
+	granted := make([]int, 0, n)
+	proposal := stale
+	for round := 0; ; round++ {
+		for _, sid := range proposal {
+			if len(granted) == n {
+				break
+			}
+			home := sh.Home(sid)
+			if sh.Owner(sid) == home && sh.States[home].Cluster.Server(sid).Pool == cluster.PoolInference {
+				sh.Transfer(sid, to, cluster.PoolOnLoan)
+				granted = append(granted, sid)
+				continue
+			}
+			// Optimistic commit lost: the stale view promised this server,
+			// a lower-ID shard (or an earlier round) took it.
+			if sh.Tagged && sh.Rec.Enabled() {
+				sh.Rec.Emit(obs.Ev(st.Now, obs.KindArbConflict).WithCause("loan-conflict-retry").WithF(obs.Fields{
+					"server": sid, "shard": to, "round": round,
+				}))
+				sh.Rec.Add("arb.conflicts", 1)
+			}
+		}
+		if len(granted) == n || round == maxRetries {
+			break
+		}
+		// Retry from the live view, excluding what we already hold.
+		live := a.freeInference(sh)
+		if len(live) == 0 {
+			break
+		}
+		proposal = live
+	}
+	if st.Obs.Enabled() && len(granted) > 0 {
+		ev := obs.Ev(st.Now, obs.KindOrchLoan).WithF(obs.Fields{
+			"servers": granted, "count": len(granted),
+		})
+		if sh.Tagged {
+			ev = ev.WithCause("loan-grant").WithF(obs.Fields{
+				"servers": granted, "count": len(granted), "shard": to,
+			})
+		}
+		st.Obs.Emit(ev)
+		st.Obs.Add("orch.loans", 1)
+	}
+}
+
+// returnIdle hands back up to n of shard `from`'s empty borrowed servers —
+// a voluntary trim, lowest IDs first, each transferred to its home
+// inference shard.
+func (a *Arbiter) returnIdle(sh *sim.Shards, from, n int) {
+	if n <= 0 {
+		return
+	}
+	st := sh.States[from]
+	picked := make([]int, 0, n)
+	st.Cluster.EachPoolServer(cluster.PoolOnLoan, func(s *cluster.Server) bool {
+		if s.Used() > 0 {
+			return true
+		}
+		picked = append(picked, s.ID)
+		return len(picked) < n
+	})
+	var moved []int
+	for _, sid := range picked {
+		sh.Transfer(sid, sh.Home(sid), cluster.PoolInference)
+		if st.Obs.Enabled() {
+			moved = append(moved, sid)
+		}
+	}
+	if len(moved) > 0 {
+		f := obs.Fields{"servers": moved, "count": len(moved)}
+		if sh.Tagged {
+			f["shard"] = from
+		}
+		st.Obs.Emit(obs.Ev(st.Now, obs.KindOrchReturn).WithF(f))
+		st.Obs.Add("orch.returns", 1)
+	}
+}
+
+// reclaim vacates n of shard `from`'s borrowed servers and transfers them
+// to their home inference shards. The candidate set, plan, preemption
+// order, collateral accounting, and every emitted event mirror the
+// unsharded orchestrator's reclaim verbatim — only the final pool move is
+// a cross-shard transfer.
+func (a *Arbiter) reclaim(sh *sim.Shards, from, n int) {
+	st := sh.States[from]
+	onLoan := st.Cluster.PoolServers(cluster.PoolOnLoan)
+	lookup := func(id int) *job.Job { return st.Running[id] }
+	sp := st.Prof.Start("reclaim.plan")
+	plan := a.Policy.Plan(onLoan, lookup, n)
+	sp.End()
+	if len(plan.Servers) == 0 {
+		return
+	}
+	planned := make(map[int]bool, len(plan.Servers))
+	demand := 0
+	for _, sid := range plan.Servers {
+		planned[sid] = true
+		demand += st.Cluster.Server(sid).NumGPUs
+	}
+
+	if st.Obs.Enabled() {
+		cands := make([]int, 0, len(onLoan))
+		for _, s := range onLoan {
+			cands = append(cands, s.ID)
+		}
+		picks := make([]obs.Fields, 0, len(plan.Picks))
+		for _, p := range plan.Picks {
+			picks = append(picks, obs.Fields{
+				"server": p.Server, "phase": p.Phase,
+				"cost": p.Cost, "reuse": p.Reuse, "damage": p.Damage,
+			})
+		}
+		f := obs.Fields{
+			"want": n, "candidates": cands, "servers": plan.Servers,
+			"preempt_jobs": plan.PreemptJobs, "scale_in": orchestrator.ScaleInPairs(plan.ScaleIn),
+			"flex_only": plan.FlexOnly, "picks": picks,
+		}
+		if sh.Tagged {
+			f["shard"] = from
+		}
+		st.Obs.Emit(obs.Ev(st.Now, obs.KindReclaimPlan).WithF(f))
+	}
+
+	savedCause := st.Cause
+	st.Cause = "reclaim"
+	asp := st.Prof.Start("reclaim.apply")
+	defer func() { asp.End(); st.Cause = savedCause }()
+
+	// Release flexible server groups first (pure scale-in, no preemption),
+	// jobs in sorted order so the event stream stays deterministic.
+	scaleJobs := make([]int, 0, len(plan.ScaleIn))
+	for id := range plan.ScaleIn {
+		scaleJobs = append(scaleJobs, id)
+	}
+	sort.Ints(scaleJobs)
+	for _, id := range scaleJobs {
+		j := st.Running[id]
+		if j == nil {
+			continue
+		}
+		for _, sid := range plan.ScaleIn[id] {
+			st.RemoveFlexibleOnServer(j, sid)
+		}
+	}
+
+	// Preempt jobs whose base workers sit on the selected servers; GPUs on
+	// non-selected servers are the collateral damage of §7.3.
+	collateral := 0
+	for _, id := range plan.PreemptJobs {
+		j := st.Running[id]
+		if j == nil {
+			continue
+		}
+		for _, w := range j.Workers {
+			if !planned[w.Server] {
+				collateral += w.GPUs
+			}
+		}
+		st.Preempt(j, a.Less)
+	}
+
+	for _, sid := range plan.Servers {
+		sh.Transfer(sid, sh.Home(sid), cluster.PoolInference)
+	}
+
+	st.ReclaimOps++
+	st.ReclaimedSrv += len(plan.Servers)
+	st.FlexSatisfied += plan.FlexOnly
+	st.DemandGPUs += demand
+	st.VacatedGPUs += demand + collateral
+
+	if st.Obs.Enabled() {
+		f := obs.Fields{
+			"servers": plan.Servers, "preempted": len(plan.PreemptJobs),
+			"demand_gpus": demand, "collateral_gpus": collateral,
+			"flex_only": plan.FlexOnly,
+		}
+		if sh.Tagged {
+			f["shard"] = from
+		}
+		st.Obs.Emit(obs.Ev(st.Now, obs.KindOrchReclaim).WithF(f))
+		st.Obs.Add("orch.reclaims", 1)
+		st.Obs.Observe("orch.collateral_gpus", float64(collateral))
+	}
+}

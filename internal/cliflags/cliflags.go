@@ -54,6 +54,11 @@ type Group struct {
 	CPUProfile string
 	MemProfile string
 
+	// Shard topology flags (ShardFlags): 0/0 keeps the classic
+	// single-cluster engine.
+	TrainingShards  int
+	InferenceShards int
+
 	profC *prof.Collector
 	cpuF  *os.File
 }
@@ -113,6 +118,16 @@ func (g *Group) FaultFlags(example string) {
 	g.fs.StringVar(&g.Faults, "faults", "",
 		fmt.Sprintf("fault-injection plan, e.g. %q (keys: mtbf, mttr, rackout, rackmttr, zoneout, zonemttr, straggler, slow, launchfail, retries, rpcerr, rpcdelay, seed)", example))
 	g.fs.Int64Var(&g.FaultSeed, "fault-seed", 0, "seed for the fault-injection streams (0 = use -seed)")
+}
+
+// ShardFlags registers -training-shards / -inference-shards, selecting the
+// sharded multi-cluster engine (DESIGN.md §14). Config.Validate enforces
+// the both-or-neither rule and the per-shard server minimums.
+func (g *Group) ShardFlags() {
+	g.fs.IntVar(&g.TrainingShards, "training-shards", 0,
+		"partition the training cluster into this many arbitrated shards (0 = unsharded)")
+	g.fs.IntVar(&g.InferenceShards, "inference-shards", 0,
+		"partition the inference cluster into this many arbitrated shards (0 = unsharded)")
 }
 
 // SpecFlag registers -spec, the declarative scenario-spec entry point.

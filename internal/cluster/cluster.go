@@ -19,6 +19,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // GPUType identifies a GPU model. Speeds are normalized to V100 = 1.0,
@@ -72,6 +73,17 @@ func (g GPUType) String() string {
 		return "A100"
 	}
 	return fmt.Sprintf("GPUType(%d)", uint8(g))
+}
+
+// ParseGPUType decodes a GPU model name as written in scenario specs and
+// CLI flags ("V100", "T4", "A100", case-insensitive).
+func ParseGPUType(s string) (GPUType, error) {
+	for g := GPUType(0); g < numGPUTypes; g++ {
+		if strings.EqualFold(s, g.String()) {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown GPU type %q (valid: V100, T4, A100)", s)
 }
 
 // Pool identifies which scheduler currently controls a server.
@@ -260,7 +272,18 @@ func (s *Server) ReleaseJob(id int) int {
 // pool; free counts match allocations; indexes match the servers) cannot be
 // violated from outside.
 type Cluster struct {
+	// servers is indexed by ID - firstID. Slots are nil where no server with
+	// that ID is currently attached (after Detach, or for IDs adopted beyond
+	// the initial range), so lookups stay O(1) under sharded topologies where
+	// each shard owns a contiguous slice of the global ID space plus any
+	// servers currently on loan to it.
 	servers []*Server
+	firstID int
+	// shard labels which shard this cluster is in a sharded topology
+	// (-1 when unsharded).
+	shard int
+	// n counts attached (non-nil) servers.
+	n int
 	// pools[p] holds pool p's members in ascending ID order, maintained
 	// incrementally on addServer/Move — reads never sort.
 	pools [numPools][]*Server
@@ -309,6 +332,15 @@ type Config struct {
 	// json tags keep the zero values out of runner cache keys.
 	RackSize  int `json:",omitempty"`
 	ZoneRacks int `json:",omitempty"`
+	// FirstID offsets server IDs: the cluster's servers get IDs [FirstID,
+	// FirstID+TrainingServers+InferenceServers). Sharded topologies carve
+	// the global ID space into contiguous per-shard ranges so a server
+	// keeps its identity as loans move it between shard clusters. Zero (the
+	// unsharded case) is omitted from runner cache keys.
+	FirstID int `json:",omitempty"`
+	// Shard labels the shard this cluster is in a sharded topology. It is
+	// decoration only (obs, debugging); zero keys identically to unsharded.
+	Shard int `json:",omitempty"`
 }
 
 // DefaultConfig is the production-scale configuration from §7.1.
@@ -345,8 +377,8 @@ func New(cfg Config) *Cluster {
 	if cfg.TrainingGPU == V100 && cfg.InferenceGPU == V100 {
 		cfg.InferenceGPU = T4
 	}
-	c := &Cluster{}
-	id := 0
+	c := &Cluster{firstID: cfg.FirstID, shard: cfg.Shard}
+	id := cfg.FirstID
 	for i := 0; i < cfg.TrainingServers; i++ {
 		c.addServer(NewServer(id, cfg.TrainingGPU, cfg.GPUsPerServer, PoolTraining))
 		id++
@@ -358,6 +390,13 @@ func New(cfg Config) *Cluster {
 	c.assignDomains(cfg)
 	return c
 }
+
+// FirstID returns the lowest server ID of the cluster's home ID range.
+func (c *Cluster) FirstID() int { return c.firstID }
+
+// Shard returns the shard label assigned at construction (zero when
+// unsharded).
+func (c *Cluster) Shard() int { return c.shard }
 
 // assignDomains computes the deterministic server -> rack -> zone mapping
 // from the cluster shape: consecutive server IDs fill racks of RackSize
@@ -378,13 +417,13 @@ func (c *Cluster) assignDomains(cfg Config) {
 	c.zoneOf = make([]int, n)
 	for _, seg := range [][2]int{{0, cfg.TrainingServers}, {cfg.TrainingServers, n}} {
 		segRack0 := len(c.racks)
-		for id := seg[0]; id < seg[1]; id++ {
-			r := segRack0 + (id-seg[0])/rackSize
+		for off := seg[0]; off < seg[1]; off++ {
+			r := segRack0 + (off-seg[0])/rackSize
 			for len(c.racks) <= r {
 				c.racks = append(c.racks, nil)
 			}
-			c.rackOf[id] = r
-			c.racks[r] = append(c.racks[r], id)
+			c.rackOf[off] = r
+			c.racks[r] = append(c.racks[r], off+c.firstID)
 		}
 		for r := segRack0; r < len(c.racks); r++ {
 			z := len(c.zones) - 1
@@ -393,7 +432,7 @@ func (c *Cluster) assignDomains(cfg Config) {
 				z++
 			}
 			for _, id := range c.racks[r] {
-				c.zoneOf[id] = z
+				c.zoneOf[id-c.firstID] = z
 				c.zones[z] = append(c.zones[z], id)
 			}
 		}
@@ -408,18 +447,20 @@ func (c *Cluster) NumZones() int { return len(c.zones) }
 
 // RackOf returns the rack index of server id (-1 for unknown IDs).
 func (c *Cluster) RackOf(id int) int {
-	if id < 0 || id >= len(c.rackOf) {
+	off := id - c.firstID
+	if off < 0 || off >= len(c.rackOf) {
 		return -1
 	}
-	return c.rackOf[id]
+	return c.rackOf[off]
 }
 
 // ZoneOf returns the zone index of server id (-1 for unknown IDs).
 func (c *Cluster) ZoneOf(id int) int {
-	if id < 0 || id >= len(c.zoneOf) {
+	off := id - c.firstID
+	if off < 0 || off >= len(c.zoneOf) {
 		return -1
 	}
-	return c.zoneOf[id]
+	return c.zoneOf[off]
 }
 
 // RackServers returns the server IDs of rack r in ascending order. The
@@ -539,25 +580,40 @@ func (c *Cluster) serverChanged(s *Server, oldFree, flexDelta int) {
 
 func (c *Cluster) addServer(s *Server) {
 	s.owner = c
-	c.servers = append(c.servers, s)
+	off := s.ID - c.firstID
+	for len(c.servers) <= off {
+		c.servers = append(c.servers, nil)
+	}
+	if c.servers[off] != nil {
+		panic(fmt.Sprintf("cluster: duplicate server %d", s.ID))
+	}
+	c.servers[off] = s
+	c.n++
 	c.enterPool(s.Pool, s)
 }
 
 // Server returns the server with the given ID, or nil.
 func (c *Cluster) Server(id int) *Server {
-	if id < 0 || id >= len(c.servers) {
+	off := id - c.firstID
+	if off < 0 || off >= len(c.servers) {
 		return nil
 	}
-	return c.servers[id]
+	return c.servers[off]
 }
 
 // NumServers returns the total number of servers in all pools.
-func (c *Cluster) NumServers() int { return len(c.servers) }
+func (c *Cluster) NumServers() int { return c.n }
 
-// Servers returns a copy of all servers, in ID order. Use EachServer on hot
-// paths that only iterate.
+// Servers returns a copy of all attached servers, in ID order. Use
+// EachServer on hot paths that only iterate.
 func (c *Cluster) Servers() []*Server {
-	return append([]*Server(nil), c.servers...)
+	out := make([]*Server, 0, c.n)
+	for _, s := range c.servers {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // EachServer calls fn for every server in ascending ID order, stopping
@@ -565,10 +621,53 @@ func (c *Cluster) Servers() []*Server {
 // not move servers between pools.
 func (c *Cluster) EachServer(fn func(*Server) bool) {
 	for _, s := range c.servers {
+		if s == nil {
+			continue
+		}
 		if !fn(s) {
 			return
 		}
 	}
+}
+
+// Detach removes an empty server from the cluster entirely — pool index,
+// counters, and ID slot — and returns it so another shard's cluster can
+// Adopt it. This is the mechanics of a cross-shard transfer: the server
+// keeps its global ID, the source cluster keeps a nil hole at its slot.
+// Like Move-to-inference, detaching a server that still runs training work
+// is refused: the caller must preempt or scale in first.
+func (c *Cluster) Detach(id int) (*Server, error) {
+	s := c.Server(id)
+	if s == nil {
+		return nil, fmt.Errorf("cluster: detach unknown server %d", id)
+	}
+	if s.Used() > 0 {
+		return nil, fmt.Errorf("cluster: server %d still runs %d GPUs, cannot detach", id, s.Used())
+	}
+	c.leavePool(s.Pool, s)
+	s.owner = nil
+	c.servers[id-c.firstID] = nil
+	c.n--
+	return s, nil
+}
+
+// Adopt attaches a server detached from another cluster into pool p. The
+// server keeps its global ID; IDs below the cluster's FirstID cannot be
+// hosted (shard ID ranges ascend, and loans only ever park a server in a
+// borrower whose range the ID maps into or return it home).
+func (c *Cluster) Adopt(s *Server, p Pool) error {
+	if s.owner != nil {
+		return fmt.Errorf("cluster: adopt server %d still owned by another cluster", s.ID)
+	}
+	if s.ID < c.firstID {
+		return fmt.Errorf("cluster: adopt server %d below first ID %d", s.ID, c.firstID)
+	}
+	if (p == PoolInference || p == PoolQuarantine) && s.Used() > 0 {
+		return fmt.Errorf("cluster: server %d still runs %d GPUs of training work, cannot adopt into %v", s.ID, s.Used(), p)
+	}
+	s.Pool = p
+	c.addServer(s)
+	return nil
 }
 
 // PoolServers returns a copy of the servers currently in pool p, sorted by
@@ -753,7 +852,12 @@ func (c *Cluster) CheckInvariants() error {
 			seen[s.ID] = p
 		}
 	}
+	attached := 0
 	for _, s := range c.servers {
+		if s == nil {
+			continue
+		}
+		attached++
 		if _, ok := seen[s.ID]; !ok {
 			return fmt.Errorf("server %d missing from pool index", s.ID)
 		}
@@ -779,6 +883,12 @@ func (c *Cluster) CheckInvariants() error {
 		if flexSum != s.flexTotal {
 			return fmt.Errorf("server %d: flexible sum %d != cached total %d", s.ID, flexSum, s.flexTotal)
 		}
+	}
+	if attached != c.n {
+		return fmt.Errorf("%d attached servers, counter says %d", attached, c.n)
+	}
+	if len(seen) != attached {
+		return fmt.Errorf("%d servers in pool indexes, %d attached", len(seen), attached)
 	}
 	return nil
 }

@@ -49,15 +49,16 @@ import (
 
 // Rule identifiers, stable strings tests can assert on.
 const (
-	RuleClusterInternal  = "cluster-internal"  // cluster.CheckInvariants failed
-	RuleIndexConsistency = "index-consistency" // cluster.AuditIndexes found counter/bucket drift
-	RuleGPUConservation  = "gpu-conservation"  // workers vs allocations vs pool totals
-	RuleLifecycle        = "lifecycle"         // job state vs workers vs queue membership
-	RuleQueueOrder       = "queue-order"       // Pending sortedness, duplicates, stale entries
-	RuleProgressBounds   = "progress-bounds"   // Remaining/OverheadLeft/queue-time bounds
-	RuleTimeMonotonic    = "time-monotonic"    // Now regressed between audits
-	RulePoolMembership   = "pool-membership"   // worker pool / GPU-type legality
-	RuleThroughput       = "throughput"        // running job must have a throughput model entry
+	RuleClusterInternal  = "cluster-internal"         // cluster.CheckInvariants failed
+	RuleIndexConsistency = "index-consistency"        // cluster.AuditIndexes found counter/bucket drift
+	RuleGPUConservation  = "gpu-conservation"         // workers vs allocations vs pool totals
+	RuleLifecycle        = "lifecycle"                // job state vs workers vs queue membership
+	RuleQueueOrder       = "queue-order"              // Pending sortedness, duplicates, stale entries
+	RuleProgressBounds   = "progress-bounds"          // Remaining/OverheadLeft/queue-time bounds
+	RuleTimeMonotonic    = "time-monotonic"           // Now regressed between audits
+	RulePoolMembership   = "pool-membership"          // worker pool / GPU-type legality
+	RuleThroughput       = "throughput"               // running job must have a throughput model entry
+	RuleCrossShard       = "cross-shard-conservation" // sharded topology: global GPU/server totals vs per-shard sums
 )
 
 // Fail panics with a structured *Error carrying the given violations. It is

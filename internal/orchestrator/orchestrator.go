@@ -118,6 +118,14 @@ func (o *Orchestrator) Epoch(st *sim.State) {
 // idle-return path. The inference scheduler's cap still binds: the raise
 // never exceeds capSrv, so inference's utilization threshold holds.
 func (o *Orchestrator) raiseForCapacityLoss(st *sim.State, busy, want, capSrv int) int {
+	return RaiseForCapacityLoss(st, busy, want, capSrv)
+}
+
+// RaiseForCapacityLoss is the package-level form of the emergency-reclaim
+// policy, shared with the sharded arbiter (internal/arbiter) so a
+// 1-training+1-inference sharded topology reproduces the unsharded
+// orchestrator's decisions byte-for-byte.
+func RaiseForCapacityLoss(st *sim.State, busy, want, capSrv int) int {
 	trainCap := st.Cluster.TotalGPUs(cluster.PoolTraining)
 	floor := 0
 	for _, j := range st.Running {
@@ -159,6 +167,13 @@ func (o *Orchestrator) busyOnLoanServers(st *sim.State) int {
 // GPUs, converted at the T4 memory-doubling rate (§2.1: local batches
 // split, twice the GPUs per worker).
 func (o *Orchestrator) demandServers(st *sim.State) int {
+	return DemandServers(st, o.IncludeElasticDemand, o.LoanOnlyDemand)
+}
+
+// DemandServers is the package-level form of the loan-demand estimate,
+// shared with the sharded arbiter so per-shard demand assessments match the
+// unsharded orchestrator's exactly.
+func DemandServers(st *sim.State, includeElastic, loanOnly bool) int {
 	freeT, freeL := st.FreeSchedulableGPUs()
 	demand := 0
 	for _, j := range st.Pending {
@@ -167,12 +182,12 @@ func (o *Orchestrator) demandServers(st *sim.State) int {
 		// for the rest of the backlog would idle the servers.
 		if (j.Fungible || j.Elastic || j.Hetero) && place.FitsOnLoan(j) {
 			demand += j.BaseGPUs()
-			if o.IncludeElasticDemand {
+			if includeElastic {
 				demand += j.FlexRange() * j.GPUsPerWorker
 			}
 		}
 	}
-	if o.IncludeElasticDemand {
+	if includeElastic {
 		for _, j := range st.Running {
 			if !j.Elastic {
 				continue
@@ -187,7 +202,7 @@ func (o *Orchestrator) demandServers(st *sim.State) int {
 		}
 	}
 	supply := freeT + freeL
-	if o.LoanOnlyDemand {
+	if loanOnly {
 		supply = freeL
 	}
 	shortfall := demand - supply
@@ -379,7 +394,11 @@ func (o *Orchestrator) reclaim(st *sim.State, n int) {
 
 // scaleInPairs flattens a scale-in map into deterministic [job, server]
 // pairs sorted by job then server.
-func scaleInPairs(m map[int][]int) [][2]int {
+func scaleInPairs(m map[int][]int) [][2]int { return ScaleInPairs(m) }
+
+// ScaleInPairs is the package-level form of the scale-in flattening, shared
+// with the sharded arbiter's reclaim-plan event payload.
+func ScaleInPairs(m map[int][]int) [][2]int {
 	out := make([][2]int, 0, len(m))
 	ids := make([]int, 0, len(m))
 	for id := range m {

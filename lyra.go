@@ -72,6 +72,23 @@ type (
 	FaultPlan = fault.Plan
 )
 
+// GPUType identifies a GPU model for ClusterConfig's TrainingGPU and
+// InferenceGPU fields. Speeds are normalized to V100 = 1.0.
+type GPUType = cluster.GPUType
+
+// Supported GPU generations. The ClusterConfig zero value keeps the paper's
+// pairing (V100 training, T4 inference); A100 models a third, faster
+// generation for mixed-generation topologies.
+const (
+	V100 GPUType = cluster.V100
+	T4   GPUType = cluster.T4
+	A100 GPUType = cluster.A100
+)
+
+// ParseGPUType decodes a GPU model name ("V100", "T4", "A100",
+// case-insensitive) as written in scenario specs and CLI flags.
+func ParseGPUType(s string) (GPUType, error) { return cluster.ParseGPUType(s) }
+
 // ParseFaultPlan decodes the CLI fault spec syntax, e.g.
 // "mtbf=21600,mttr=600,straggler=0.1" (see internal/fault.ParsePlan).
 func ParseFaultPlan(spec string) (FaultPlan, error) { return fault.ParsePlan(spec) }
@@ -316,6 +333,18 @@ type Config struct {
 	// Loaning; Normalize clears it otherwise.
 	EmergencyReclaim bool `json:",omitempty"`
 
+	// TrainingShards / InferenceShards partition the cluster into a
+	// sharded topology (DESIGN.md §14): each shard is its own indexed
+	// cluster with a scheduler instance over purely local state, and the
+	// global capacity arbitrator (internal/arbiter) routes arriving jobs
+	// and brokers cross-shard loans. Zero/zero (the default, omitted from
+	// runner cache keys) runs the classic single-cluster engine; a
+	// 1-training+1-inference topology reproduces its event stream
+	// byte-for-byte through the sharded machinery. Shard scheduler epochs
+	// execute concurrently, merged deterministically in shard ID order.
+	TrainingShards  int `json:",omitempty"`
+	InferenceShards int `json:",omitempty"`
+
 	Seed int64
 
 	// DefaultsApplied records that Normalize has run: every "zero means
@@ -482,6 +511,20 @@ func (c Config) Validate() error {
 	if err := n.Faults.Validate(); err != nil {
 		return fmt.Errorf("lyra: Faults: %w", err)
 	}
+	if n.TrainingShards < 0 || n.InferenceShards < 0 {
+		return fmt.Errorf("lyra: negative shard count (training %d, inference %d)", n.TrainingShards, n.InferenceShards)
+	}
+	if (n.TrainingShards > 0) != (n.InferenceShards > 0) {
+		return fmt.Errorf("lyra: sharded topologies need at least one shard on both sides (training %d, inference %d)", n.TrainingShards, n.InferenceShards)
+	}
+	if n.TrainingShards > 0 {
+		if n.Cluster.TrainingServers > 0 && n.TrainingShards > n.Cluster.TrainingServers {
+			return fmt.Errorf("lyra: TrainingShards %d exceeds TrainingServers %d", n.TrainingShards, n.Cluster.TrainingServers)
+		}
+		if n.Cluster.InferenceServers > 0 && n.InferenceShards > n.Cluster.InferenceServers {
+			return fmt.Errorf("lyra: InferenceShards %d exceeds InferenceServers %d", n.InferenceShards, n.Cluster.InferenceServers)
+		}
+	}
 	return nil
 }
 
@@ -611,6 +654,18 @@ func RunProfiled(cfg Config, tr *Trace, p *prof.Profiler) (rep *Report, err erro
 	tr = tr.Clone()
 	est := predict.WithError(cfg.FracWrongEstimate, cfg.MaxEstimateError, cfg.Seed+77)
 	est.Annotate(tr.Jobs)
+
+	if cfg.TrainingShards > 0 {
+		res := runSharded(cfg, tr, rec, p, psp)
+		psp = p.Start("report")
+		rep = buildReport(res, tr)
+		if cfg.Events {
+			rep.Events = buf.Bytes()
+		}
+		psp.End()
+		rep.Prof = p.Report()
+		return rep, nil
+	}
 
 	c := cluster.New(cfg.Cluster)
 	s := schedulerRegistry[cfg.Scheduler](cfg)

@@ -253,31 +253,34 @@ func TestScenarioConfig(t *testing.T) {
 	}
 }
 
-// TestDeprecatedScenarioWrappers pins the deprecated trio to the single
-// Apply path: identical config adaptation and identical trace mutation.
-func TestDeprecatedScenarioWrappers(t *testing.T) {
-	got := Scenario(Baseline, DefaultConfig())
-	want := DefaultConfig()
-	Baseline.Apply(&want, nil, 0)
-	if got != want {
-		t.Errorf("Scenario(Baseline) = %+v, want %+v", got, want)
+// TestScenarioApplyDeterministic pins ScenarioKind.Apply — the single
+// scenario-application path since the deprecated wrapper trio was removed —
+// to deterministic behavior: the same seed mutates the trace identically,
+// and nil sides leave the other side untouched.
+func TestScenarioApplyDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	Baseline.Apply(&cfg, nil, 0)
+	if cfg.Scheduler != SchedFIFO || cfg.Elastic || cfg.Loaning {
+		t.Errorf("Baseline.Apply left %+v, want FIFO without loaning or elastic", cfg)
 	}
 
 	trA, trB := smallTrace(8), smallTrace(8)
-	ApplyScenario(trA, Ideal, 9)
+	Ideal.Apply(nil, trA, 9)
 	Ideal.Apply(nil, trB, 9)
 	for i, j := range trA.Jobs {
 		k := trB.Jobs[i]
 		if j.Elastic != k.Elastic || j.Fungible != k.Fungible || j.Hetero != k.Hetero || j.MaxWorkers != k.MaxWorkers {
-			t.Fatalf("job %d: wrapper and Apply diverge: %+v vs %+v", j.ID, j, k)
+			t.Fatalf("job %d: same-seed Apply calls diverge: %+v vs %+v", j.ID, j, k)
+		}
+		if !j.Elastic || !j.Fungible || !j.Hetero {
+			t.Fatalf("job %d: Ideal.Apply left capabilities off: %+v", j.ID, j)
 		}
 	}
 
-	cfgAll := ApplyScenarioAll(Advanced, DefaultConfig(), nil, 3)
 	cfgApply := DefaultConfig()
 	Advanced.Apply(&cfgApply, nil, 3)
-	if cfgAll != cfgApply {
-		t.Errorf("ApplyScenarioAll = %+v, want %+v", cfgAll, cfgApply)
+	if cfgApply.Scaling.HeteroPenalty != 0.7 {
+		t.Errorf("Advanced.Apply HeteroPenalty = %v, want 0.7", cfgApply.Scaling.HeteroPenalty)
 	}
 }
 

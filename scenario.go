@@ -47,10 +47,10 @@ func (k ScenarioKind) Valid() bool {
 // scheduler flags and the scaling model on the config, the per-job
 // capability flags on the trace (deterministically in seed). It is the
 // single scenario-application path — the spec layer (ScenarioSpec,
-// runner.Spec.WithScenario) and the deprecated wrappers below all route
-// through it, so config and trace cannot be adapted to different scenarios
-// by mistake. Either pointer may be nil when only the other side is
-// wanted. Unknown kinds apply nothing; validate with ScenarioKind.Valid.
+// runner.Spec.WithScenario) routes through it, so config and trace cannot
+// be adapted to different scenarios by mistake. Either pointer may be nil
+// when only the other side is wanted. Unknown kinds apply nothing;
+// validate with ScenarioKind.Valid.
 func (k ScenarioKind) Apply(cfg *Config, tr *Trace, seed int64) {
 	if tr != nil {
 		applyScenarioTrace(tr, k, seed)
@@ -70,33 +70,6 @@ func (k ScenarioKind) Apply(cfg *Config, tr *Trace, seed int64) {
 	case Ideal:
 		cfg.Scaling.HeteroPenalty = 1.0
 	}
-}
-
-// ApplyScenarioAll adapts the config AND the trace to the named scenario.
-//
-// Deprecated: use ScenarioKind.Apply (or declare the scenario in a
-// ScenarioSpec / runner.Spec and let the spec layer apply it).
-func ApplyScenarioAll(kind ScenarioKind, cfg Config, tr *Trace, seed int64) Config {
-	kind.Apply(&cfg, tr, seed)
-	return cfg
-}
-
-// Scenario adapts cfg to the named scenario (config side only).
-//
-// Deprecated: use ScenarioKind.Apply (or declare the scenario in a
-// ScenarioSpec / runner.Spec and let the spec layer apply it).
-func Scenario(kind ScenarioKind, cfg Config) Config {
-	kind.Apply(&cfg, nil, 0)
-	return cfg
-}
-
-// ApplyScenario rewrites the per-job capability flags of tr in place for
-// the named scenario (trace side only).
-//
-// Deprecated: use ScenarioKind.Apply (or declare the scenario in a
-// ScenarioSpec / runner.Spec and let the spec layer apply it).
-func ApplyScenario(tr *Trace, kind ScenarioKind, seed int64) {
-	kind.Apply(nil, tr, seed)
 }
 
 func applyScenarioTrace(tr *Trace, kind ScenarioKind, seed int64) {

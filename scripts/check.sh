@@ -42,6 +42,9 @@ echo "== matrix-smoke (declarative scenario specs + SLO gating end to end)"
 echo "== prof-smoke (span profiler + Chrome trace end to end)"
 ./scripts/prof_smoke.sh
 
+echo "== shard-smoke (sharded engine: determinism + loan-conflict path end to end)"
+./scripts/shard_smoke.sh
+
 echo "== bench-guard (perf trajectory within budget; selftest proves it can fail)"
 ./scripts/bench_guard.sh
 ./scripts/bench_guard.sh -selftest

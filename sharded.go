@@ -1,0 +1,150 @@
+package lyra
+
+import (
+	"lyra/internal/arbiter"
+	"lyra/internal/cluster"
+	"lyra/internal/inference"
+	"lyra/internal/obs"
+	"lyra/internal/orchestrator"
+	"lyra/internal/prof"
+	"lyra/internal/sim"
+)
+
+// splitServers deals total servers across n shards: every shard gets an
+// even share, with the remainder going to the lowest-ID shards. The split
+// is positional — shard i's servers are the next counts[i] IDs of the
+// global sequence — so shard ID ranges are contiguous and a 1+1 topology
+// reproduces the unsharded ID layout exactly.
+func splitServers(total, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = total / n
+		if i < total%n {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// runSharded is the sharded counterpart of RunProfiled's engine setup: it
+// carves the configured cluster into per-shard indexed clusters over
+// contiguous global ID ranges (training shards first, then inference
+// shards, matching the unsharded layout), instantiates one scheduler per
+// training shard and one loan targeter per inference shard, wires the
+// global capacity arbitrator, and runs the sharded engine.
+func runSharded(cfg Config, tr *Trace, rec *obs.Recorder, p *prof.Profiler, prep prof.Span) *sim.Result {
+	cc := cfg.Cluster
+	if cc.GPUsPerServer == 0 {
+		cc.GPUsPerServer = cluster.DefaultGPUsPerServer
+	}
+	// The parent resolves the GPU-type default (V100 training implies T4
+	// inference) once, then passes both types to every shard explicitly,
+	// so a training-only shard cluster cannot re-trigger the rule.
+	if cc.TrainingGPU == cluster.V100 && cc.InferenceGPU == cluster.V100 {
+		cc.InferenceGPU = cluster.T4
+	}
+
+	// Reference topology of the full unsharded shape: fault timelines key
+	// their per-server draws on global server IDs and domain streams on
+	// this topology's rack/zone indexes, so a sharded run draws the exact
+	// fault schedule the unsharded engine would.
+	refTopo := cluster.New(cfg.Cluster)
+
+	trainCounts := splitServers(cc.TrainingServers, cfg.TrainingShards)
+	infCounts := splitServers(cc.InferenceServers, cfg.InferenceShards)
+	firstID := 0
+	trainCls := make([]*cluster.Cluster, 0, cfg.TrainingShards)
+	infCls := make([]*cluster.Cluster, 0, cfg.InferenceShards)
+	for i, cnt := range trainCounts {
+		trainCls = append(trainCls, cluster.New(cluster.Config{
+			TrainingServers: cnt, GPUsPerServer: cc.GPUsPerServer,
+			TrainingGPU: cc.TrainingGPU, InferenceGPU: cc.InferenceGPU,
+			RackSize: cc.RackSize, ZoneRacks: cc.ZoneRacks,
+			FirstID: firstID, Shard: i,
+		}))
+		firstID += cnt
+	}
+	for m, cnt := range infCounts {
+		infCls = append(infCls, cluster.New(cluster.Config{
+			InferenceServers: cnt, GPUsPerServer: cc.GPUsPerServer,
+			TrainingGPU: cc.TrainingGPU, InferenceGPU: cc.InferenceGPU,
+			RackSize: cc.RackSize, ZoneRacks: cc.ZoneRacks,
+			FirstID: firstID, Shard: cfg.TrainingShards + m,
+		}))
+		firstID += cnt
+	}
+
+	// One scheduler instance per training shard: each runs over purely
+	// local shard state, which is what makes the concurrent epoch safe.
+	scheds := make([]sim.Scheduler, cfg.TrainingShards)
+	for n := range scheds {
+		scheds[n] = schedulerRegistry[cfg.Scheduler](cfg)
+	}
+
+	// Per-inference-shard utilization series and loan targeters. Shard 0
+	// keeps the unsharded seed (Seed+13, and Seed+19 for the forecaster)
+	// so a 1+1 topology sees the exact series a single-cluster run would;
+	// higher shards get salted, decorrelated streams.
+	targets := make([]orchestrator.LoanTargeter, cfg.InferenceShards)
+	infUtil := make([]func(int64) float64, cfg.InferenceShards)
+	for m := range targets {
+		util := inference.GenerateUtilization(inference.DefaultUtilizationConfig(cfg.Seed+13+int64(101*m)), tr.Horizon, 300)
+		is := inference.NewScheduler(util, infCounts[m], cfg.Headroom)
+		infUtil[m] = is.UtilizationAt
+		var t orchestrator.LoanTargeter = is
+		if cfg.ProactiveReclaim {
+			t = orchestrator.NewForecaster(is, cfg.Seed+19+int64(101*m))
+		}
+		targets[m] = t
+	}
+
+	// The arbiter always routes; it only brokers loans when loaning is on
+	// (Orchestrate gates the epoch, mirroring the single-path nil
+	// orchestrator).
+	arb := arbiter.New(nil, nil, scheds[0].Less)
+	if cfg.Loaning {
+		arb.Targets = targets
+		arb.Policy = reclaimRegistry[cfg.Reclaim](cfg)
+		arb.IncludeElasticDemand = cfg.Elastic && cfg.Scheduler != SchedFIFO
+		arb.LoanOnlyDemand = cfg.Opportunistic
+		arb.EmergencyReclaim = cfg.EmergencyReclaim
+	}
+
+	preempt := cfg.PreemptOverhead
+	if preempt == 0 {
+		preempt = -1
+	}
+	simCfg := sim.Config{
+		SchedInterval:   cfg.SchedInterval,
+		OrchInterval:    cfg.OrchInterval,
+		MaxTime:         cfg.MaxTime,
+		PreemptOverhead: preempt,
+		Scaling:         cfg.Scaling,
+		Audit:           cfg.Audit,
+		Obs:             rec,
+	}
+	if cfg.Faults.Enabled() {
+		fp := cfg.Faults
+		simCfg.Faults = &fp
+	}
+	if cfg.RestartBackoff {
+		simCfg.BackoffBase = cfg.BackoffBase
+		simCfg.BackoffCap = cfg.BackoffCap
+	}
+	if cfg.QuarantineHysteresis {
+		simCfg.HystCrashes = cfg.HystCrashes
+		simCfg.HystWindow = cfg.HystWindow
+		simCfg.HystHold = cfg.HystHold
+	}
+	simCfg.Prof = p
+
+	eng := sim.NewSharded(sim.ShardedConfig{
+		Train: trainCls, Inf: infCls, Scheds: scheds, Arbiter: arb,
+		Orchestrate: cfg.Loaning, RefTopo: refTopo, InfUtil: infUtil,
+	}, tr.Jobs, tr.Horizon, simCfg)
+	prep.End()
+	sp := p.Start("sim")
+	res := eng.Run()
+	sp.End()
+	return res
+}

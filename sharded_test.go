@@ -1,0 +1,193 @@
+package lyra_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lyra"
+)
+
+// shardedGoldenConfig is the golden-scenario config (golden_events_test.go)
+// with the sharded engine selected at its degenerate 1+1 topology.
+func shardedGoldenConfig() lyra.Config {
+	cfg := lyra.DefaultConfig()
+	cfg.Cluster = lyra.ClusterConfig{TrainingServers: 8, InferenceServers: 8}
+	cfg.Events = true
+	cfg.SchedInterval = 300
+	cfg.Audit = true
+	cfg.TrainingShards = 1
+	cfg.InferenceShards = 1
+	return cfg
+}
+
+// TestShardedGoldenIdentity runs the golden scenario through the sharded
+// engine at 1 training + 1 inference shard and requires the event stream to
+// be byte-identical to testdata/golden_events.jsonl — the same file the
+// unsharded engine is pinned to. This is the refactor's equivalence proof:
+// the shard states, the arbiter's route/loan/reclaim path, the concurrent
+// scheduler phase with its deterministic merge, and the cross-shard
+// transfer machinery all engage, and none of it may shift a single byte of
+// the decision stream.
+func TestShardedGoldenIdentity(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_events.jsonl"))
+	if err != nil {
+		t.Fatalf("read golden file: %v", err)
+	}
+
+	tcfg := lyra.DefaultTraceConfig(7)
+	tcfg.Days = 1
+	tcfg.TrainingGPUs = 64
+	tr := lyra.GenerateTrace(tcfg)
+
+	r, err := lyra.Run(shardedGoldenConfig(), tr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !bytes.Equal(r.Events, want) {
+		d := firstDiff(r.Events, want)
+		t.Fatalf("sharded 1+1 event stream diverged from golden output: got %d bytes, want %d; first difference at byte %d (context: %q vs %q)",
+			len(r.Events), len(want), d, window(r.Events, d), window(want, d))
+	}
+}
+
+// TestShardedDeterministicAcrossRuns runs a genuinely concurrent 4-shard
+// topology twice and requires byte-identical event streams: the per-shard
+// scheduler goroutines may interleave arbitrarily, but the ID-ordered
+// commit merge must erase every trace of the interleaving.
+func TestShardedDeterministicAcrossRuns(t *testing.T) {
+	tcfg := lyra.DefaultTraceConfig(11)
+	tcfg.Days = 1
+	tcfg.TrainingGPUs = 96
+	tr := lyra.GenerateTrace(tcfg)
+
+	cfg := lyra.DefaultConfig()
+	cfg.Cluster = lyra.ClusterConfig{TrainingServers: 12, InferenceServers: 8}
+	cfg.Events = true
+	cfg.Audit = true
+	cfg.SchedInterval = 300
+	cfg.TrainingShards = 2
+	cfg.InferenceShards = 2
+
+	var streams [][]byte
+	for i := 0; i < 2; i++ {
+		r, err := lyra.Run(cfg, tr)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		streams = append(streams, r.Events)
+	}
+	if !bytes.Equal(streams[0], streams[1]) {
+		d := firstDiff(streams[0], streams[1])
+		t.Fatalf("4-shard run not deterministic: first difference at byte %d (context: %q vs %q)",
+			d, window(streams[0], d), window(streams[1], d))
+	}
+	if !bytes.Contains(streams[0], []byte(`"kind":"arb.route"`)) {
+		t.Fatalf("multi-shard run emitted no arb.route events")
+	}
+}
+
+// TestShardedConflictStorm drives a topology where every training shard
+// develops loan demand in the same arbitration epoch, so all of them
+// propose the same lowest-ID servers against the shared stale snapshot.
+// The lowest-ID shard commits; every other shard must detect the conflict,
+// emit the loan-conflict-retry decision, and converge through the bounded
+// retry against the live view — with the full invariant suite (including
+// cross-shard GPU conservation) auditing every event.
+func TestShardedConflictStorm(t *testing.T) {
+	tcfg := lyra.DefaultTraceConfig(3)
+	tcfg.Days = 1
+	tcfg.TrainingGPUs = 32
+	tcfg.LoadFactor = 8.0 // saturate both shards so they bid simultaneously
+	tr := lyra.GenerateTrace(tcfg)
+
+	cfg := lyra.DefaultConfig()
+	cfg.Cluster = lyra.ClusterConfig{TrainingServers: 4, InferenceServers: 8}
+	cfg.Events = true
+	cfg.Audit = true
+	cfg.SchedInterval = 300
+	cfg.Headroom = lyra.Zero // loan the whole inference pool: maximal contention
+	cfg.TrainingShards = 2
+	cfg.InferenceShards = 2
+
+	r, err := lyra.Run(cfg, tr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	conflicts := bytes.Count(r.Events, []byte(`"kind":"arb.conflict"`))
+	if conflicts == 0 {
+		t.Fatalf("conflict storm produced no arb.conflict events (loans: %d)",
+			bytes.Count(r.Events, []byte(`"kind":"orch.loan"`)))
+	}
+	if !bytes.Contains(r.Events, []byte(`"cause":"loan-conflict-retry"`)) {
+		t.Fatalf("arb.conflict events missing the loan-conflict-retry cause")
+	}
+	// The audit layer would have panicked the run on any conservation
+	// violation; reaching here with completions proves convergence.
+	if r.Completed == 0 {
+		t.Fatalf("no jobs completed under the conflict storm")
+	}
+}
+
+// FuzzShardedVsSingle is the differential proof that the sharded engine at
+// its 1+1 degenerate topology IS the unsharded engine: for arbitrary trace
+// seeds, cluster shapes, scheme toggles, and fault plans, both engines must
+// produce byte-identical event streams with the auditor on.
+func FuzzShardedVsSingle(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(4), true, true, false)
+	f.Add(int64(7), uint8(8), uint8(8), true, false, false)
+	f.Add(int64(42), uint8(6), uint8(3), false, true, true)
+	f.Add(int64(99), uint8(3), uint8(6), true, true, true)
+	f.Fuzz(func(t *testing.T, seed int64, trainSrv, infSrv uint8, loaning, elastic, faults bool) {
+		if trainSrv == 0 || infSrv == 0 {
+			t.Skip("degenerate cluster")
+		}
+		if trainSrv > 16 {
+			trainSrv = trainSrv%16 + 1
+		}
+		if infSrv > 16 {
+			infSrv = infSrv%16 + 1
+		}
+		tcfg := lyra.DefaultTraceConfig(seed)
+		tcfg.Days = 1
+		tcfg.TrainingGPUs = int(trainSrv) * 8
+		tr := lyra.GenerateTrace(tcfg)
+
+		cfg := lyra.DefaultConfig()
+		cfg.Cluster = lyra.ClusterConfig{TrainingServers: int(trainSrv), InferenceServers: int(infSrv)}
+		cfg.Loaning = loaning
+		cfg.Elastic = elastic
+		cfg.Events = true
+		cfg.Audit = true
+		cfg.SchedInterval = 300
+		cfg.Seed = seed
+		if faults {
+			fp, err := lyra.ParseFaultPlan("mtbf=21600,mttr=900")
+			if err != nil {
+				t.Fatalf("fault plan: %v", err)
+			}
+			fp.Seed = seed
+			cfg.Faults = fp
+		}
+
+		single, err := lyra.Run(cfg, tr)
+		if err != nil {
+			t.Fatalf("single run: %v", err)
+		}
+		cfg.TrainingShards, cfg.InferenceShards = 1, 1
+		sharded, err := lyra.Run(cfg, tr)
+		if err != nil {
+			t.Fatalf("sharded run: %v", err)
+		}
+		if !bytes.Equal(single.Events, sharded.Events) {
+			d := firstDiff(single.Events, sharded.Events)
+			t.Fatalf("sharded 1+1 diverged from unsharded engine at byte %d (single: %q, sharded: %q)",
+				d, window(single.Events, d), window(sharded.Events, d))
+		}
+		if single.Completed != sharded.Completed || single.Preemptions != sharded.Preemptions {
+			t.Fatalf("result counters diverged: completed %d vs %d, preemptions %d vs %d",
+				single.Completed, sharded.Completed, single.Preemptions, sharded.Preemptions)
+		}
+	})
+}

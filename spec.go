@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"lyra/internal/cluster"
 	"lyra/internal/fault"
 	"lyra/internal/trace"
 	"lyra/internal/yamlite"
@@ -42,7 +43,13 @@ type ScenarioSpec struct {
 	Seed int64 `json:"seed,omitempty"`
 
 	Cluster ClusterSpec `json:"cluster"`
-	Trace   TraceSpec   `json:"trace,omitempty"`
+
+	// Shards selects the sharded multi-cluster engine (DESIGN.md §14) for
+	// every cell. Absent (or zero/zero) keeps the classic single-cluster
+	// engine and leaves cache keys untouched.
+	Shards ShardSpec `json:"shards,omitempty"`
+
+	Trace TraceSpec `json:"trace,omitempty"`
 
 	// Scenario optionally adapts config and trace to one of the §7.1
 	// evaluation scenarios (ScenarioKind). ScenarioSeed defaults to
@@ -80,6 +87,20 @@ type ClusterSpec struct {
 	GPUsPerServer    int `json:"gpus_per_server,omitempty"`
 	RackSize         int `json:"rack_size,omitempty"`
 	ZoneRacks        int `json:"zone_racks,omitempty"`
+	// TrainingGPU and InferenceGPU name the GPU generation of each tier
+	// ("V100", "T4", "A100", case-insensitive). Absent keeps the paper's
+	// V100/T4 pairing; mixed-generation topologies (e.g. A100 training over
+	// T4 inference) change the speed and memory model job placement sees.
+	TrainingGPU  string `json:"training_gpu,omitempty"`
+	InferenceGPU string `json:"inference_gpu,omitempty"`
+}
+
+// ShardSpec partitions the topology into independently scheduled shards
+// routed by the global capacity arbitrator. Both counts must be set
+// together; zero/zero is the classic unsharded engine.
+type ShardSpec struct {
+	Training  int `json:"training,omitempty"`
+	Inference int `json:"inference,omitempty"`
 }
 
 // TraceSpec parameterizes synthetic trace generation. Zero values fall back
@@ -318,6 +339,23 @@ func (s *ScenarioSpec) validateStructure() error {
 	if s.Cluster.InferenceServers < 0 {
 		return fmt.Errorf("cluster.inference_servers: got %d, must be non-negative", s.Cluster.InferenceServers)
 	}
+	for _, g := range []struct{ field, name string }{
+		{"cluster.training_gpu", s.Cluster.TrainingGPU},
+		{"cluster.inference_gpu", s.Cluster.InferenceGPU},
+	} {
+		if g.name == "" {
+			continue
+		}
+		if _, err := cluster.ParseGPUType(g.name); err != nil {
+			return fmt.Errorf("%s: %w", g.field, err)
+		}
+	}
+	if s.Shards.Training < 0 || s.Shards.Inference < 0 {
+		return fmt.Errorf("shards: got %d/%d, counts must be non-negative", s.Shards.Training, s.Shards.Inference)
+	}
+	if (s.Shards.Training > 0) != (s.Shards.Inference > 0) {
+		return fmt.Errorf("shards: got training=%d inference=%d, sharded topologies need at least one shard on both sides", s.Shards.Training, s.Shards.Inference)
+	}
 	if s.Scenario != "" && !ScenarioKind(s.Scenario).Valid() {
 		return fmt.Errorf("scenario: unknown scenario %q (valid: %v)", s.Scenario, Scenarios())
 	}
@@ -396,6 +434,10 @@ func CompileSpec(s *ScenarioSpec) ([]CompiledCell, error) {
 					return nil, fmt.Errorf("lyra: spec %q: schemes[%d].faults: %w", s.Name, i, err)
 				}
 			}
+			trainGPU, infGPU, err := s.compileGPUs()
+			if err != nil {
+				return nil, fmt.Errorf("lyra: spec %q: %w", s.Name, err)
+			}
 			cfg := Config{
 				Cluster: ClusterConfig{
 					TrainingServers:  s.Cluster.TrainingServers,
@@ -403,7 +445,11 @@ func CompileSpec(s *ScenarioSpec) ([]CompiledCell, error) {
 					GPUsPerServer:    s.Cluster.GPUsPerServer,
 					RackSize:         s.Cluster.RackSize,
 					ZoneRacks:        s.Cluster.ZoneRacks,
+					TrainingGPU:      trainGPU,
+					InferenceGPU:     infGPU,
 				},
+				TrainingShards:   s.Shards.Training,
+				InferenceShards:  s.Shards.Inference,
 				Scheduler:        SchedulerKind(sch.Scheduler),
 				Elastic:          sch.Elastic,
 				Loaning:          sch.Loaning,
@@ -468,6 +514,27 @@ func cellName(sch SchemeSpec, rk string, expanded bool) string {
 		name += "/" + rk
 	}
 	return name
+}
+
+// compileGPUs lowers the GPU generation names onto cluster.GPUType values.
+// Both absent keeps the zero values (the paper's V100/T4 pairing via
+// cluster.New's defaulting rule) so pre-existing specs keep their cache
+// keys. An explicit training generation with inference_gpu absent keeps the
+// T4 inference tier rather than falling back to the V100 zero value.
+func (s *ScenarioSpec) compileGPUs() (train, inf GPUType, err error) {
+	if s.Cluster.TrainingGPU != "" {
+		if train, err = cluster.ParseGPUType(s.Cluster.TrainingGPU); err != nil {
+			return 0, 0, fmt.Errorf("cluster.training_gpu: %w", err)
+		}
+	}
+	if s.Cluster.InferenceGPU != "" {
+		if inf, err = cluster.ParseGPUType(s.Cluster.InferenceGPU); err != nil {
+			return 0, 0, fmt.Errorf("cluster.inference_gpu: %w", err)
+		}
+	} else if train != V100 {
+		inf = T4
+	}
+	return train, inf, nil
 }
 
 // compileTrace lowers the trace section onto the paper-calibrated defaults,

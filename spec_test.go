@@ -238,6 +238,56 @@ schemes:
 	}
 }
 
+// TestSpecShardsAndGPUs covers the sharded-topology and mixed-generation
+// spec surface: the shards block lowers onto Config.TrainingShards /
+// InferenceShards, GPU names lower onto cluster GPU types with the T4
+// inference default preserved, and malformed values fail naming the field.
+func TestSpecShardsAndGPUs(t *testing.T) {
+	doc := `
+version: 1
+name: sharded
+cluster:
+  training_servers: 8
+  inference_servers: 4
+  training_gpu: a100
+shards:
+  training: 2
+  inference: 2
+schemes:
+  - scheduler: lyra
+    loaning: true
+`
+	s, err := ParseSpec([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cells[0].Config
+	if cfg.TrainingShards != 2 || cfg.InferenceShards != 2 {
+		t.Errorf("shards = %d/%d, want 2/2", cfg.TrainingShards, cfg.InferenceShards)
+	}
+	if cfg.Cluster.TrainingGPU != A100 {
+		t.Errorf("training GPU = %v, want A100 (case-insensitive parse)", cfg.Cluster.TrainingGPU)
+	}
+	if cfg.Cluster.InferenceGPU != T4 {
+		t.Errorf("inference GPU = %v, want the T4 default under explicit training_gpu", cfg.Cluster.InferenceGPU)
+	}
+
+	for _, c := range []struct{ name, doc, wantSub string }{
+		{"one-sided shards", strings.Replace(doc, "  inference: 2", "  inference: 0", 1), "shards"},
+		{"negative shards", strings.Replace(doc, "  training: 2", "  training: -1", 1), "shards"},
+		{"bad gpu", strings.Replace(doc, "training_gpu: a100", "training_gpu: H100", 1), "cluster.training_gpu"},
+		{"bad inference gpu", strings.Replace(doc, "training_gpu: a100", "inference_gpu: nope", 1), "cluster.inference_gpu"},
+	} {
+		if _, err := ParseSpec([]byte(c.doc)); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
 // TestSLOEvaluate exercises the assertion semantics directly: hour-unit
 // bounds against second-unit summaries, the lost-jobs pointer, and Tighten
 // scaling only upper bounds.
